@@ -1,0 +1,7 @@
+//! `cargo bench -p mgpu-bench --bench bottleneck_analysis` — §6.3 table.
+
+use mgpu_bench::BenchScale;
+
+fn main() {
+    mgpu_bench::figures::bottleneck_report(&BenchScale::from_env());
+}

@@ -1,0 +1,13 @@
+//! `cargo bench -p mgpu-bench --bench fig3_breakdown` — regenerates the
+//! paper's Figure 3. Deterministic single-shot measurement: the timing comes
+//! from the DES replay, so statistical repetition would measure nothing.
+
+use mgpu_bench::figures::{fig3_report, run_sweep};
+use mgpu_bench::BenchScale;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Figure 3 — runtime breakdown by phase (scale {:.2})", scale.factor);
+    let rows = run_sweep(&scale);
+    fig3_report(&rows);
+}

@@ -1,0 +1,12 @@
+//! `cargo bench -p mgpu-bench --bench fig4_throughput` — regenerates the
+//! paper's Figure 4 (FPS + VPS) and checks the abstract's <1 s headline.
+
+use mgpu_bench::figures::{fig4_report, run_sweep};
+use mgpu_bench::BenchScale;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Figure 4 — FPS and VPS (scale {:.2})", scale.factor);
+    let rows = run_sweep(&scale);
+    fig4_report(&rows, &scale);
+}

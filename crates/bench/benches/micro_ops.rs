@@ -1,0 +1,178 @@
+//! Criterion micro-benchmarks of the hot primitives: the counting sort
+//! against the comparison sort it replaces (the §3.1.2 θ(n) claim), the
+//! partition strategies, trilinear texture sampling, fragment compositing,
+//! value noise and the DES replay itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mgpu_gpu::Texture3D;
+use mgpu_mapreduce::{counting_sort_groups, Partitioner, RoundRobin, Striped, Tiled};
+use mgpu_sim::{simulate, Activity, SimDuration, Trace};
+use mgpu_voldata::noise::{fbm, value_noise};
+use mgpu_volren::composite::{composite_unsorted, over};
+use mgpu_volren::Fragment;
+
+fn pairs(n: usize, key_space: u32) -> Vec<(u32, u64)> {
+    (0..n as u64)
+        .map(|i| (((i.wrapping_mul(2654435761)) % key_space as u64) as u32, i))
+        .collect()
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort");
+    g.sample_size(20);
+    let input = pairs(100_000, 262_144);
+    g.bench_function("counting_sort_100k_pairs", |b| {
+        b.iter(|| counting_sort_groups(black_box(&input), 262_144))
+    });
+    g.bench_function("comparison_sort_100k_pairs", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut v| {
+                v.sort_by_key(|(k, _)| *k);
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(20);
+    let keys: Vec<u32> = (0..262_144u32).collect();
+    let strategies: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("round_robin", Box::new(RoundRobin)),
+        (
+            "striped",
+            Box::new(Striped {
+                width: 512,
+                rows_per_stripe: 16,
+            }),
+        ),
+        ("tiled", Box::new(Tiled { width: 512, tile: 64 })),
+    ];
+    for (name, p) in strategies {
+        g.bench_function(format!("{name}_262k_keys"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &k in &keys {
+                    acc = acc.wrapping_add(p.reducer_of(black_box(k), 8));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_texture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("texture");
+    g.sample_size(20);
+    let dims = [64usize; 3];
+    let data: Vec<f32> = (0..dims[0] * dims[1] * dims[2])
+        .map(|i| (i % 97) as f32 / 97.0)
+        .collect();
+    let tex = Texture3D::new(dims, data);
+    g.bench_function("trilinear_sample_64cubed", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            let mut p = 0.7f32;
+            for _ in 0..1000 {
+                acc += tex.sample(black_box(p), p * 0.9, p * 1.1);
+                p = (p + 0.061) % 62.0;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_composite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composite");
+    g.sample_size(20);
+    let frags: Vec<Fragment> = (0..16)
+        .map(|i| Fragment {
+            color: [0.05, 0.04, 0.03, 0.1],
+            depth: ((i * 7) % 16) as f32,
+            exit: ((i * 7) % 16) as f32 + 1.0,
+        })
+        .collect();
+    g.bench_function("depth_sort_and_blend_16_fragments", |b| {
+        b.iter_batched(
+            || frags.clone(),
+            |mut f| composite_unsorted(black_box(&mut f), [0.0; 4]),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("over_operator", |b| {
+        b.iter(|| {
+            let mut acc = [0f32; 4];
+            for _ in 0..1000 {
+                acc = over(black_box(acc), [0.01, 0.01, 0.01, 0.02]);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_noise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise");
+    g.sample_size(20);
+    g.bench_function("value_noise_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            for i in 0..1000 {
+                let x = i as f32 * 0.37;
+                acc += value_noise(black_box(x), x * 0.5, x * 0.25, 7);
+            }
+            acc
+        })
+    });
+    g.bench_function("fbm3_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            for i in 0..1000 {
+                let x = i as f32 * 0.37;
+                acc += fbm(black_box(x), x * 0.5, x * 0.25, 3, 2.0, 0.5, 7);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.sample_size(20);
+    // A synthetic 10k-task pipeline: 8 chains with cross dependencies.
+    let mut tr = Trace::new();
+    let rs = tr.add_resources(16);
+    let mut prev = Vec::new();
+    for i in 0..10_000u32 {
+        let deps = if i >= 8 { vec![prev[(i - 8) as usize]] } else { vec![] };
+        let t = tr.task(
+            Activity::Kernel,
+            rs[(i % 16) as usize],
+            SimDuration(100 + (i as u64 % 37)),
+            deps,
+        );
+        prev.push(t);
+    }
+    g.bench_function("replay_10k_tasks", |b| b.iter(|| simulate(black_box(&tr))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort,
+    bench_partition,
+    bench_texture,
+    bench_composite,
+    bench_noise,
+    bench_des
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! `cargo bench -p mgpu-bench --bench micro_transfers` — §3 anchors.
+
+fn main() {
+    mgpu_bench::figures::micro_report();
+}

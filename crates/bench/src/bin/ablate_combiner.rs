@@ -1,0 +1,38 @@
+//! §3.1 ablation: "we specifically omitted partial reduce/combine because it
+//! didn't increase performance for our volume renderer."
+//!
+//! The combiner merges only provably depth-adjacent fragments, so it is
+//! correct — it just rarely finds anything to merge under round-robin brick
+//! assignment, and the runtime barely moves.
+
+use mgpu_bench::{figure_config, print_table, run_point, BenchScale, Table};
+use mgpu_voldata::Dataset;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let size = scale.size(256);
+    let gpus = 8;
+    println!("combiner ablation at {size}^3, {gpus} GPUs");
+
+    let mut t = Table::new(&["combiner", "fragments reduced", "wire MB", "total ms"]);
+    let mut base_ms = 0.0;
+    for on in [false, true] {
+        let mut cfg = figure_config(&scale);
+        cfg.combiner = on;
+        let row = run_point(Dataset::Skull, size, gpus, &cfg);
+        if !on {
+            base_ms = row.total_ms;
+        }
+        t.row(&[
+            if on { "on" } else { "off" }.to_string(),
+            row.fragments.to_string(),
+            format!("{:.2}", row.wire_mb),
+            format!("{:.1}", row.total_ms),
+        ]);
+        if on {
+            let delta = (row.total_ms - base_ms) / base_ms * 100.0;
+            println!("runtime delta with combiner: {delta:+.2}% (paper: no benefit)");
+        }
+    }
+    print_table("combine stage on/off", &t);
+}

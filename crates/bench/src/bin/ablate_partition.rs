@@ -1,0 +1,71 @@
+//! §3.1.1 ablation: "Partitioning is done in a per-pixel round-robin fashion.
+//! This is, empirically, the highest-performing method."
+//!
+//! Compares reducer load balance and end-to-end runtime for round-robin,
+//! striped, tiled and checkerboard partitioning.
+
+use mgpu_bench::{figure_config, print_table, run_point, BenchScale, Table};
+use mgpu_voldata::Dataset;
+use mgpu_volren::PartitionStrategy;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let size = scale.size(256);
+    let gpus = 8;
+    println!("partition ablation at {size}^3, {gpus} GPUs");
+
+    let strategies = [
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::Striped { rows_per_stripe: 32 },
+        PartitionStrategy::Tiled { tile: 64 },
+        PartitionStrategy::Checkerboard { cell: 64 },
+    ];
+
+    let mut t = Table::new(&[
+        "strategy",
+        "total ms",
+        "sort ms",
+        "reduce ms",
+        "per-brick max/mean load",
+    ]);
+    let mut results = Vec::new();
+    for s in strategies {
+        let mut cfg = figure_config(&scale);
+        cfg.partition = s;
+        let row = run_point(Dataset::Skull, size, gpus, &cfg);
+        // Load imbalance is visible through the slowest reducer: the sort +
+        // reduce milestones stretch with the most loaded reducer.
+        results.push((s.label(), row.total_ms));
+        t.row(&[
+            s.label().to_string(),
+            format!("{:.1}", row.total_ms),
+            format!("{:.1}", row.sort_ms),
+            format!("{:.1}", row.reduce_ms),
+            format!("{:.3}", imbalance_of(s, size, gpus)),
+        ]);
+    }
+    print_table("partition strategies", &t);
+
+    let best = results
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    println!(
+        "fastest: {} ({:.1} ms) — paper picked round-robin",
+        best.0, best.1
+    );
+}
+
+/// Screen-space load imbalance of a strategy over one brick's footprint —
+/// the granularity at which fragments actually arrive. A single brick covers
+/// a small rectangle, which is where striped/tiled schemes skew.
+fn imbalance_of(s: PartitionStrategy, _size: u32, gpus: u32) -> f64 {
+    let scale = BenchScale::from_env();
+    let img = scale.image();
+    let part = s.build(img);
+    // A typical brick footprint: an eighth of the image, off-center.
+    let (x0, y0) = (img / 3, img / 2);
+    let side = img / 8;
+    let keys = (y0..y0 + side).flat_map(move |y| (x0..x0 + side).map(move |x| y * img + x));
+    mgpu_mapreduce::partition::imbalance(part.as_ref(), keys, gpus)
+}

@@ -1,0 +1,30 @@
+//! §3.1.2 ablation: CPU vs GPU compositing in the reduce phase.
+//!
+//! "We found empirically that while the GPU would be very good at
+//! compositing ... it is actually quicker to do the compositing on the CPU."
+
+use mgpu_bench::{figure_config, print_table, run_point, BenchScale, Table};
+use mgpu_voldata::Dataset;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let size = scale.size(256);
+    println!("reduce-device ablation at {size}^3");
+
+    let mut t = Table::new(&["gpus", "cpu reduce ms", "gpu reduce ms", "winner"]);
+    for gpus in [4u32, 8, 16] {
+        let mut cfg = figure_config(&scale);
+        cfg.trace.reduce_on_gpu = false;
+        let cpu = run_point(Dataset::Skull, size, gpus, &cfg);
+        cfg.trace.reduce_on_gpu = true;
+        let gpu = run_point(Dataset::Skull, size, gpus, &cfg);
+        t.row(&[
+            gpus.to_string(),
+            format!("{:.1}", cpu.total_ms),
+            format!("{:.1}", gpu.total_ms),
+            if cpu.total_ms <= gpu.total_ms { "cpu" } else { "gpu" }.to_string(),
+        ]);
+    }
+    print_table("reduce on CPU vs GPU", &t);
+    println!("paper: CPU wins at this scale; GPU pays upload + many small kernels.");
+}

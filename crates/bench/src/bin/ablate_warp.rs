@@ -1,0 +1,38 @@
+//! GPU-model ablation: flat-throughput vs warp-divergence-accurate kernel
+//! timing. Ray casting diverges at silhouettes (lockstep lanes wait for the
+//! longest ray in the warp), so the warp-accurate model charges more — this
+//! quantifies how much the paper-era SIMT machines lost to divergence.
+
+use mgpu_bench::{bench_volume, figure_config, print_table, standard_scene, BenchScale, Table};
+use mgpu_cluster::ClusterSpec;
+use mgpu_gpu::KernelTimingMode;
+use mgpu_voldata::Dataset;
+use mgpu_volren::renderer::render;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let size = scale.size(256);
+    let volume = bench_volume(Dataset::Skull, size);
+    let scene = standard_scene(&volume);
+    let cfg = figure_config(&scale);
+    println!("kernel-timing ablation at {size}^3");
+
+    let mut t = Table::new(&["gpus", "flat ms", "warp-accurate ms", "divergence tax"]);
+    for gpus in [4u32, 8, 16] {
+        let mut spec = ClusterSpec::accelerator_cluster(gpus);
+        spec.device.kernel.mode = KernelTimingMode::FlatThroughput;
+        let flat = render(&spec, &volume, &scene, &cfg);
+        spec.device.kernel.mode = KernelTimingMode::WarpAccurate;
+        let warp = render(&spec, &volume, &scene, &cfg);
+        assert_eq!(flat.image, warp.image, "timing mode must not change pixels");
+        let f = flat.report.runtime().as_millis_f64();
+        let w = warp.report.runtime().as_millis_f64();
+        t.row(&[
+            gpus.to_string(),
+            format!("{f:.1}"),
+            format!("{w:.1}"),
+            format!("{:+.1}%", (w - f) / f * 100.0),
+        ]);
+    }
+    print_table("flat vs warp-accurate kernel model", &t);
+}

@@ -1,0 +1,9 @@
+//! §6.3 bottleneck analysis: communication vs computation at 1024³.
+//!
+//! `cargo run --release -p mgpu-bench --bin bottlenecks`
+
+use mgpu_bench::BenchScale;
+
+fn main() {
+    mgpu_bench::figures::bottleneck_report(&BenchScale::from_env());
+}

@@ -1,0 +1,9 @@
+//! Footnote 1 reproduction: ParaView's 346 M VPS vs this system at 16 GPUs.
+//!
+//! `cargo run --release -p mgpu-bench --bin compare_paraview`
+
+use mgpu_bench::BenchScale;
+
+fn main() {
+    mgpu_bench::figures::paraview_report(&BenchScale::from_env());
+}

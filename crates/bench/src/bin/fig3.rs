@@ -1,0 +1,15 @@
+//! Figure 3 reproduction: stacked runtime breakdown (Map / Partition + I/O /
+//! Sort / Reduce) for 128³–1024³ volumes at 1–32 GPUs, 512² image.
+//!
+//! `cargo run --release -p mgpu-bench --bin fig3`
+//! (scale with `MGPU_BENCH_SCALE=0.25` for a quick pass)
+
+use mgpu_bench::figures::{fig3_report, run_sweep};
+use mgpu_bench::BenchScale;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Figure 3 — runtime breakdown by phase (scale {:.2})", scale.factor);
+    let rows = run_sweep(&scale);
+    fig3_report(&rows);
+}

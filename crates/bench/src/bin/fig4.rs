@@ -1,0 +1,13 @@
+//! Figure 4 reproduction: FPS and VPS vs GPU count for the four volumes.
+//!
+//! `cargo run --release -p mgpu-bench --bin fig4`
+
+use mgpu_bench::figures::{fig4_report, run_sweep};
+use mgpu_bench::BenchScale;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    println!("Figure 4 — FPS and VPS (scale {:.2})", scale.factor);
+    let rows = run_sweep(&scale);
+    fig4_report(&rows, &scale);
+}

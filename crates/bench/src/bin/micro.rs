@@ -1,0 +1,7 @@
+//! §3 micro-benchmarks: disk / H2D / D2H transfer anchors.
+//!
+//! `cargo run --release -p mgpu-bench --bin micro`
+
+fn main() {
+    mgpu_bench::figures::micro_report();
+}

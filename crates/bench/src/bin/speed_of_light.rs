@@ -1,0 +1,9 @@
+//! §6.3 speed-of-light analysis: hardware lower bounds vs achieved runtime.
+//!
+//! `cargo run --release -p mgpu-bench --bin speed_of_light`
+
+use mgpu_bench::BenchScale;
+
+fn main() {
+    mgpu_bench::figures::speed_of_light_report(&BenchScale::from_env());
+}

@@ -1,0 +1,16 @@
+//! # mgpu-cluster — the modeled GPU cluster
+//!
+//! Topology and interconnect models for the paper's testbed (NCSA
+//! Accelerator Cluster: 4 logical GPUs per quad-core node, node-local disks,
+//! QDR InfiniBand):
+//!
+//! * [`topology`] — [`ClusterSpec`], GPU↔node mapping, and the
+//!   [`ResourceMap`] that stands the hardware up as DES resources;
+//! * [`network`] — the 2010-era MPI-over-InfiniBand cost model with
+//!   per-message software overhead and intra-node shared-memory routing.
+
+pub mod network;
+pub mod topology;
+
+pub use network::{route, NetworkModel, Route};
+pub use topology::{ClusterSpec, GpuId, NodeId, ResourceMap};

@@ -1,0 +1,140 @@
+//! CPU-side cost models and the [`CostBook`] bundling every model the trace
+//! builder needs.
+//!
+//! GPU and interconnect models live with their hardware
+//! ([`mgpu_gpu::DeviceProps`], [`mgpu_cluster::NetworkModel`]); this module
+//! adds the host-CPU stages (partition / sort / reduce) at 2010 Nehalem-class
+//! single-core rates.
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_gpu::DeviceProps;
+use mgpu_sim::{LinkModel, RateModel, SimDuration};
+
+/// Host-CPU stage rates (one core per GPU process, per the quad-core node /
+/// 4-GPU node pairing of the Accelerator Cluster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCostModel {
+    /// Partitioning: a modulo + a bucket append per pair.
+    pub partition: RateModel,
+    /// Counting sort: two linear passes per pair.
+    pub sort: RateModel,
+    /// Reduction: per-fragment compositing cost (includes the per-pixel
+    /// depth sort the paper does on the CPU).
+    pub reduce_per_item: RateModel,
+    /// Fixed cost per reduced key (group setup, output write).
+    pub reduce_group_overhead_s: f64,
+}
+
+impl CpuCostModel {
+    /// 2010 Nehalem-class single-core estimates: ~180 M pairs/s streaming
+    /// partition, ~80 M pairs/s counting sort, ~10 M fragments/s composite
+    /// (allocation-heavy per-pixel depth sort + blend in the 2010 code),
+    /// 60 ns per pixel group.
+    pub fn nehalem_2010() -> CpuCostModel {
+        CpuCostModel {
+            partition: RateModel::new(20e-6, 180e6),
+            sort: RateModel::new(30e-6, 80e6),
+            reduce_per_item: RateModel::new(20e-6, 10e6),
+            reduce_group_overhead_s: 60e-9,
+        }
+    }
+
+    pub fn partition_time(&self, pairs: u64) -> SimDuration {
+        self.partition.time(pairs)
+    }
+
+    pub fn sort_time(&self, pairs: u64) -> SimDuration {
+        self.sort.time(pairs)
+    }
+
+    pub fn reduce_time(&self, items: u64, groups: u64) -> SimDuration {
+        self.reduce_per_item.time(items)
+            + SimDuration::from_secs_f64(self.reduce_group_overhead_s * groups as f64)
+    }
+}
+
+/// GPU-side reduce model (the §3.1.2 ablation: "while the GPU would be very
+/// good at compositing … it is actually quicker to do the compositing on the
+/// CPU" at this scale).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuReduceModel {
+    /// Composite rate once data is on the device. Much higher than the CPU's…
+    pub reduce_per_item: RateModel,
+    /// …but the data must get there and back, and each kernel launch pays
+    /// overhead — which is exactly why the CPU wins at small fragment counts.
+    pub launch_overhead_s: f64,
+}
+
+impl GpuReduceModel {
+    /// The effective GPU compositing rate is only ~6× the CPU's: the
+    /// per-pixel depth sort is branchy and the reductions are many and small,
+    /// so SIMT utilization is poor — and the reduce wave pays a hefty fixed
+    /// cost (upload, many kernel launches, readback). Crossover lands around
+    /// 120 k fragments per reducer: above the paper's per-reducer loads,
+    /// below "hundreds or thousands of GPUs" worth, matching §3.1.2.
+    pub fn tesla_c1060() -> GpuReduceModel {
+        GpuReduceModel {
+            reduce_per_item: RateModel::new(0.0, 60e6),
+            launch_overhead_s: 10e-3,
+        }
+    }
+
+    pub fn reduce_time(&self, items: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.launch_overhead_s) + self.reduce_per_item.time(items)
+    }
+}
+
+/// Every cost model the trace builder consults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBook {
+    pub device: DeviceProps,
+    pub cpu: CpuCostModel,
+    pub gpu_reduce: GpuReduceModel,
+    pub disk: LinkModel,
+}
+
+impl CostBook {
+    pub fn from_cluster(spec: &ClusterSpec) -> CostBook {
+        CostBook {
+            device: spec.device.clone(),
+            cpu: CpuCostModel::nehalem_2010(),
+            gpu_reduce: GpuReduceModel::tesla_c1060(),
+            disk: spec.disk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_reduce_charges_items_and_groups() {
+        let m = CpuCostModel::nehalem_2010();
+        let t1 = m.reduce_time(10_000_000, 0).as_secs_f64();
+        assert!((t1 - 1.0).abs() < 1e-3);
+        let t2 = m.reduce_time(0, 1_000_000).as_secs_f64();
+        assert!((t2 - 0.06).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gpu_reduce_faster_per_item_but_pays_overhead() {
+        let cpu = CpuCostModel::nehalem_2010();
+        let gpu = GpuReduceModel::tesla_c1060();
+        // Paper-scale per-reducer load (~75 k fragments): CPU wins — the
+        // §3.1.2 empirical finding.
+        let small = 75_000;
+        assert!(cpu.reduce_time(small, 30_000) < gpu.reduce_time(small));
+        // "Hundreds or thousands of GPUs" worth of fragments: GPU wins.
+        let huge = 5_000_000;
+        assert!(gpu.reduce_time(huge) < cpu.reduce_time(huge, 30_000));
+    }
+
+    #[test]
+    fn cost_book_reflects_cluster() {
+        let spec = ClusterSpec::accelerator_cluster(4);
+        let book = CostBook::from_cluster(&spec);
+        assert_eq!(book.device, spec.device);
+        assert_eq!(book.disk, spec.disk);
+    }
+}

@@ -1,0 +1,116 @@
+//! The job record: a complete, deterministic account of *what* a MapReduce
+//! run did, sufficient for the DES to replay *when* it would have happened
+//! on the modeled 2010 cluster.
+
+use mgpu_gpu::LaunchStats;
+
+/// One batch of pairs flushed from a mapper to a reducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendRecord {
+    /// Destination reducer index.
+    pub reducer: u32,
+    /// Pairs in the batch (post-combiner, sentinels already dropped).
+    pub items: u64,
+    /// Wire bytes of the batch.
+    pub bytes: u64,
+    /// The batch was flushed right after this chunk (index into the mapper's
+    /// chunk sequence) finished partitioning.
+    pub after_chunk: usize,
+}
+
+/// Everything one chunk did on its mapper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRecord {
+    pub chunk_id: usize,
+    /// Bytes staged from disk (0 if host-resident).
+    pub disk_bytes: u64,
+    /// Bytes uploaded over PCIe for the kernel (brick texture).
+    pub device_bytes: u64,
+    /// Real execution statistics of the map kernel.
+    pub launch: LaunchStats,
+    /// Emitted slots (== kernel threads: every thread emits).
+    pub emitted: u64,
+    /// Pairs surviving sentinel discard.
+    pub kept: u64,
+    /// Wire bytes of the full emission buffer (the device→host copy moves
+    /// all slots, sentinels included).
+    pub emission_bytes: u64,
+}
+
+/// Everything one mapper (one GPU process) did, in execution order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapperRecord {
+    pub chunks: Vec<ChunkRecord>,
+    /// Batch flushes, in flush order (interleaved with chunks via
+    /// `after_chunk`).
+    pub sends: Vec<SendRecord>,
+    /// Bytes of static device state uploaded at init (view matrix, TF LUT).
+    pub init_bytes: u64,
+}
+
+/// Everything one reducer did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReducerRecord {
+    /// Pairs received (== sorted).
+    pub items: u64,
+    /// Wire bytes received.
+    pub bytes: u64,
+    /// Number of distinct keys reduced.
+    pub groups: u64,
+}
+
+/// The full run record.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobRecord {
+    pub mappers: Vec<MapperRecord>,
+    pub reducers: Vec<ReducerRecord>,
+}
+
+/// Functional counters for invariant checks and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStats {
+    pub chunks: u64,
+    pub emitted: u64,
+    pub sentinels: u64,
+    pub kept: u64,
+    pub combined_away: u64,
+    pub batches: u64,
+    pub batches_same_process: u64,
+    pub batches_intra_node: u64,
+    pub batches_inter_node: u64,
+    pub wire_bytes_sent: u64,
+    pub reduced_items: u64,
+    pub reduced_groups: u64,
+}
+
+impl JobStats {
+    /// Fragment conservation: everything emitted is either a sentinel,
+    /// combined away, or reduced.
+    pub fn conserved(&self) -> bool {
+        self.emitted == self.sentinels + self.kept
+            && self.kept == self.combined_away + self.reduced_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_check() {
+        let s = JobStats {
+            emitted: 100,
+            sentinels: 40,
+            kept: 60,
+            combined_away: 10,
+            reduced_items: 50,
+            ..Default::default()
+        };
+        assert!(s.conserved());
+        let broken = JobStats {
+            reduced_items: 49,
+            ..s
+        };
+        assert!(!broken.conserved());
+    }
+}

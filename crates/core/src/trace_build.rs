@@ -1,0 +1,405 @@
+//! Builds the DES trace for a completed job: every disk read, PCIe copy,
+//! kernel, partition pass, network message, sort and reduce becomes a task
+//! with dependencies, bound to the hardware resource that serves it.
+//!
+//! The dependency structure encodes the paper's pipeline semantics:
+//!
+//! * per mapper, the stream `… → H2D(c) → Kernel(c) → D2H(c) → H2D(c+1) → …`
+//!   is **serialized on the GPU** because CUDA 3.0 forced synchronous copies
+//!   into 3-D textures (§3.1.2 "we were forced to use synchronous memory
+//!   copies") — the `async_upload` option relaxes exactly that, modeling the
+//!   paper's proposed future work;
+//! * disk prefetch runs ahead of the GPU (the library's streaming interface
+//!   hides I/O behind compute);
+//! * partition runs on the host core concurrently with the next chunk's GPU
+//!   work; batch sends overlap everything downstream;
+//! * every reducer's sort starts only when **all** its batches arrived
+//!   ("Once all Mappers have finished and all data has been routed to the
+//!   proper Reducer, a Sort is performed"), then reduce follows.
+
+use mgpu_cluster::{route, ClusterSpec, ResourceMap, Route};
+use mgpu_sim::{Activity, SimDuration, TaskId, Trace};
+
+use crate::cost::CostBook;
+use crate::record::JobRecord;
+
+/// Trace-level options (ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// Model asynchronous texture uploads (paper future work §7): uploads
+    /// stop serializing against kernels on the GPU queue.
+    pub async_upload: bool,
+    /// Run the reduce phase on the GPU instead of the CPU (§3.1.2 ablation).
+    pub reduce_on_gpu: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            async_upload: false,
+            reduce_on_gpu: false,
+        }
+    }
+}
+
+/// Build the complete trace for `record` on `spec` hardware.
+pub fn build_trace(
+    record: &JobRecord,
+    spec: &ClusterSpec,
+    book: &CostBook,
+    opts: &TraceOptions,
+) -> Trace {
+    let mut tr = Trace::new();
+    let rm = ResourceMap::build(spec, &mut tr);
+    let num_reducers = record.reducers.len();
+
+    // Arrival task per (reducer, batch) — the reducer's sort depends on all.
+    let mut arrivals: Vec<Vec<TaskId>> = vec![Vec::new(); num_reducers];
+    // End-of-stream: a reducer cannot know its input is complete until every
+    // mapper has finished partitioning its last chunk ("Once all Mappers
+    // have finished and all data has been routed ... a Sort is performed").
+    let mut end_of_stream: Vec<TaskId> = Vec::with_capacity(record.mappers.len());
+
+    for (m, mapper) in record.mappers.iter().enumerate() {
+        let gpu = mgpu_cluster::GpuId(m as u32);
+        let gpu_r = rm.gpu_r(gpu);
+        let pcie_r = rm.pcie_r(gpu);
+        let core_r = rm.core_r(gpu);
+        let disk_r = rm.disk_r(spec, gpu);
+        let nic_out = rm.nic_out_r(spec, gpu);
+
+        // Static init upload (view matrix, transfer-function LUT).
+        let init_task = if mapper.init_bytes > 0 {
+            Some(tr.comm_task(
+                Activity::HostToDevice,
+                pcie_r,
+                book.device.h2d_time(mapper.init_bytes),
+                SimDuration::ZERO,
+                mapper.init_bytes,
+                vec![],
+            ))
+        } else {
+            None
+        };
+
+        let mut prev_disk: Option<TaskId> = None;
+        let mut prev_gpu_op: Option<TaskId> = init_task;
+        let mut partition_tasks: Vec<TaskId> = Vec::with_capacity(mapper.chunks.len());
+
+        for chunk in &mapper.chunks {
+            // Disk prefetch: serialized per node-disk, ahead of the GPU.
+            let disk_task = if chunk.disk_bytes > 0 {
+                let deps = prev_disk.into_iter().collect();
+                let t = tr.comm_task(
+                    Activity::DiskRead,
+                    disk_r,
+                    book.disk.time(chunk.disk_bytes),
+                    SimDuration::ZERO,
+                    chunk.disk_bytes,
+                    deps,
+                );
+                prev_disk = Some(t);
+                Some(t)
+            } else {
+                None
+            };
+
+            // H2D upload. Synchronous 3-D-texture copies serialize with the
+            // GPU queue unless async_upload is on.
+            let mut h2d_deps: Vec<TaskId> = disk_task.into_iter().collect();
+            if !opts.async_upload {
+                h2d_deps.extend(prev_gpu_op);
+            } else if let Some(init) = init_task {
+                h2d_deps.push(init);
+            }
+            let h2d = tr.comm_task(
+                Activity::HostToDevice,
+                pcie_r,
+                book.device.h2d_time(chunk.device_bytes),
+                SimDuration::ZERO,
+                chunk.device_bytes,
+                h2d_deps,
+            );
+
+            // The map kernel itself.
+            let mut kernel_deps = vec![h2d];
+            if opts.async_upload {
+                kernel_deps.extend(prev_gpu_op);
+            }
+            let kernel = tr.task(
+                Activity::Kernel,
+                gpu_r,
+                book.device.kernel.time(&chunk.launch),
+                kernel_deps,
+            );
+
+            // Full emission buffer readback (sentinels included: every
+            // thread emitted).
+            let d2h = tr.comm_task(
+                Activity::DeviceToHost,
+                pcie_r,
+                book.device.d2h_time(chunk.emission_bytes),
+                SimDuration::ZERO,
+                chunk.emission_bytes,
+                vec![kernel],
+            );
+            prev_gpu_op = Some(d2h);
+
+            // CPU partition of this chunk's emissions.
+            let part = tr.task(
+                Activity::PartitionCpu,
+                core_r,
+                book.cpu.partition_time(chunk.emitted),
+                vec![d2h],
+            );
+            partition_tasks.push(part);
+        }
+
+        if let Some(&last) = partition_tasks.last() {
+            end_of_stream.push(last);
+        }
+
+        // Batch sends, each gated on the partition pass that filled it.
+        for send in &mapper.sends {
+            let dep = partition_tasks
+                .get(send.after_chunk)
+                .copied()
+                .into_iter()
+                .collect::<Vec<_>>();
+            let dst_gpu = mgpu_cluster::GpuId(send.reducer);
+            let arrival = match route(spec, gpu, dst_gpu) {
+                Route::SameProcess => {
+                    // No copy: the reducer sees the batch when partitioning
+                    // is done.
+                    match dep.first() {
+                        Some(&t) => t,
+                        None => continue,
+                    }
+                }
+                Route::IntraNode => tr.comm_task(
+                    Activity::LocalCopy,
+                    core_r,
+                    spec.network.intra_node_time(send.bytes),
+                    SimDuration::ZERO,
+                    send.bytes,
+                    dep,
+                ),
+                Route::InterNode => {
+                    let s = tr.comm_task(
+                        Activity::NetSend,
+                        nic_out,
+                        spec.network.send_time(send.bytes),
+                        spec.network.wire_latency(),
+                        send.bytes,
+                        dep,
+                    );
+                    tr.comm_task(
+                        Activity::NetRecv,
+                        rm.nic_in_r(spec, dst_gpu),
+                        spec.network.recv_time(send.bytes),
+                        SimDuration::ZERO,
+                        send.bytes,
+                        vec![s],
+                    )
+                }
+            };
+            arrivals[send.reducer as usize].push(arrival);
+        }
+    }
+
+    // Reducers: sort barrier (all arrivals + all mappers' end-of-stream),
+    // then reduce.
+    for (r, red) in record.reducers.iter().enumerate() {
+        let gpu = mgpu_cluster::GpuId(r as u32);
+        let core_r = rm.core_r(gpu);
+        let mut deps = std::mem::take(&mut arrivals[r]);
+        deps.extend_from_slice(&end_of_stream);
+        let sort = tr.task(
+            Activity::SortCpu,
+            core_r,
+            book.cpu.sort_time(red.items),
+            deps,
+        );
+        if opts.reduce_on_gpu {
+            // Upload fragments, composite on the device, read back pixels.
+            let bytes_up = red.bytes;
+            let up = tr.comm_task(
+                Activity::HostToDevice,
+                rm.pcie_r(gpu),
+                book.device.h2d_time(bytes_up),
+                SimDuration::ZERO,
+                bytes_up,
+                vec![sort],
+            );
+            let reduce = tr.task(
+                Activity::ReduceGpu,
+                rm.gpu_r(gpu),
+                book.gpu_reduce.reduce_time(red.items),
+                vec![up],
+            );
+            let bytes_down = red.groups * 16; // final RGBA per pixel
+            tr.comm_task(
+                Activity::DeviceToHost,
+                rm.pcie_r(gpu),
+                book.device.d2h_time(bytes_down),
+                SimDuration::ZERO,
+                bytes_down,
+                vec![reduce],
+            );
+        } else {
+            tr.task(
+                Activity::ReduceCpu,
+                core_r,
+                book.cpu.reduce_time(red.items, red.groups),
+                vec![sort],
+            );
+        }
+    }
+
+    tr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ChunkRecord, MapperRecord, ReducerRecord, SendRecord};
+    use mgpu_gpu::LaunchStats;
+    use mgpu_sim::{account, simulate};
+
+    fn tiny_record(mappers: usize, reducers: usize, chunks_per_mapper: usize) -> JobRecord {
+        let mut record = JobRecord::default();
+        for m in 0..mappers {
+            let mut mr = MapperRecord {
+                init_bytes: 1024,
+                ..Default::default()
+            };
+            for c in 0..chunks_per_mapper {
+                mr.chunks.push(ChunkRecord {
+                    chunk_id: m * chunks_per_mapper + c,
+                    disk_bytes: 0,
+                    device_bytes: 1 << 20,
+                    launch: LaunchStats {
+                        threads: 65536,
+                        blocks: 256,
+                        warps: 2048,
+                        total_samples: 4_000_000,
+                        simt_samples: 5_000_000,
+                    },
+                    emitted: 65536,
+                    kept: 30000,
+                    emission_bytes: 65536 * 24,
+                });
+                for r in 0..reducers {
+                    mr.sends.push(SendRecord {
+                        reducer: r as u32,
+                        items: 30000 / reducers as u64,
+                        bytes: (30000 / reducers as u64) * 24,
+                        after_chunk: c,
+                    });
+                }
+            }
+            record.mappers.push(mr);
+        }
+        for _ in 0..reducers {
+            record.reducers.push(ReducerRecord {
+                items: (mappers * chunks_per_mapper * 30000 / reducers) as u64,
+                bytes: (mappers * chunks_per_mapper * 30000 / reducers) as u64 * 24,
+                groups: 32768 / reducers as u64,
+            });
+        }
+        record
+    }
+
+    fn run(record: &JobRecord, gpus: u32, opts: &TraceOptions) -> mgpu_sim::RunAccounting {
+        let spec = ClusterSpec::accelerator_cluster(gpus);
+        let book = CostBook::from_cluster(&spec);
+        let tr = build_trace(record, &spec, &book, opts);
+        let sched = simulate(&tr);
+        account(&tr, &sched)
+    }
+
+    #[test]
+    fn phases_all_present_and_ordered() {
+        let record = tiny_record(4, 4, 2);
+        let acc = run(&record, 4, &TraceOptions::default());
+        assert!(!acc.breakdown.map.is_zero());
+        assert!(!acc.breakdown.sort.is_zero() || !acc.breakdown.reduce.is_zero());
+        assert_eq!(acc.breakdown.total(), acc.makespan);
+        assert!(!acc.kernel_demand.is_zero());
+    }
+
+    #[test]
+    fn async_upload_is_never_slower() {
+        let record = tiny_record(4, 4, 4);
+        let sync = run(&record, 4, &TraceOptions::default());
+        let async_ = run(
+            &record,
+            4,
+            &TraceOptions {
+                async_upload: true,
+                ..Default::default()
+            },
+        );
+        assert!(async_.makespan <= sync.makespan);
+    }
+
+    #[test]
+    fn gpu_reduce_slower_at_paper_scale() {
+        let record = tiny_record(8, 8, 2);
+        let cpu = run(&record, 8, &TraceOptions::default());
+        let gpu = run(
+            &record,
+            8,
+            &TraceOptions {
+                reduce_on_gpu: true,
+                ..Default::default()
+            },
+        );
+        // The paper found CPU compositing quicker at this scale.
+        assert!(gpu.makespan >= cpu.makespan);
+    }
+
+    #[test]
+    fn cross_node_traffic_uses_nics() {
+        // 8 GPUs = 2 nodes: some sends must be inter-node.
+        let record = tiny_record(8, 8, 1);
+        let acc = run(&record, 8, &TraceOptions::default());
+        assert!(acc.totals(Activity::NetSend).tasks > 0);
+        assert!(acc.totals(Activity::NetRecv).tasks > 0);
+        // 4 GPUs = 1 node: no NIC traffic at all.
+        let record1 = tiny_record(4, 4, 1);
+        let acc1 = run(&record1, 4, &TraceOptions::default());
+        assert_eq!(acc1.totals(Activity::NetSend).tasks, 0);
+        assert!(acc1.totals(Activity::LocalCopy).tasks > 0);
+    }
+
+    #[test]
+    fn disk_reads_appear_when_not_resident() {
+        let mut record = tiny_record(2, 2, 2);
+        for m in &mut record.mappers {
+            for c in &mut m.chunks {
+                c.disk_bytes = 1 << 20;
+            }
+        }
+        let acc = run(&record, 2, &TraceOptions::default());
+        assert_eq!(acc.totals(Activity::DiskRead).tasks, 4);
+        // ~20 ms per 1 MiB read (the paper's anchor).
+        let per_read =
+            acc.totals(Activity::DiskRead).busy.as_millis_f64() / 4.0;
+        assert!((per_read - 20.0).abs() < 2.0, "{per_read} ms");
+    }
+
+    #[test]
+    fn deterministic_rebuild() {
+        let record = tiny_record(4, 4, 3);
+        let spec = ClusterSpec::accelerator_cluster(4);
+        let book = CostBook::from_cluster(&spec);
+        let opts = TraceOptions::default();
+        let t1 = build_trace(&record, &spec, &book, &opts);
+        let t2 = build_trace(&record, &spec, &book, &opts);
+        let s1 = simulate(&t1);
+        let s2 = simulate(&t2);
+        assert_eq!(s1.makespan(), s2.makespan());
+        assert_eq!(t1.len(), t2.len());
+    }
+}

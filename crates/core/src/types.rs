@@ -1,0 +1,75 @@
+//! Core types and the paper's §3.1.1 restrictions, encoded in the type
+//! system where possible:
+//!
+//! * "Keys are always four-byte integers" → [`Key`] is `u32`;
+//! * "If a key X exists, then all keys 0 ≤ X have a high probability of
+//!   existing" → dense key spaces, declared up front via
+//!   [`crate::job::JobConfig::key_space`], enabling the counting sort;
+//! * "Emitted values are homogeneous in size" → [`WireValue::WIRE_BYTES`] is
+//!   a compile-time constant;
+//! * "Every GPU thread must emit a key-value pair. If the thread computes a
+//!   useless key-value pair, the kernel emits a later-discarded place
+//!   holder" → [`SENTINEL_KEY`].
+
+/// A MapReduce key: a dense four-byte integer (for the renderer, the pixel
+/// index `y·width + x`).
+pub type Key = u32;
+
+/// The placeholder key emitted by threads with nothing to contribute.
+/// Discarded during partitioning, after the (mandatory) device→host copy.
+pub const SENTINEL_KEY: Key = u32::MAX;
+
+/// A value that can cross the simulated wire: fixed size, plain data.
+///
+/// `WIRE_BYTES` is the serialized footprint used for transfer-time
+/// accounting (key + value for each emitted pair).
+pub trait WireValue: Copy + Send + Sync + Default + 'static {
+    const WIRE_BYTES: usize;
+}
+
+impl WireValue for u32 {
+    const WIRE_BYTES: usize = 4;
+}
+
+impl WireValue for u64 {
+    const WIRE_BYTES: usize = 8;
+}
+
+impl WireValue for f32 {
+    const WIRE_BYTES: usize = 4;
+}
+
+impl WireValue for [f32; 4] {
+    const WIRE_BYTES: usize = 16;
+}
+
+impl WireValue for () {
+    const WIRE_BYTES: usize = 0;
+}
+
+/// Bytes on the wire for one emitted (key, value) pair.
+pub const fn pair_wire_bytes<V: WireValue>() -> usize {
+    4 + V::WIRE_BYTES
+}
+
+/// One emitted key–value pair.
+pub type Pair<V> = (Key, V);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(pair_wire_bytes::<u32>(), 8);
+        assert_eq!(pair_wire_bytes::<[f32; 4]>(), 20);
+        assert_eq!(pair_wire_bytes::<()>(), 4);
+    }
+
+    #[test]
+    fn sentinel_is_not_a_plausible_pixel() {
+        // 512² image keys go to 262143; the sentinel is far outside any
+        // realistic dense key space.
+        assert!(SENTINEL_KEY > 1 << 30);
+    }
+}

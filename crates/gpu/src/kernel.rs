@@ -1,0 +1,328 @@
+//! CUDA-style kernel execution: a 2-D grid of 2-D blocks, real per-thread
+//! computation on host threads, and SIMT warp statistics for the cost model.
+//!
+//! The paper launches its ray caster as "a 2D grid of 2D blocks; each block
+//! is 16×16, and the grid is made to match the size of the sub-image onto
+//! which the current chunk projects". The executor reproduces those index
+//! semantics exactly and additionally tallies per-thread sample counts so
+//! the device cost model can charge either flat throughput or
+//! divergence-aware (warp-max) time.
+
+/// Threads per warp (NVIDIA Tesla-era SIMT width).
+pub const WARP_SIZE: usize = 32;
+
+/// A 2-D launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    pub grid: (u32, u32),
+    pub block: (u32, u32),
+}
+
+impl LaunchConfig {
+    /// The paper's configuration: 16×16 blocks covering (with padding) a
+    /// `width × height` sub-image.
+    pub fn cover(width: u32, height: u32) -> LaunchConfig {
+        LaunchConfig {
+            grid: (width.div_ceil(16).max(1), height.div_ceil(16).max(1)),
+            block: (16, 16),
+        }
+    }
+
+    pub fn threads_per_block(&self) -> usize {
+        (self.block.0 * self.block.1) as usize
+    }
+
+    pub fn blocks(&self) -> usize {
+        (self.grid.0 * self.grid.1) as usize
+    }
+
+    pub fn total_threads(&self) -> usize {
+        self.blocks() * self.threads_per_block()
+    }
+}
+
+/// Per-thread execution context handed to the kernel body.
+#[derive(Debug)]
+pub struct ThreadCtx {
+    pub block: (u32, u32),
+    pub thread: (u32, u32),
+    /// Global coordinates: `block * blockDim + thread`.
+    pub global: (u32, u32),
+    samples: u64,
+}
+
+impl ThreadCtx {
+    /// Record `n` texture samples / work units for the cost model.
+    #[inline]
+    pub fn tally(&mut self, n: u64) {
+        self.samples += n;
+    }
+
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// A device kernel. `Out` is the homogeneous per-thread emission — the
+/// paper's restriction that "emitted values are homogeneous in size" and
+/// "every GPU thread must emit a key-value pair" is encoded right here in
+/// the signature: every thread returns exactly one `Out`.
+pub trait Kernel: Sync {
+    type Out: Send;
+
+    fn thread(&self, ctx: &mut ThreadCtx) -> Self::Out;
+}
+
+/// Execution statistics used by the kernel cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaunchStats {
+    pub threads: u64,
+    pub blocks: u64,
+    pub warps: u64,
+    /// Total per-thread tallied samples.
+    pub total_samples: u64,
+    /// SIMT-charged samples: `Σ_warps WARP_SIZE · max(lane samples)` — what a
+    /// lockstep machine pays under divergence.
+    pub simt_samples: u64,
+}
+
+impl LaunchStats {
+    /// ≥ 1; how much lockstep execution inflates the sample count.
+    pub fn divergence_factor(&self) -> f64 {
+        if self.total_samples == 0 {
+            return 1.0;
+        }
+        self.simt_samples as f64 / self.total_samples as f64
+    }
+
+    pub fn merge(&mut self, other: &LaunchStats) {
+        self.threads += other.threads;
+        self.blocks += other.blocks;
+        self.warps += other.warps;
+        self.total_samples += other.total_samples;
+        self.simt_samples += other.simt_samples;
+    }
+}
+
+/// Result of a launch: outputs in block-major order (block id, then thread
+/// row-major within the block) plus statistics.
+#[derive(Debug)]
+pub struct LaunchOutput<Out> {
+    pub outputs: Vec<Out>,
+    pub stats: LaunchStats,
+}
+
+/// Execute `kernel` over `config`, using up to `parallelism` host threads
+/// (block-level parallelism, matching how blocks map to SMs).
+pub fn launch<K: Kernel>(kernel: &K, config: LaunchConfig, parallelism: usize) -> LaunchOutput<K::Out>
+where
+    K::Out: Default + Clone,
+{
+    let tpb = config.threads_per_block();
+    let blocks = config.blocks();
+    let mut outputs: Vec<K::Out> = vec![K::Out::default(); blocks * tpb];
+
+    let run_block = |block_id: usize, out_slice: &mut [K::Out]| -> LaunchStats {
+        let bx = (block_id as u32) % config.grid.0;
+        let by = (block_id as u32) / config.grid.0;
+        let mut warp_max = 0u64;
+        let mut lane = 0usize;
+        let mut stats = LaunchStats {
+            threads: tpb as u64,
+            blocks: 1,
+            ..LaunchStats::default()
+        };
+        for ty in 0..config.block.1 {
+            for tx in 0..config.block.0 {
+                let mut ctx = ThreadCtx {
+                    block: (bx, by),
+                    thread: (tx, ty),
+                    global: (bx * config.block.0 + tx, by * config.block.1 + ty),
+                    samples: 0,
+                };
+                let out = kernel.thread(&mut ctx);
+                out_slice[(ty * config.block.0 + tx) as usize] = out;
+                stats.total_samples += ctx.samples;
+                warp_max = warp_max.max(ctx.samples);
+                lane += 1;
+                if lane == WARP_SIZE {
+                    stats.warps += 1;
+                    stats.simt_samples += warp_max * WARP_SIZE as u64;
+                    warp_max = 0;
+                    lane = 0;
+                }
+            }
+        }
+        if lane > 0 {
+            // Partial trailing warp still occupies all lanes in SIMT.
+            stats.warps += 1;
+            stats.simt_samples += warp_max * WARP_SIZE as u64;
+        }
+        stats
+    };
+
+    let workers = parallelism.max(1).min(blocks.max(1));
+    if workers <= 1 || blocks <= 1 {
+        let mut stats = LaunchStats::default();
+        for (block_id, chunk) in outputs.chunks_mut(tpb).enumerate() {
+            stats.merge(&run_block(block_id, chunk));
+        }
+        return LaunchOutput { outputs, stats };
+    }
+
+    let blocks_per_worker = blocks.div_ceil(workers);
+    let mut worker_stats: Vec<LaunchStats> = vec![LaunchStats::default(); workers];
+    std::thread::scope(|scope| {
+        for ((wi, chunk), wstats) in outputs
+            .chunks_mut(blocks_per_worker * tpb)
+            .enumerate()
+            .zip(worker_stats.iter_mut())
+        {
+            let run_block = &run_block;
+            scope.spawn(move || {
+                let first_block = wi * blocks_per_worker;
+                for (i, block_out) in chunk.chunks_mut(tpb).enumerate() {
+                    wstats.merge(&run_block(first_block + i, block_out));
+                }
+            });
+        }
+    });
+
+    let mut stats = LaunchStats::default();
+    for w in &worker_stats {
+        stats.merge(w);
+    }
+    LaunchOutput { outputs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emits its own global coordinates and tallies `global.0` samples.
+    struct ProbeKernel;
+
+    impl Kernel for ProbeKernel {
+        type Out = (u32, u32);
+
+        fn thread(&self, ctx: &mut ThreadCtx) -> (u32, u32) {
+            ctx.tally(ctx.global.0 as u64);
+            ctx.global
+        }
+    }
+
+    #[test]
+    fn cover_pads_to_block_multiples() {
+        let c = LaunchConfig::cover(100, 33);
+        assert_eq!(c.grid, (7, 3));
+        assert_eq!(c.total_threads(), 7 * 3 * 256);
+        // Degenerate sub-image still launches one block.
+        assert_eq!(LaunchConfig::cover(0, 0).grid, (1, 1));
+    }
+
+    #[test]
+    fn outputs_are_block_major_and_complete() {
+        let c = LaunchConfig {
+            grid: (2, 2),
+            block: (4, 2),
+        };
+        let out = launch(&ProbeKernel, c, 1);
+        assert_eq!(out.outputs.len(), 32);
+        // Block 0 thread (0,0) is global (0,0).
+        assert_eq!(out.outputs[0], (0, 0));
+        // Block 1 is grid-x=1: its thread (0,0) is global (4,0).
+        assert_eq!(out.outputs[8], (4, 0));
+        // Block 2 is grid-y=1: its thread (1,1) is global (1,3).
+        assert_eq!(out.outputs[16 + 5], (1, 3));
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let c = LaunchConfig::cover(64, 64);
+        let a = launch(&ProbeKernel, c, 1);
+        let b = launch(&ProbeKernel, c, 4);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn stats_count_threads_and_samples() {
+        let c = LaunchConfig {
+            grid: (1, 1),
+            block: (16, 16),
+        };
+        let out = launch(&ProbeKernel, c, 1);
+        assert_eq!(out.stats.threads, 256);
+        assert_eq!(out.stats.blocks, 1);
+        assert_eq!(out.stats.warps, 8);
+        // Σ global.0 over the block: each row sums 0..15 = 120; 16 rows.
+        assert_eq!(out.stats.total_samples, 120 * 16);
+    }
+
+    #[test]
+    fn divergence_inflates_simt_samples() {
+        // One thread per warp does 100 samples, the rest do none.
+        struct Spike;
+        impl Kernel for Spike {
+            type Out = u8;
+            fn thread(&self, ctx: &mut ThreadCtx) -> u8 {
+                if ctx.global.0 % 32 == 0 {
+                    ctx.tally(100);
+                }
+                0
+            }
+        }
+        let c = LaunchConfig {
+            grid: (2, 1),
+            block: (32, 1),
+        };
+        let out = launch(&Spike, c, 1);
+        assert_eq!(out.stats.total_samples, 200);
+        assert_eq!(out.stats.simt_samples, 2 * 100 * 32);
+        assert!((out.stats.divergence_factor() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_work_has_no_divergence_penalty() {
+        struct Uniform;
+        impl Kernel for Uniform {
+            type Out = u8;
+            fn thread(&self, ctx: &mut ThreadCtx) -> u8 {
+                ctx.tally(7);
+                0
+            }
+        }
+        let out = launch(
+            &Uniform,
+            LaunchConfig {
+                grid: (4, 4),
+                block: (8, 4),
+            },
+            2,
+        );
+        assert_eq!(out.stats.divergence_factor(), 1.0);
+    }
+
+    #[test]
+    fn partial_warp_charged_fully() {
+        struct One;
+        impl Kernel for One {
+            type Out = u8;
+            fn thread(&self, ctx: &mut ThreadCtx) -> u8 {
+                ctx.tally(1);
+                0
+            }
+        }
+        // 8-thread block = one partial warp, still charged 32 lanes.
+        let out = launch(
+            &One,
+            LaunchConfig {
+                grid: (1, 1),
+                block: (8, 1),
+            },
+            1,
+        );
+        assert_eq!(out.stats.total_samples, 8);
+        assert_eq!(out.stats.simt_samples, 32);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mgpu-gpu — the software GPU
+//!
+//! A CUDA-class device model for the reproduction: real computation, modeled
+//! time. Kernels written against [`kernel::Kernel`] execute for real on host
+//! threads with CUDA grid/block/thread index semantics; [`texture::Texture3D`]
+//! reproduces `tex3D` trilinear filtering with clamp addressing;
+//! [`vram::VramAllocator`] enforces the paper's "map task must fit in GPU
+//! memory" restriction; and [`device::KernelCostModel`] converts launch
+//! statistics (including SIMT warp divergence) into simulated time on a
+//! Tesla C1060-class part.
+
+pub mod device;
+pub mod kernel;
+pub mod texture;
+pub mod vram;
+
+pub use device::{Device, DeviceProps, KernelCostModel, KernelTimingMode};
+pub use kernel::{launch, Kernel, LaunchConfig, LaunchOutput, LaunchStats, ThreadCtx, WARP_SIZE};
+pub use texture::{Texture1D, Texture3D};
+pub use vram::{AllocId, OutOfMemory, VramAllocator};

@@ -1,0 +1,215 @@
+//! Software 3-D and 1-D textures with hardware-style filtering.
+//!
+//! The paper stores volume bricks in CUDA 3-D textures "to enable the
+//! hardware texture caches and filtering units". [`Texture3D`] reproduces
+//! the sampling semantics exactly: unnormalized coordinates, voxel centers at
+//! `i + 0.5`, trilinear filtering, clamp-to-edge addressing. [`Texture1D`]
+//! plays the transfer-function LUT role.
+
+use std::sync::Arc;
+
+/// A 3-D single-channel float texture (a volume brick on the device).
+/// Voxel data is shared (`Arc`), so "uploading" a brick never copies it —
+/// only the simulated PCIe transfer is charged.
+#[derive(Debug, Clone)]
+pub struct Texture3D {
+    dims: [usize; 3],
+    data: Arc<Vec<f32>>,
+}
+
+impl Texture3D {
+    pub fn new(dims: [usize; 3], data: Vec<f32>) -> Texture3D {
+        Texture3D::from_shared(dims, Arc::new(data))
+    }
+
+    pub fn from_shared(dims: [usize; 3], data: Arc<Vec<f32>>) -> Texture3D {
+        assert_eq!(
+            data.len(),
+            dims[0] * dims[1] * dims[2],
+            "texture data does not match dims"
+        );
+        assert!(dims.iter().all(|&d| d > 0), "degenerate texture dims");
+        Texture3D { dims, data }
+    }
+
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * 4) as u64
+    }
+
+    /// Nearest texel fetch with clamp addressing (integer coordinates).
+    #[inline]
+    pub fn fetch(&self, x: i64, y: i64, z: i64) -> f32 {
+        let cx = x.clamp(0, self.dims[0] as i64 - 1) as usize;
+        let cy = y.clamp(0, self.dims[1] as i64 - 1) as usize;
+        let cz = z.clamp(0, self.dims[2] as i64 - 1) as usize;
+        self.data[(cz * self.dims[1] + cy) * self.dims[0] + cx]
+    }
+
+    /// Trilinear sample at unnormalized coordinates: texel `i`'s center is at
+    /// `i + 0.5`, exactly the CUDA `tex3D` convention with linear filtering
+    /// and clamp addressing.
+    #[inline]
+    pub fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let fx = x - 0.5;
+        let fy = y - 0.5;
+        let fz = z - 0.5;
+        let x0 = fx.floor();
+        let y0 = fy.floor();
+        let z0 = fz.floor();
+        let tx = fx - x0;
+        let ty = fy - y0;
+        let tz = fz - z0;
+        let (ix, iy, iz) = (x0 as i64, y0 as i64, z0 as i64);
+
+        let c000 = self.fetch(ix, iy, iz);
+        let c100 = self.fetch(ix + 1, iy, iz);
+        let c010 = self.fetch(ix, iy + 1, iz);
+        let c110 = self.fetch(ix + 1, iy + 1, iz);
+        let c001 = self.fetch(ix, iy, iz + 1);
+        let c101 = self.fetch(ix + 1, iy, iz + 1);
+        let c011 = self.fetch(ix, iy + 1, iz + 1);
+        let c111 = self.fetch(ix + 1, iy + 1, iz + 1);
+
+        let x00 = c000 + (c100 - c000) * tx;
+        let x10 = c010 + (c110 - c010) * tx;
+        let x01 = c001 + (c101 - c001) * tx;
+        let x11 = c011 + (c111 - c011) * tx;
+        let y0v = x00 + (x10 - x00) * ty;
+        let y1v = x01 + (x11 - x01) * ty;
+        y0v + (y1v - y0v) * tz
+    }
+}
+
+/// A 1-D RGBA texture: the transfer-function lookup table.
+#[derive(Debug, Clone)]
+pub struct Texture1D {
+    texels: Vec<[f32; 4]>,
+}
+
+impl Texture1D {
+    pub fn new(texels: Vec<[f32; 4]>) -> Texture1D {
+        assert!(!texels.is_empty(), "empty 1-D texture");
+        Texture1D { texels }
+    }
+
+    pub fn len(&self) -> usize {
+        self.texels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // construction rejects empty tables
+    }
+
+    pub fn bytes(&self) -> u64 {
+        (self.texels.len() * 16) as u64
+    }
+
+    /// Linearly filtered lookup with normalized coordinate `u ∈ [0,1]`
+    /// (clamped), texel centers at `(i + 0.5) / len`.
+    #[inline]
+    pub fn sample(&self, u: f32) -> [f32; 4] {
+        let n = self.texels.len();
+        let x = u.clamp(0.0, 1.0) * n as f32 - 0.5;
+        let x0 = x.floor();
+        let t = x - x0;
+        let i0 = (x0 as i64).clamp(0, n as i64 - 1) as usize;
+        let i1 = (x0 as i64 + 1).clamp(0, n as i64 - 1) as usize;
+        let a = self.texels[i0];
+        let b = self.texels[i1];
+        [
+            a[0] + (b[0] - a[0]) * t,
+            a[1] + (b[1] - a[1]) * t,
+            a[2] + (b[2] - a[2]) * t,
+            a[3] + (b[3] - a[3]) * t,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_tex(dims: [usize; 3]) -> Texture3D {
+        // value = x + 10y + 100z (trilinear in all axes → exact reconstruction)
+        let mut data = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    data.push(x as f32 + 10.0 * y as f32 + 100.0 * z as f32);
+                }
+            }
+        }
+        Texture3D::new(dims, data)
+    }
+
+    #[test]
+    fn sample_at_texel_centers_is_exact() {
+        let t = ramp_tex([4, 4, 4]);
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let v = t.sample(x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5);
+                    let expect = x as f32 + 10.0 * y as f32 + 100.0 * z as f32;
+                    assert!((v - expect).abs() < 1e-4, "({x},{y},{z}): {v} vs {expect}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trilinear_reconstructs_linear_fields_exactly() {
+        let t = ramp_tex([8, 8, 8]);
+        // Interior continuous positions: value must equal the linear field.
+        for &(x, y, z) in &[(1.25f32, 2.75f32, 3.5f32), (4.1, 5.9, 6.3), (2.0, 2.0, 2.0)] {
+            let v = t.sample(x, y, z);
+            let expect = (x - 0.5) + 10.0 * (y - 0.5) + 100.0 * (z - 0.5);
+            assert!((v - expect).abs() < 1e-3, "at ({x},{y},{z}): {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn clamp_addressing_at_borders() {
+        let t = ramp_tex([4, 4, 4]);
+        // Far outside: clamps to corner texel value 3 + 30 + 300.
+        assert_eq!(t.sample(100.0, 100.0, 100.0), 333.0);
+        assert_eq!(t.sample(-100.0, -100.0, -100.0), 0.0);
+    }
+
+    #[test]
+    fn fetch_is_nearest() {
+        let t = ramp_tex([4, 4, 4]);
+        assert_eq!(t.fetch(2, 1, 3), 2.0 + 10.0 + 300.0);
+        assert_eq!(t.fetch(-5, 0, 0), 0.0);
+        assert_eq!(t.fetch(9, 3, 3), 333.0);
+    }
+
+    #[test]
+    fn tex1d_interpolates_and_clamps() {
+        let t = Texture1D::new(vec![[0.0; 4], [1.0, 2.0, 3.0, 4.0]]);
+        // u=0.5 lands exactly between the two texel centers (0.25, 0.75).
+        let mid = t.sample(0.5);
+        assert!((mid[0] - 0.5).abs() < 1e-6);
+        assert!((mid[3] - 2.0).abs() < 1e-6);
+        // Beyond the ends: clamp to end texels.
+        assert_eq!(t.sample(-1.0), [0.0; 4]);
+        assert_eq!(t.sample(2.0), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn tex1d_single_texel_is_constant() {
+        let t = Texture1D::new(vec![[0.5, 0.25, 0.125, 1.0]]);
+        for i in 0..10 {
+            assert_eq!(t.sample(i as f32 / 9.0), [0.5, 0.25, 0.125, 1.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dims")]
+    fn rejects_mismatched_data() {
+        Texture3D::new([2, 2, 2], vec![0.0; 7]);
+    }
+}

@@ -1,0 +1,155 @@
+//! VRAM accounting for the simulated device.
+//!
+//! The paper's first restriction (§3.1.1) is that "any single map task must
+//! be able to fit in the main memory of the GPU" — this allocator is what
+//! enforces it in the reproduction. It tracks bytes, not addresses: placement
+//! does not affect timing, but capacity does.
+
+use std::collections::HashMap;
+
+/// Opaque handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(u64);
+
+/// Error returned when an allocation exceeds free VRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    pub requested: u64,
+    pub free: u64,
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} bytes, {} free of {}",
+            self.requested, self.free, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Byte-accurate VRAM allocator.
+#[derive(Debug)]
+pub struct VramAllocator {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    next_id: u64,
+    live: HashMap<AllocId, u64>,
+}
+
+impl VramAllocator {
+    pub fn new(capacity: u64) -> VramAllocator {
+        VramAllocator {
+            capacity,
+            used: 0,
+            peak: 0,
+            next_id: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    pub fn alloc(&mut self, bytes: u64) -> Result<AllocId, OutOfMemory> {
+        if bytes > self.capacity - self.used {
+            return Err(OutOfMemory {
+                requested: bytes,
+                free: self.capacity - self.used,
+                capacity: self.capacity,
+            });
+        }
+        let id = AllocId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id, bytes);
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        Ok(id)
+    }
+
+    /// Free an allocation; panics on double-free (a real bug in the caller).
+    pub fn free(&mut self, id: AllocId) {
+        let bytes = self
+            .live
+            .remove(&id)
+            .unwrap_or_else(|| panic!("double free of {id:?}"));
+        self.used -= bytes;
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// High-water mark across the allocator's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut v = VramAllocator::new(1000);
+        let a = v.alloc(400).unwrap();
+        let b = v.alloc(600).unwrap();
+        assert_eq!(v.used(), 1000);
+        assert_eq!(v.free_bytes(), 0);
+        v.free(a);
+        assert_eq!(v.used(), 600);
+        v.free(b);
+        assert_eq!(v.used(), 0);
+        assert_eq!(v.peak(), 1000);
+    }
+
+    #[test]
+    fn oom_reports_sizes() {
+        let mut v = VramAllocator::new(100);
+        v.alloc(80).unwrap();
+        let err = v.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.free, 20);
+        assert_eq!(err.capacity, 100);
+    }
+
+    #[test]
+    fn failed_alloc_changes_nothing() {
+        let mut v = VramAllocator::new(100);
+        let _ = v.alloc(80).unwrap();
+        let _ = v.alloc(30);
+        assert_eq!(v.used(), 80);
+        assert_eq!(v.live_allocations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut v = VramAllocator::new(100);
+        let a = v.alloc(10).unwrap();
+        v.free(a);
+        v.free(a);
+    }
+
+    #[test]
+    fn zero_byte_alloc_is_fine() {
+        let mut v = VramAllocator::new(10);
+        let a = v.alloc(0).unwrap();
+        v.free(a);
+        assert_eq!(v.used(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The discrete-event engine: replays a [`Trace`] against FIFO resources and
+//! produces exact start/finish times for every task.
+//!
+//! Scheduling discipline: a task becomes *ready* when all of its dependencies
+//! have completed (service + post-latency). Ready tasks queue on their
+//! resource and are serviced FIFO in ready-time order, ties broken by task id,
+//! which makes the replay fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TaskId, Trace};
+
+/// When a task ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// Service start on the resource.
+    pub start: SimTime,
+    /// Service end (resource becomes free).
+    pub finish: SimTime,
+    /// Finish plus post-latency: the instant dependents may observe.
+    pub complete: SimTime,
+}
+
+/// The outcome of replaying a trace.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    timings: Vec<TaskTiming>,
+    makespan: SimTime,
+}
+
+impl Schedule {
+    pub fn timing(&self, id: TaskId) -> TaskTiming {
+        self.timings[id.0 as usize]
+    }
+
+    pub fn timings(&self) -> &[TaskTiming] {
+        &self.timings
+    }
+
+    /// Completion time of the last task (the run's virtual wall-clock).
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+}
+
+/// Replay `trace` and return the schedule.
+///
+/// Panics if the trace is malformed (impossible by construction via
+/// [`Trace::push`], which rejects forward dependencies).
+pub fn simulate(trace: &Trace) -> Schedule {
+    let n = trace.len();
+    let mut remaining_deps: Vec<u32> = Vec::with_capacity(n);
+    let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+    for (i, t) in trace.tasks().iter().enumerate() {
+        remaining_deps.push(t.deps.len() as u32);
+        for d in &t.deps {
+            dependents[d.0 as usize].push(TaskId(i as u32));
+        }
+    }
+
+    // Min-heap of (ready_time, task_id): global time order gives FIFO-by-ready
+    // semantics per resource.
+    let mut ready: BinaryHeap<Reverse<(SimTime, TaskId)>> = BinaryHeap::new();
+    for (i, &rd) in remaining_deps.iter().enumerate() {
+        if rd == 0 {
+            ready.push(Reverse((SimTime::ZERO, TaskId(i as u32))));
+        }
+    }
+
+    let mut resource_free: Vec<SimTime> = vec![SimTime::ZERO; trace.num_resources()];
+    let mut timings: Vec<TaskTiming> = vec![
+        TaskTiming {
+            start: SimTime::ZERO,
+            finish: SimTime::ZERO,
+            complete: SimTime::ZERO,
+        };
+        n
+    ];
+    let mut scheduled = 0usize;
+    let mut makespan = SimTime::ZERO;
+
+    while let Some(Reverse((ready_at, id))) = ready.pop() {
+        let spec = trace.get(id);
+        let r = spec.resource.0 as usize;
+        let start = SimTime::max_of(ready_at, resource_free[r]);
+        let finish = start + spec.duration;
+        let complete = finish + spec.post_latency;
+        resource_free[r] = finish;
+        timings[id.0 as usize] = TaskTiming {
+            start,
+            finish,
+            complete,
+        };
+        makespan = SimTime::max_of(makespan, complete);
+        scheduled += 1;
+
+        for &dep in &dependents[id.0 as usize] {
+            let rd = &mut remaining_deps[dep.0 as usize];
+            *rd -= 1;
+            if *rd == 0 {
+                // The dependent is ready when its latest dependency completes.
+                let mut t = SimTime::ZERO;
+                for d in &trace.get(dep).deps {
+                    t = SimTime::max_of(t, timings[d.0 as usize].complete);
+                }
+                ready.push(Reverse((t, dep)));
+            }
+        }
+    }
+
+    assert_eq!(
+        scheduled, n,
+        "dependency cycle or dangling dependency in trace"
+    );
+
+    Schedule { timings, makespan }
+}
+
+/// Serial lower bound: the sum of all service demands, i.e. the runtime with
+/// zero overlap. Useful for "speed-of-light" comparisons (§6.3).
+pub fn serial_demand(trace: &Trace) -> SimDuration {
+    trace.tasks().iter().map(|t| t.duration).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Activity;
+    use crate::trace::TaskSpec;
+
+    fn dur(n: u64) -> SimDuration {
+        SimDuration(n)
+    }
+
+    #[test]
+    fn independent_tasks_on_one_resource_serialize() {
+        let mut tr = Trace::new();
+        let r = tr.add_resource();
+        let a = tr.task(Activity::Kernel, r, dur(10), vec![]);
+        let b = tr.task(Activity::Kernel, r, dur(5), vec![]);
+        let s = simulate(&tr);
+        assert_eq!(s.timing(a).start, SimTime(0));
+        assert_eq!(s.timing(a).finish, SimTime(10));
+        assert_eq!(s.timing(b).start, SimTime(10));
+        assert_eq!(s.timing(b).finish, SimTime(15));
+        assert_eq!(s.makespan(), SimTime(15));
+    }
+
+    #[test]
+    fn independent_tasks_on_two_resources_overlap() {
+        let mut tr = Trace::new();
+        let r0 = tr.add_resource();
+        let r1 = tr.add_resource();
+        tr.task(Activity::Kernel, r0, dur(10), vec![]);
+        tr.task(Activity::Kernel, r1, dur(10), vec![]);
+        let s = simulate(&tr);
+        assert_eq!(s.makespan(), SimTime(10));
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let mut tr = Trace::new();
+        let r0 = tr.add_resource();
+        let r1 = tr.add_resource();
+        let a = tr.task(Activity::HostToDevice, r0, dur(3), vec![]);
+        let b = tr.task(Activity::Kernel, r1, dur(7), vec![a]);
+        let s = simulate(&tr);
+        assert_eq!(s.timing(b).start, SimTime(3));
+        assert_eq!(s.makespan(), SimTime(10));
+    }
+
+    #[test]
+    fn post_latency_delays_dependents_but_frees_resource() {
+        let mut tr = Trace::new();
+        let nic = tr.add_resource();
+        let cpu = tr.add_resource();
+        let send = tr.comm_task(Activity::NetSend, nic, dur(4), dur(6), 64, vec![]);
+        // Another send can start as soon as the NIC is free (t=4)...
+        let send2 = tr.comm_task(Activity::NetSend, nic, dur(4), dur(6), 64, vec![]);
+        // ...but the receiver-side work waits for wire latency (t=10).
+        let recv = tr.task(Activity::SortCpu, cpu, dur(1), vec![send]);
+        let s = simulate(&tr);
+        assert_eq!(s.timing(send2).start, SimTime(4));
+        assert_eq!(s.timing(recv).start, SimTime(10));
+    }
+
+    #[test]
+    fn fifo_order_is_by_ready_time_not_insertion() {
+        let mut tr = Trace::new();
+        let r = tr.add_resource();
+        let gate_r = tr.add_resource();
+        // `late` is created first but only becomes ready at t=8.
+        let gate = tr.task(Activity::Other, gate_r, dur(8), vec![]);
+        let late = tr.task(Activity::Kernel, r, dur(1), vec![gate]);
+        let early = tr.task(Activity::Kernel, r, dur(3), vec![]);
+        let s = simulate(&tr);
+        assert_eq!(s.timing(early).start, SimTime(0));
+        assert_eq!(s.timing(late).start, SimTime(8));
+    }
+
+    #[test]
+    fn diamond_critical_path() {
+        let mut tr = Trace::new();
+        let rs = tr.add_resources(4);
+        let a = tr.task(Activity::Kernel, rs[0], dur(2), vec![]);
+        let b = tr.task(Activity::Kernel, rs[1], dur(10), vec![a]);
+        let c = tr.task(Activity::Kernel, rs[2], dur(3), vec![a]);
+        let d = tr.task(Activity::Kernel, rs[3], dur(1), vec![b, c]);
+        let s = simulate(&tr);
+        assert_eq!(s.timing(d).start, SimTime(12));
+        assert_eq!(s.makespan(), SimTime(13));
+    }
+
+    #[test]
+    fn serial_demand_sums_everything() {
+        let mut tr = Trace::new();
+        let r = tr.add_resource();
+        tr.task(Activity::Kernel, r, dur(10), vec![]);
+        tr.task(Activity::SortCpu, r, dur(5), vec![]);
+        assert_eq!(serial_demand(&tr), dur(15));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let tr = Trace::new();
+        let s = simulate(&tr);
+        assert_eq!(s.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_tasks_chain() {
+        let mut tr = Trace::new();
+        let r = tr.add_resource();
+        let a = tr.task(Activity::Other, r, dur(0), vec![]);
+        let b = tr.task(Activity::Other, r, dur(0), vec![a]);
+        let s = simulate(&tr);
+        assert_eq!(s.timing(b).finish, SimTime(0));
+    }
+
+    #[test]
+    fn push_accepts_full_spec() {
+        let mut tr = Trace::new();
+        let r = tr.add_resource();
+        let id = tr.push(TaskSpec {
+            activity: Activity::NetRecv,
+            resource: r,
+            duration: dur(2),
+            post_latency: dur(1),
+            deps: vec![],
+            bytes: 42,
+        });
+        let s = simulate(&tr);
+        assert_eq!(s.timing(id).complete, SimTime(3));
+    }
+}

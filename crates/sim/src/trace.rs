@@ -1,0 +1,189 @@
+//! Dependency traces: the functional MapReduce run records *what* happened
+//! (tasks, their service demands, and their dependencies); the engine replays
+//! the trace against modeled hardware to obtain *when* it happened.
+
+use crate::activity::Activity;
+use crate::time::SimDuration;
+
+/// Index of a task inside a [`Trace`]. Dense, assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// A serially-used hardware resource (a GPU, a PCIe link, a disk, a NIC, a
+/// CPU core). Tasks bound to the same resource are serviced FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub u32);
+
+/// One unit of traced work.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    pub activity: Activity,
+    pub resource: ResourceId,
+    /// Service demand on the resource (how long the resource is occupied).
+    pub duration: SimDuration,
+    /// Extra latency after service completes before dependents may start
+    /// (e.g. wire latency of a network hop). Does not occupy the resource.
+    pub post_latency: SimDuration,
+    /// Tasks that must finish before this one may start.
+    pub deps: Vec<TaskId>,
+    /// Bytes moved (for communication tasks) — used by reports only.
+    pub bytes: u64,
+}
+
+/// A complete dependency graph of traced work.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    tasks: Vec<TaskSpec>,
+    num_resources: u32,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Register a resource and get its id. Resources are cheap; callers
+    /// typically allocate one per modeled hardware unit up front.
+    pub fn add_resource(&mut self) -> ResourceId {
+        let id = ResourceId(self.num_resources);
+        self.num_resources += 1;
+        id
+    }
+
+    /// Declare `n` resources at once, returning their ids in order.
+    pub fn add_resources(&mut self, n: usize) -> Vec<ResourceId> {
+        (0..n).map(|_| self.add_resource()).collect()
+    }
+
+    pub fn num_resources(&self) -> usize {
+        self.num_resources as usize
+    }
+
+    /// Append a task; panics if a dependency or resource id is out of range
+    /// (dependencies must be created before their dependents, which also
+    /// guarantees the graph is acyclic).
+    pub fn push(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        assert!(
+            spec.resource.0 < self.num_resources,
+            "task references unregistered resource {:?}",
+            spec.resource
+        );
+        for d in &spec.deps {
+            assert!(d.0 < id.0, "task {id:?} depends on not-yet-created {d:?}");
+        }
+        self.tasks.push(spec);
+        id
+    }
+
+    /// Convenience: append a task with no post-latency and no byte count.
+    pub fn task(
+        &mut self,
+        activity: Activity,
+        resource: ResourceId,
+        duration: SimDuration,
+        deps: Vec<TaskId>,
+    ) -> TaskId {
+        self.push(TaskSpec {
+            activity,
+            resource,
+            duration,
+            post_latency: SimDuration::ZERO,
+            deps,
+            bytes: 0,
+        })
+    }
+
+    /// Convenience: a communication task (records bytes and wire latency).
+    pub fn comm_task(
+        &mut self,
+        activity: Activity,
+        resource: ResourceId,
+        duration: SimDuration,
+        post_latency: SimDuration,
+        bytes: u64,
+        deps: Vec<TaskId>,
+    ) -> TaskId {
+        self.push(TaskSpec {
+            activity,
+            resource,
+            duration,
+            post_latency,
+            deps,
+            bytes,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    pub fn get(&self, id: TaskId) -> &TaskSpec {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// Total bytes moved by tasks of the given activity.
+    pub fn bytes_for(&self, activity: Activity) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.activity == activity)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Total service demand of tasks of the given activity (ignores overlap).
+    pub fn demand_for(&self, activity: Activity) -> SimDuration {
+        self.tasks
+            .iter()
+            .filter(|t| t.activity == activity)
+            .map(|t| t.duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries() {
+        let mut tr = Trace::new();
+        let r = tr.add_resource();
+        let a = tr.task(Activity::Kernel, r, SimDuration(10), vec![]);
+        let b = tr.comm_task(
+            Activity::NetSend,
+            r,
+            SimDuration(5),
+            SimDuration(2),
+            128,
+            vec![a],
+        );
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.get(b).deps, vec![a]);
+        assert_eq!(tr.bytes_for(Activity::NetSend), 128);
+        assert_eq!(tr.demand_for(Activity::Kernel), SimDuration(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered resource")]
+    fn rejects_unknown_resource() {
+        let mut tr = Trace::new();
+        tr.task(Activity::Kernel, ResourceId(3), SimDuration(1), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-created")]
+    fn rejects_forward_dependency() {
+        let mut tr = Trace::new();
+        let r = tr.add_resource();
+        tr.task(Activity::Kernel, r, SimDuration(1), vec![TaskId(7)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the DES engine: causality, resource exclusivity,
+//! determinism and accounting consistency over random traces.
+
+use proptest::prelude::*;
+
+use mgpu_sim::{account, simulate, Activity, SimDuration, SimTime, TaskId, Trace};
+
+const ACTIVITIES: [Activity; 10] = [
+    Activity::DiskRead,
+    Activity::HostToDevice,
+    Activity::Kernel,
+    Activity::DeviceToHost,
+    Activity::PartitionCpu,
+    Activity::NetSend,
+    Activity::NetRecv,
+    Activity::SortCpu,
+    Activity::ReduceCpu,
+    Activity::Other,
+];
+
+#[derive(Debug, Clone)]
+struct RandomTaskPlan {
+    activity_ix: usize,
+    resource_ix: usize,
+    duration: u64,
+    post_latency: u64,
+    /// Dependencies as offsets back from this task's index.
+    dep_offsets: Vec<usize>,
+}
+
+fn plan_strategy(max_tasks: usize, max_resources: usize) -> impl Strategy<Value = Vec<RandomTaskPlan>> {
+    prop::collection::vec(
+        (
+            0..ACTIVITIES.len(),
+            0..max_resources,
+            0u64..1000,
+            0u64..50,
+            prop::collection::vec(1usize..16, 0..4),
+        )
+            .prop_map(
+                |(activity_ix, resource_ix, duration, post_latency, dep_offsets)| RandomTaskPlan {
+                    activity_ix,
+                    resource_ix,
+                    duration,
+                    post_latency,
+                    dep_offsets,
+                },
+            ),
+        0..max_tasks,
+    )
+}
+
+fn build_trace(plans: &[RandomTaskPlan], num_resources: usize) -> Trace {
+    let mut tr = Trace::new();
+    let rs = tr.add_resources(num_resources);
+    for (i, p) in plans.iter().enumerate() {
+        let deps: Vec<TaskId> = p
+            .dep_offsets
+            .iter()
+            .filter_map(|&off| i.checked_sub(off).map(|j| TaskId(j as u32)))
+            .collect();
+        tr.push(mgpu_sim::TaskSpec {
+            activity: ACTIVITIES[p.activity_ix],
+            resource: rs[p.resource_ix],
+            duration: SimDuration(p.duration),
+            post_latency: SimDuration(p.post_latency),
+            deps,
+            bytes: p.duration, // arbitrary but deterministic
+        });
+    }
+    tr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tasks_never_start_before_dependencies_complete(
+        plans in plan_strategy(60, 6)
+    ) {
+        let tr = build_trace(&plans, 6);
+        let s = simulate(&tr);
+        for (i, spec) in tr.tasks().iter().enumerate() {
+            let t = s.timings()[i];
+            prop_assert!(t.finish >= t.start);
+            prop_assert!(t.complete >= t.finish);
+            for d in &spec.deps {
+                prop_assert!(
+                    s.timing(*d).complete <= t.start,
+                    "task {i} started before dep {:?} completed", d
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resources_never_run_two_tasks_at_once(
+        plans in plan_strategy(60, 4)
+    ) {
+        let tr = build_trace(&plans, 4);
+        let s = simulate(&tr);
+        // Gather (start, finish) intervals per resource and check pairwise
+        // disjointness (zero-length intervals may share an instant).
+        for r in 0..tr.num_resources() {
+            let mut intervals: Vec<(SimTime, SimTime)> = tr
+                .tasks()
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.resource.0 as usize == r && t.duration.nanos() > 0)
+                .map(|(i, _)| (s.timings()[i].start, s.timings()[i].finish))
+                .collect();
+            intervals.sort();
+            for w in intervals.windows(2) {
+                prop_assert!(
+                    w[0].1 <= w[1].0,
+                    "resource {r} overlapped: {:?} vs {:?}", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic(plans in plan_strategy(40, 5)) {
+        let tr = build_trace(&plans, 5);
+        let s1 = simulate(&tr);
+        let s2 = simulate(&tr);
+        prop_assert_eq!(s1.makespan(), s2.makespan());
+        prop_assert_eq!(s1.timings(), s2.timings());
+    }
+
+    #[test]
+    fn makespan_bounds(plans in plan_strategy(40, 5)) {
+        let tr = build_trace(&plans, 5);
+        let s = simulate(&tr);
+        let serial = mgpu_sim::serial_demand(&tr);
+        let max_post: u64 = tr.tasks().iter().map(|t| t.post_latency.nanos()).max().unwrap_or(0);
+        let total_post: u64 = tr.tasks().iter().map(|t| t.post_latency.nanos()).sum();
+        // Makespan can never beat the longest single task, nor exceed the
+        // fully-serial schedule (with all post-latencies paid in sequence).
+        let longest = tr.tasks().iter().map(|t| t.duration.nanos() + t.post_latency.nanos()).max().unwrap_or(0);
+        prop_assert!(s.makespan().nanos() >= longest);
+        prop_assert!(s.makespan().nanos() <= serial.nanos() + total_post + max_post);
+    }
+
+    #[test]
+    fn accounting_consistent(plans in plan_strategy(40, 5)) {
+        let tr = build_trace(&plans, 5);
+        let s = simulate(&tr);
+        let acc = account(&tr, &s);
+        // Stacked phases cover exactly the span up to the last bucketed task.
+        prop_assert!(acc.breakdown.total() <= acc.makespan);
+        // Busy sums equal serial demand.
+        let busy_sum: u64 = acc.activity.values().map(|a| a.busy.nanos()).sum();
+        prop_assert_eq!(busy_sum, acc.serial_demand.nanos());
+        // comm + compute <= serial (Other/Stitch excluded from both).
+        prop_assert!(
+            acc.communication_demand.nanos() + acc.computation_demand.nanos()
+                <= acc.serial_demand.nanos()
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! The out-of-core brick store: materializes bricks (with ghost layers) on
+//! demand and caches them under a host-memory budget with LRU eviction.
+//!
+//! This is the data side of the paper's out-of-core story: "the library
+//! allows for out-of-core algorithms (including rendering)" — bricks stream
+//! through host memory; the whole volume never has to be resident.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::brick::{BrickGrid, BrickInfo};
+use crate::volume::Volume;
+
+/// A materialized brick: voxels including `ghost` extra layers on every side
+/// (clamped at volume borders), so trilinear sampling at brick boundaries
+/// reproduces the global volume exactly.
+#[derive(Debug)]
+pub struct BrickData {
+    pub info: BrickInfo,
+    /// Ghost layers on each side.
+    pub ghost: u32,
+    /// Origin of the stored array in (possibly negative) volume coordinates.
+    pub store_origin: [i64; 3],
+    /// Dimensions of the stored array (= size + 2·ghost).
+    pub store_dims: [usize; 3],
+    /// Shared so a device texture can reference the same allocation.
+    pub voxels: std::sync::Arc<Vec<f32>>,
+}
+
+impl BrickData {
+    pub fn bytes(&self) -> u64 {
+        (self.voxels.len() * 4) as u64
+    }
+}
+
+/// Cache statistics (monotonic counters).
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub evictions: AtomicU64,
+    pub bytes_materialized: AtomicU64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub bytes_materialized: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<usize, (Arc<BrickData>, u64)>,
+    bytes: u64,
+    tick: u64,
+}
+
+/// Thread-safe brick cache over a volume + brick grid.
+pub struct BrickStore {
+    volume: Volume,
+    grid: BrickGrid,
+    ghost: u32,
+    budget_bytes: u64,
+    inner: Mutex<CacheInner>,
+    stats: StoreStats,
+}
+
+impl BrickStore {
+    /// `budget_bytes` bounds cached voxel data; a single brick larger than the
+    /// budget is still materialized (and evicted as soon as another arrives).
+    pub fn new(volume: Volume, grid: BrickGrid, ghost: u32, budget_bytes: u64) -> BrickStore {
+        assert_eq!(
+            volume.dims(),
+            grid.vol_dims,
+            "grid does not match volume dims"
+        );
+        BrickStore {
+            volume,
+            grid,
+            ghost,
+            budget_bytes,
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            stats: StoreStats::default(),
+        }
+    }
+
+    pub fn grid(&self) -> &BrickGrid {
+        &self.grid
+    }
+
+    pub fn volume(&self) -> &Volume {
+        &self.volume
+    }
+
+    pub fn ghost(&self) -> u32 {
+        self.ghost
+    }
+
+    /// Fetch brick `id`, materializing if absent. The returned `Arc` stays
+    /// valid even if the entry is evicted afterwards.
+    pub fn get(&self, id: usize) -> Arc<BrickData> {
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((data, last)) = inner.entries.get_mut(&id) {
+                *last = tick;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(data);
+            }
+        }
+        // Materialize outside the lock: concurrent misses may duplicate work
+        // but never block each other on voxel synthesis.
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(self.materialize(id));
+        self.stats
+            .bytes_materialized
+            .fetch_add(data.bytes(), Ordering::Relaxed);
+
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let bytes = data.bytes();
+        let evicted = inner
+            .entries
+            .insert(id, (Arc::clone(&data), tick))
+            .map(|(old, _)| old.bytes());
+        inner.bytes += bytes;
+        if let Some(old) = evicted {
+            inner.bytes -= old; // racing miss: replaced a twin entry
+        }
+        // Evict least-recently-used entries until within budget (never the
+        // entry just inserted).
+        while inner.bytes > self.budget_bytes && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != id)
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let (old, _) = inner.entries.remove(&k).unwrap();
+                    inner.bytes -= old.bytes();
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        data
+    }
+
+    /// Drop all cached bricks (keeps statistics).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+
+    pub fn cached_bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            bytes_materialized: self.stats.bytes_materialized.load(Ordering::Relaxed),
+        }
+    }
+
+    fn materialize(&self, id: usize) -> BrickData {
+        let info = self.grid.brick(id);
+        let g = self.ghost as i64;
+        let store_origin = [
+            info.origin[0] as i64 - g,
+            info.origin[1] as i64 - g,
+            info.origin[2] as i64 - g,
+        ];
+        let store_dims = [
+            info.size[0] as usize + 2 * self.ghost as usize,
+            info.size[1] as usize + 2 * self.ghost as usize,
+            info.size[2] as usize + 2 * self.ghost as usize,
+        ];
+        let voxels = std::sync::Arc::new(self.volume.materialize_clamped(store_origin, store_dims));
+        BrickData {
+            info,
+            ghost: self.ghost,
+            store_origin,
+            store_dims,
+            voxels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brick::BrickPolicy;
+    use crate::field::AxisRamp;
+    use std::sync::Arc as StdArc;
+
+    fn store(budget: u64) -> BrickStore {
+        let v = Volume::procedural("ramp", [16, 16, 16], 0, StdArc::new(AxisRamp { axis: 0 }));
+        let grid = BrickGrid::subdivide(
+            [16, 16, 16],
+            &BrickPolicy {
+                min_bricks: 8,
+                max_brick_voxels: u64::MAX,
+            },
+        );
+        BrickStore::new(v, grid, 1, budget)
+    }
+
+    #[test]
+    fn ghost_layers_match_neighbours() {
+        let s = store(u64::MAX);
+        // Brick 0 is at origin; its +x ghost layer must equal brick 1's first
+        // interior layer of voxels.
+        let b0 = s.get(0);
+        let b1 = s.get(1);
+        assert_eq!(b0.info.origin, [0, 0, 0]);
+        assert_eq!(b1.info.origin, [8, 0, 0]);
+        let d0 = b0.store_dims;
+        // Ghost voxel at store x = size+ghost (global x = 8) in brick 0…
+        let x_ghost = b0.info.size[0] as usize + 1; // ghost=1 shifts by one
+        // …equals brick 1's first interior voxel (store x = 1, global x = 8).
+        for z in 1..d0[2] - 1 {
+            for y in 1..d0[1] - 1 {
+                let v0 = b0.voxels[(z * d0[1] + y) * d0[0] + x_ghost];
+                let v1 = b1.voxels[(z * b1.store_dims[1] + y) * b1.store_dims[0] + 1];
+                assert_eq!(v0, v1, "ghost mismatch at y={y} z={z}");
+            }
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_count() {
+        let s = store(u64::MAX);
+        s.get(3);
+        s.get(3);
+        s.get(4);
+        let snap = s.snapshot();
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget() {
+        // Each brick: (8+2)³ voxels × 4 B = 4000 B. Budget of 2.5 bricks.
+        let s = store(10_000);
+        s.get(0);
+        s.get(1);
+        s.get(2); // evicts brick 0 (LRU)
+        assert!(s.cached_bytes() <= 10_000);
+        let before = s.snapshot();
+        assert!(before.evictions >= 1);
+        // Brick 0 must re-materialize.
+        s.get(0);
+        assert_eq!(s.snapshot().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn evicted_arc_stays_valid() {
+        let s = store(5_000); // barely one brick
+        let b0 = s.get(0);
+        let _b1 = s.get(1); // evicts brick 0 from cache
+        assert_eq!(b0.info.id, 0);
+        assert!(!b0.voxels.is_empty()); // still readable
+    }
+
+    #[test]
+    fn touching_keeps_entries_warm() {
+        let s = store(10_000);
+        s.get(0);
+        s.get(1);
+        s.get(0); // brick 0 now most recent; 1 is the LRU victim
+        s.get(2);
+        let inner_has = |id: usize| s.inner.lock().entries.contains_key(&id);
+        assert!(inner_has(0));
+        assert!(inner_has(2));
+        assert!(!inner_has(1));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let s = StdArc::new(store(8_000));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = StdArc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..32 {
+                        let id = (i + t) % s.grid().brick_count();
+                        let b = s.get(id);
+                        assert_eq!(b.info.id, id);
+                    }
+                });
+            }
+        });
+        assert!(s.cached_bytes() <= 8_000 || s.inner.lock().entries.len() == 1);
+    }
+}

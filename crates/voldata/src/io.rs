@@ -1,0 +1,168 @@
+//! Raw volume file I/O.
+//!
+//! Format `MGVOL001`: an 8-byte magic, three little-endian `u32` dimensions,
+//! then `x·y·z` little-endian `f32` samples, x varying fastest. Dead simple on
+//! purpose — the paper treats volume files as pre-bricked raw data and is
+//! explicit that its library is "hard-disk agnostic".
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+pub const MAGIC: &[u8; 8] = b"MGVOL001";
+const HEADER_BYTES: u64 = 8 + 12;
+
+/// Write a full volume to `path`.
+pub fn write_volume(path: &Path, dims: [u32; 3], data: &[f32]) -> io::Result<()> {
+    assert_eq!(
+        data.len() as u64,
+        dims[0] as u64 * dims[1] as u64 * dims[2] as u64,
+        "data length does not match dims"
+    );
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    for d in dims {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    // Write in slabs to bound the temporary byte buffer.
+    for chunk in data.chunks(1 << 20) {
+        let mut buf = Vec::with_capacity(chunk.len() * 4);
+        for v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Read and validate the header, returning the dimensions.
+pub fn read_header(path: &Path) -> io::Result<[u32; 3]> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic in {path:?}"),
+        ));
+    }
+    let mut dims = [0u32; 3];
+    for d in &mut dims {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *d = u32::from_le_bytes(b);
+    }
+    Ok(dims)
+}
+
+/// Read the full volume.
+pub fn read_volume(path: &Path) -> io::Result<([u32; 3], Vec<f32>)> {
+    let dims = read_header(path)?;
+    let n = dims[0] as usize * dims[1] as usize * dims[2] as usize;
+    let mut out = vec![0f32; n];
+    read_region(path, dims, [0, 0, 0], [dims[0] as usize, dims[1] as usize, dims[2] as usize], &mut out)?;
+    Ok((dims, out))
+}
+
+/// Read an in-bounds region with strided row reads (this is the actual
+/// out-of-core brick-load path — each (y,z) row of the region is one
+/// positioned read; no seeks, no buffer churn).
+pub fn read_region(
+    path: &Path,
+    dims: [u32; 3],
+    origin: [u32; 3],
+    size: [usize; 3],
+    out: &mut [f32],
+) -> io::Result<()> {
+    assert_eq!(out.len(), size[0] * size[1] * size[2]);
+    let f = File::open(path)?;
+    let (dx, dy) = (dims[0] as u64, dims[1] as u64);
+    let row_bytes = size[0] * 4;
+    let mut buf = vec![0u8; row_bytes];
+    for z in 0..size[2] {
+        for y in 0..size[1] {
+            let voxel_off = (origin[2] as u64 + z as u64) * dx * dy
+                + (origin[1] as u64 + y as u64) * dx
+                + origin[0] as u64;
+            read_exact_at(&f, &mut buf, HEADER_BYTES + voxel_off * 4)?;
+            let row = (z * size[1] + y) * size[0];
+            for x in 0..size[0] {
+                out[row + x] = f32::from_le_bytes(buf[x * 4..x * 4 + 4].try_into().unwrap());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn read_exact_at(f: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.read_exact_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(f: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = f;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mgpu_voldata_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_full_volume() {
+        let path = tmp("rt.vol");
+        let dims = [5u32, 3, 2];
+        let data: Vec<f32> = (0..30).map(|i| i as f32 * 0.25).collect();
+        write_volume(&path, dims, &data).unwrap();
+        let (rd, rdata) = read_volume(&path).unwrap();
+        assert_eq!(rd, dims);
+        assert_eq!(rdata, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn region_read_matches_memory_slice() {
+        let path = tmp("region.vol");
+        let dims = [8u32, 8, 8];
+        let data: Vec<f32> = (0..512).map(|i| (i * 7 % 101) as f32).collect();
+        write_volume(&path, dims, &data).unwrap();
+
+        let mut out = vec![0f32; 3 * 2 * 4];
+        read_region(&path, dims, [2, 5, 1], [3, 2, 4], &mut out).unwrap();
+        for z in 0..4usize {
+            for y in 0..2usize {
+                for x in 0..3usize {
+                    let src = (2 + x) + 8 * ((5 + y) + 8 * (1 + z));
+                    assert_eq!(out[(z * 2 + y) * 3 + x], data[src]);
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("bad.vol");
+        std::fs::write(&path, b"NOTAVOLUME______").unwrap();
+        assert!(read_header(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_only_read() {
+        let path = tmp("hdr.vol");
+        write_volume(&path, [2, 2, 2], &[0.0; 8]).unwrap();
+        assert_eq!(read_header(&path).unwrap(), [2, 2, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+}

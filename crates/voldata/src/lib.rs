@@ -1,0 +1,35 @@
+//! # mgpu-voldata — volumes, datasets and the out-of-core brick store
+//!
+//! Data substrate for the reproduction of *"Multi-GPU Volume Rendering using
+//! MapReduce"* (Stuart et al., 2010):
+//!
+//! * [`noise`] — seeded value noise / fBm / turbulence;
+//! * [`field`] — continuous scalar fields over the unit cube;
+//! * [`datasets`] — procedural stand-ins for the paper's Skull, Supernova and
+//!   Plume volumes at the paper's resolutions (128³…1024³, 512×512×2048);
+//! * [`volume`] — volume metadata + sources (procedural / raw file /
+//!   in-memory) with clamped region materialization;
+//! * [`io`] — the raw `MGVOL001` on-disk format with strided region reads;
+//! * [`brick`] — brick-grid geometry under VRAM/GPU-count policies;
+//! * [`brickstore`] — LRU-cached on-demand brick materialization with ghost
+//!   layers (the out-of-core path);
+//! * [`mipmap`] — 2× downsampling and mip pyramids (multiresolution LOD);
+//! * [`stats`] — streaming volume statistics.
+
+pub mod brick;
+pub mod brickstore;
+pub mod datasets;
+pub mod field;
+pub mod io;
+pub mod mipmap;
+pub mod noise;
+pub mod stats;
+pub mod volume;
+
+pub use brick::{BrickGrid, BrickInfo, BrickPolicy};
+pub use brickstore::{BrickData, BrickStore, StoreSnapshot};
+pub use datasets::Dataset;
+pub use field::ScalarField;
+pub use mipmap::{downsample, MipPyramid};
+pub use stats::VolumeStats;
+pub use volume::{Volume, VolumeMeta, VolumeSource};

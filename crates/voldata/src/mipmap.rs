@@ -1,0 +1,172 @@
+//! Volume downsampling and mip pyramids.
+//!
+//! The paper's related work leans on multiresolution renderers (Gao/Wang's
+//! parallel multiresolution framework, LOD exploration); this module supplies
+//! the data side: 2× box-filter downsampling and full pyramids, computed
+//! brick-wise so large volumes never need to be resident.
+
+use crate::volume::{Volume, VolumeMeta, VolumeSource};
+
+/// Halve each dimension (rounding up) with a 2×2×2 box filter; boundary
+/// voxels average only the in-bounds samples.
+pub fn downsample(volume: &Volume) -> Volume {
+    let d = volume.dims();
+    let nd = [d[0].div_ceil(2).max(1), d[1].div_ceil(2).max(1), d[2].div_ceil(2).max(1)];
+    let mut out = vec![0f32; nd[0] as usize * nd[1] as usize * nd[2] as usize];
+
+    // Stream pairs of source slabs.
+    let sx = d[0] as usize;
+    let sy = d[1] as usize;
+    let mut slab = vec![0f32; sx * sy * 2];
+    for nz in 0..nd[2] {
+        let z0 = nz * 2;
+        let dz = if z0 + 1 < d[2] { 2usize } else { 1 };
+        volume.read_region([0, 0, z0], [sx, sy, dz], &mut slab[..sx * sy * dz]);
+        for ny in 0..nd[1] as usize {
+            for nx in 0..nd[0] as usize {
+                let mut sum = 0f32;
+                let mut n = 0u32;
+                for oz in 0..dz {
+                    for oy in 0..2usize {
+                        let y = ny * 2 + oy;
+                        if y >= sy {
+                            continue;
+                        }
+                        for ox in 0..2usize {
+                            let x = nx * 2 + ox;
+                            if x >= sx {
+                                continue;
+                            }
+                            sum += slab[(oz * sy + y) * sx + x];
+                            n += 1;
+                        }
+                    }
+                }
+                out[(nz as usize * nd[1] as usize + ny) * nd[0] as usize + nx] =
+                    sum / n as f32;
+            }
+        }
+    }
+
+    Volume {
+        meta: VolumeMeta {
+            name: format!("{}-mip", volume.meta.name),
+            dims: nd,
+            seed: volume.meta.seed,
+        },
+        source: VolumeSource::InMemory(std::sync::Arc::new(out)),
+    }
+}
+
+/// A full mip pyramid: level 0 is the input, each further level is a 2×
+/// downsample, ending at a single-digit-voxel level.
+pub struct MipPyramid {
+    pub levels: Vec<Volume>,
+}
+
+impl MipPyramid {
+    pub fn build(volume: &Volume) -> MipPyramid {
+        let mut levels = vec![volume.clone()];
+        loop {
+            let last = levels.last().unwrap();
+            let d = last.dims();
+            if d.iter().all(|&x| x <= 4) {
+                break;
+            }
+            levels.push(downsample(last));
+        }
+        MipPyramid { levels }
+    }
+
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Pick the coarsest level whose voxel count still meets `min_voxels` —
+    /// the LOD selector a budgeted renderer would use.
+    pub fn level_for_budget(&self, min_voxels: u64) -> &Volume {
+        for lvl in self.levels.iter().rev() {
+            if lvl.meta.voxel_count() >= min_voxels {
+                return lvl;
+            }
+        }
+        &self.levels[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use crate::field::Constant;
+    use std::sync::Arc;
+
+    #[test]
+    fn constant_volume_stays_constant() {
+        let v = Volume::procedural("c", [8, 8, 8], 0, Arc::new(Constant(0.37)));
+        let m = downsample(&v);
+        assert_eq!(m.dims(), [4, 4, 4]);
+        for &x in m.materialize_full().iter() {
+            assert!((x - 0.37).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let v = Volume::in_memory("m", [2, 2, 2], data);
+        let m = downsample(&v);
+        assert_eq!(m.dims(), [1, 1, 1]);
+        assert!((m.materialize_full()[0] - 3.5).abs() < 1e-6); // mean of 0..7
+    }
+
+    #[test]
+    fn odd_dimensions_round_up() {
+        let v = Volume::in_memory("m", [3, 5, 1], vec![1.0; 15]);
+        let m = downsample(&v);
+        assert_eq!(m.dims(), [2, 3, 1]);
+        for &x in m.materialize_full().iter() {
+            assert!((x - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_is_preserved_for_even_dims() {
+        let v = Dataset::Supernova.volume(16);
+        let full = v.materialize_full();
+        let mean: f64 = full.iter().map(|&x| x as f64).sum::<f64>() / full.len() as f64;
+        let m = downsample(&v);
+        let mfull = m.materialize_full();
+        let mmean: f64 = mfull.iter().map(|&x| x as f64).sum::<f64>() / mfull.len() as f64;
+        assert!((mean - mmean).abs() < 1e-4, "{mean} vs {mmean}");
+    }
+
+    #[test]
+    fn pyramid_terminates_and_orders_levels() {
+        let v = Dataset::Skull.volume(32);
+        let p = MipPyramid::build(&v);
+        assert!(p.num_levels() >= 4);
+        for w in p.levels.windows(2) {
+            assert!(w[1].meta.voxel_count() < w[0].meta.voxel_count());
+        }
+        let coarsest = p.levels.last().unwrap().dims();
+        assert!(coarsest.iter().all(|&d| d <= 4));
+    }
+
+    #[test]
+    fn budget_selector_picks_coarsest_sufficient_level() {
+        let v = Dataset::Skull.volume(32);
+        let p = MipPyramid::build(&v);
+        let lvl = p.level_for_budget(1000);
+        assert!(lvl.meta.voxel_count() >= 1000);
+        // The next coarser level (if any) must be under budget.
+        let idx = p
+            .levels
+            .iter()
+            .position(|l| l.meta.voxel_count() == lvl.meta.voxel_count())
+            .unwrap();
+        if idx + 1 < p.levels.len() {
+            assert!(p.levels[idx + 1].meta.voxel_count() < 1000);
+        }
+    }
+}

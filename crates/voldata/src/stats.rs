@@ -1,0 +1,109 @@
+//! Streaming volume statistics (computed brick-wise so arbitrarily large
+//! volumes never need to be resident).
+
+use crate::brick::{BrickGrid, BrickPolicy};
+use crate::volume::Volume;
+
+/// Summary statistics over all voxels of a volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolumeStats {
+    pub min: f32,
+    pub max: f32,
+    pub mean: f64,
+    pub stddev: f64,
+    /// Histogram over [0, 1] with `histogram.len()` equal-width bins; values
+    /// outside the range clamp into the end bins.
+    pub histogram: Vec<u64>,
+    pub voxels: u64,
+}
+
+impl VolumeStats {
+    /// Compute statistics with a `bins`-bucket histogram, streaming one brick
+    /// at a time.
+    pub fn compute(volume: &Volume, bins: usize) -> VolumeStats {
+        assert!(bins >= 1);
+        let grid = BrickGrid::subdivide(volume.dims(), &BrickPolicy::default());
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0f64;
+        let mut sum_sq = 0f64;
+        let mut histogram = vec![0u64; bins];
+        let mut voxels = 0u64;
+
+        for b in grid.bricks() {
+            let size = [b.size[0] as usize, b.size[1] as usize, b.size[2] as usize];
+            let mut data = vec![0f32; size[0] * size[1] * size[2]];
+            volume.read_region(b.origin, size, &mut data);
+            for &v in &data {
+                min = min.min(v);
+                max = max.max(v);
+                sum += v as f64;
+                sum_sq += (v as f64) * (v as f64);
+                let bin = ((v * bins as f32) as usize).min(bins - 1);
+                histogram[bin] += 1;
+            }
+            voxels += data.len() as u64;
+        }
+
+        let n = voxels.max(1) as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        VolumeStats {
+            min: if voxels == 0 { 0.0 } else { min },
+            max: if voxels == 0 { 0.0 } else { max },
+            mean,
+            stddev: var.sqrt(),
+            histogram,
+            voxels,
+        }
+    }
+
+    /// Fraction of voxels strictly below `threshold`.
+    pub fn fraction_below(&self, threshold: f32) -> f64 {
+        let bins = self.histogram.len();
+        let cut = ((threshold * bins as f32) as usize).min(bins);
+        let below: u64 = self.histogram[..cut].iter().sum();
+        below as f64 / self.voxels.max(1) as f64
+    }
+
+    /// Fraction of voxels at or above `threshold`.
+    pub fn fraction_above(&self, threshold: f32) -> f64 {
+        1.0 - self.fraction_below(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Constant;
+    use std::sync::Arc;
+
+    #[test]
+    fn constant_volume_stats() {
+        let v = Volume::procedural("c", [8, 8, 8], 0, Arc::new(Constant(0.5)));
+        let s = VolumeStats::compute(&v, 10);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 0.5);
+        assert!((s.mean - 0.5).abs() < 1e-9);
+        assert!(s.stddev < 1e-9);
+        assert_eq!(s.voxels, 512);
+        assert_eq!(s.histogram[5], 512);
+    }
+
+    #[test]
+    fn histogram_sums_to_voxels() {
+        let v = crate::datasets::Dataset::Skull.volume(16);
+        let s = VolumeStats::compute(&v, 32);
+        assert_eq!(s.histogram.iter().sum::<u64>(), s.voxels);
+        assert_eq!(s.voxels, 16 * 16 * 16);
+    }
+
+    #[test]
+    fn fractions_are_complementary() {
+        let v = crate::datasets::Dataset::Supernova.volume(16);
+        let s = VolumeStats::compute(&v, 64);
+        let below = s.fraction_below(0.25);
+        let above = s.fraction_above(0.25);
+        assert!((below + above - 1.0).abs() < 1e-12);
+    }
+}

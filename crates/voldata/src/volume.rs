@@ -1,0 +1,347 @@
+//! Volumes: metadata plus a voxel source (procedural field, raw file, or an
+//! in-memory array), with clamped region materialization for ghost layers.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use crate::field::ScalarField;
+use crate::io;
+
+/// Metadata describing a scalar volume of `f32` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeMeta {
+    pub name: String,
+    /// Voxel dimensions, x/y/z. x varies fastest in memory.
+    pub dims: [u32; 3],
+    /// Seed used for procedural generation (recorded for provenance).
+    pub seed: u64,
+}
+
+impl VolumeMeta {
+    pub fn voxel_count(&self) -> u64 {
+        self.dims[0] as u64 * self.dims[1] as u64 * self.dims[2] as u64
+    }
+
+    /// Bytes of the full volume at 4 bytes per sample (the paper's volumes
+    /// all use four-byte floating-point samples).
+    pub fn bytes(&self) -> u64 {
+        self.voxel_count() * 4
+    }
+
+    pub fn label(&self) -> String {
+        let [x, y, z] = self.dims;
+        if x == y && y == z {
+            format!("{}-{}^3", self.name, x)
+        } else {
+            format!("{}-{}x{}x{}", self.name, x, y, z)
+        }
+    }
+}
+
+/// Where voxels come from.
+#[derive(Clone)]
+pub enum VolumeSource {
+    /// Sampled on demand from a continuous field at voxel centers.
+    Procedural(Arc<dyn ScalarField>),
+    /// Read on demand from a raw volume file (see [`crate::io`]).
+    File(PathBuf),
+    /// Fully resident (tests, small volumes).
+    InMemory(Arc<Vec<f32>>),
+}
+
+impl std::fmt::Debug for VolumeSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VolumeSource::Procedural(_) => write!(f, "Procedural"),
+            VolumeSource::File(p) => write!(f, "File({})", p.display()),
+            VolumeSource::InMemory(v) => write!(f, "InMemory({} voxels)", v.len()),
+        }
+    }
+}
+
+/// A scalar volume: metadata + voxel source.
+#[derive(Debug, Clone)]
+pub struct Volume {
+    pub meta: VolumeMeta,
+    pub source: VolumeSource,
+}
+
+impl Volume {
+    pub fn procedural(
+        name: impl Into<String>,
+        dims: [u32; 3],
+        seed: u64,
+        field: Arc<dyn ScalarField>,
+    ) -> Volume {
+        Volume {
+            meta: VolumeMeta {
+                name: name.into(),
+                dims,
+                seed,
+            },
+            source: VolumeSource::Procedural(field),
+        }
+    }
+
+    pub fn in_memory(name: impl Into<String>, dims: [u32; 3], data: Vec<f32>) -> Volume {
+        let meta = VolumeMeta {
+            name: name.into(),
+            dims,
+            seed: 0,
+        };
+        assert_eq!(
+            data.len() as u64,
+            meta.voxel_count(),
+            "voxel data does not match dims"
+        );
+        Volume {
+            meta,
+            source: VolumeSource::InMemory(Arc::new(data)),
+        }
+    }
+
+    pub fn dims(&self) -> [u32; 3] {
+        self.meta.dims
+    }
+
+    /// Read an **in-bounds** region into `out` (x-fastest layout).
+    pub fn read_region(&self, origin: [u32; 3], size: [usize; 3], out: &mut [f32]) {
+        let d = self.meta.dims;
+        assert!(
+            origin[0] as usize + size[0] <= d[0] as usize
+                && origin[1] as usize + size[1] <= d[1] as usize
+                && origin[2] as usize + size[2] <= d[2] as usize,
+            "region out of bounds: origin {origin:?} size {size:?} dims {d:?}"
+        );
+        assert_eq!(out.len(), size[0] * size[1] * size[2]);
+
+        match &self.source {
+            VolumeSource::Procedural(field) => {
+                materialize_procedural(field.as_ref(), d, origin, size, out);
+            }
+            VolumeSource::File(path) => {
+                io::read_region(path, d, origin, size, out)
+                    .unwrap_or_else(|e| panic!("reading region from {path:?}: {e}"));
+            }
+            VolumeSource::InMemory(data) => {
+                let (dx, dy) = (d[0] as usize, d[1] as usize);
+                for z in 0..size[2] {
+                    for y in 0..size[1] {
+                        let src_row = (origin[2] as usize + z) * dx * dy
+                            + (origin[1] as usize + y) * dx
+                            + origin[0] as usize;
+                        let dst_row = (z * size[1] + y) * size[0];
+                        out[dst_row..dst_row + size[0]]
+                            .copy_from_slice(&data[src_row..src_row + size[0]]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materialize a region that may extend past the volume (negative or
+    /// too-large coordinates), replicating edge voxels — the same clamping a
+    /// CUDA 3-D texture in clamp-address mode performs. This is what gives
+    /// bricks their ghost layers.
+    pub fn materialize_clamped(&self, origin: [i64; 3], size: [usize; 3]) -> Vec<f32> {
+        let d = self.meta.dims;
+        // In-bounds core that actually needs reading.
+        let lo = [0usize, 1, 2].map(|a| origin[a].clamp(0, d[a] as i64 - 1) as u32);
+        let hi = [0usize, 1, 2]
+            .map(|a| (origin[a] + size[a] as i64).clamp(1, d[a] as i64) as u32);
+        let core_size = [0usize, 1, 2].map(|a| (hi[a].max(lo[a] + 1) - lo[a]) as usize);
+        let mut core = vec![0f32; core_size[0] * core_size[1] * core_size[2]];
+        self.read_region(lo, core_size, &mut core);
+
+        // Map every output voxel to its clamped coordinate inside the core.
+        let mut idx = [Vec::new(), Vec::new(), Vec::new()];
+        for a in 0..3 {
+            idx[a] = (0..size[a])
+                .map(|i| {
+                    let g = (origin[a] + i as i64).clamp(0, d[a] as i64 - 1) as u32;
+                    (g - lo[a]) as usize
+                })
+                .collect();
+        }
+
+        let mut out = vec![0f32; size[0] * size[1] * size[2]];
+        let (cx, cy) = (core_size[0], core_size[1]);
+        for z in 0..size[2] {
+            let zc = idx[2][z] * cx * cy;
+            for y in 0..size[1] {
+                let yc = zc + idx[1][y] * cx;
+                let row = (z * size[1] + y) * size[0];
+                for x in 0..size[0] {
+                    out[row + x] = core[yc + idx[0][x]];
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialize the entire volume (small volumes and tests only).
+    pub fn materialize_full(&self) -> Vec<f32> {
+        let d = self.meta.dims;
+        let size = [d[0] as usize, d[1] as usize, d[2] as usize];
+        let mut out = vec![0f32; size[0] * size[1] * size[2]];
+        self.read_region([0, 0, 0], size, &mut out);
+        out
+    }
+
+    /// Voxel value at integer coordinates (clamped); for tests and point
+    /// probes, not bulk access.
+    pub fn voxel(&self, x: i64, y: i64, z: i64) -> f32 {
+        self.materialize_clamped([x, y, z], [1, 1, 1])[0]
+    }
+}
+
+/// Sample a field at voxel centers over a region, splitting z-slabs across
+/// threads for large regions.
+fn materialize_procedural(
+    field: &dyn ScalarField,
+    dims: [u32; 3],
+    origin: [u32; 3],
+    size: [usize; 3],
+    out: &mut [f32],
+) {
+    let inv = [
+        1.0 / dims[0] as f32,
+        1.0 / dims[1] as f32,
+        1.0 / dims[2] as f32,
+    ];
+    let fill_slab = |z_lo: usize, z_hi: usize, slab: &mut [f32]| {
+        for (zi, z) in (z_lo..z_hi).enumerate() {
+            let wz = (origin[2] as f32 + z as f32 + 0.5) * inv[2];
+            for y in 0..size[1] {
+                let wy = (origin[1] as f32 + y as f32 + 0.5) * inv[1];
+                let row = (zi * size[1] + y) * size[0];
+                for x in 0..size[0] {
+                    let wx = (origin[0] as f32 + x as f32 + 0.5) * inv[0];
+                    slab[row + x] = field.sample(wx, wy, wz);
+                }
+            }
+        }
+    };
+
+    let total = size[0] * size[1] * size[2];
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if total < (1 << 18) || threads < 2 || size[2] < 2 {
+        fill_slab(0, size[2], out);
+        return;
+    }
+
+    let slab_voxels = size[0] * size[1];
+    let chunk_z = size[2].div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ti, chunk) in out.chunks_mut(chunk_z * slab_voxels).enumerate() {
+            let z_lo = ti * chunk_z;
+            let z_hi = (z_lo + chunk.len() / slab_voxels).min(size[2]);
+            scope.spawn(move || fill_slab(z_lo, z_hi, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::AxisRamp;
+
+    fn ramp_volume(dims: [u32; 3]) -> Volume {
+        Volume::procedural("ramp", dims, 0, Arc::new(AxisRamp { axis: 0 }))
+    }
+
+    #[test]
+    fn meta_math() {
+        let m = VolumeMeta {
+            name: "v".into(),
+            dims: [64, 64, 64],
+            seed: 0,
+        };
+        assert_eq!(m.voxel_count(), 262_144);
+        assert_eq!(m.bytes(), 1_048_576); // the paper's 1 MiB 64³ brick
+        assert_eq!(m.label(), "v-64^3");
+    }
+
+    #[test]
+    fn procedural_samples_at_voxel_centers() {
+        let v = ramp_volume([8, 4, 4]);
+        let full = v.materialize_full();
+        // x=0 center is 0.5/8; x=7 center is 7.5/8.
+        assert!((full[0] - 0.0625).abs() < 1e-6);
+        assert!((full[7] - 0.9375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn in_memory_region_read() {
+        let dims = [4u32, 3, 2];
+        let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        let v = Volume::in_memory("m", dims, data);
+        let mut out = vec![0f32; 2 * 2 * 1];
+        v.read_region([1, 1, 1], [2, 2, 1], &mut out);
+        // index = x + 4*(y + 3*z): (1,1,1)=17, (2,1,1)=18, (1,2,1)=21, (2,2,1)=22
+        assert_eq!(out, vec![17.0, 18.0, 21.0, 22.0]);
+    }
+
+    #[test]
+    fn clamped_region_replicates_edges() {
+        let dims = [2u32, 2, 2];
+        let data: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let v = Volume::in_memory("m", dims, data);
+        // One-voxel ghost all around a 2³ volume = 4³ output.
+        let out = v.materialize_clamped([-1, -1, -1], [4, 4, 4]);
+        assert_eq!(out.len(), 64);
+        // Corner ghost voxel replicates voxel (0,0,0) = 0.
+        assert_eq!(out[0], 0.0);
+        // Far corner replicates voxel (1,1,1) = 7.
+        assert_eq!(out[63], 7.0);
+        // Interior voxel (1,1,1) of output = volume voxel (0,0,0).
+        assert_eq!(out[1 + 4 * (1 + 4)], 0.0);
+        // Output (2,2,2) = volume voxel (1,1,1) = 7.
+        assert_eq!(out[2 + 4 * (2 + 4 * 2)], 7.0);
+    }
+
+    #[test]
+    fn clamped_equals_unclamped_inside() {
+        let v = ramp_volume([16, 16, 16]);
+        let a = v.materialize_clamped([4, 5, 6], [3, 3, 3]);
+        let mut b = vec![0f32; 27];
+        v.read_region([4, 5, 6], [3, 3, 3], &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_and_serial_materialization_agree() {
+        // Big enough to trigger the threaded path.
+        let v = ramp_volume([128, 64, 64]);
+        let par = v.materialize_full();
+        let mut ser = vec![0f32; par.len()];
+        // Force serial by materializing slab-by-slab.
+        for z in 0..64 {
+            let mut slab = vec![0f32; 128 * 64];
+            v.read_region([0, 0, z], [128, 64, 1], &mut slab);
+            ser[(z as usize) * 128 * 64..(z as usize + 1) * 128 * 64].copy_from_slice(&slab);
+        }
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn voxel_probe() {
+        let dims = [4u32, 4, 4];
+        let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let v = Volume::in_memory("m", dims, data);
+        assert_eq!(v.voxel(1, 2, 3), (1 + 4 * (2 + 4 * 3)) as f32);
+        // Clamped outside.
+        assert_eq!(v.voxel(-5, 0, 0), 0.0);
+        assert_eq!(v.voxel(9, 3, 3), 63.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "region out of bounds")]
+    fn read_region_rejects_oob() {
+        let v = ramp_volume([8, 8, 8]);
+        let mut out = vec![0f32; 8];
+        v.read_region([6, 0, 0], [8, 1, 1], &mut out);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for brick geometry, clamped materialization and the
+//! brick store.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, Volume};
+
+fn arb_dims() -> impl Strategy<Value = [u32; 3]> {
+    (2u32..40, 2u32..40, 2u32..40).prop_map(|(x, y, z)| [x, y, z])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bricks_partition_the_volume(
+        dims in arb_dims(),
+        min_bricks in 1u32..30,
+        max_vox in 8u64..5000,
+    ) {
+        let grid = BrickGrid::subdivide(dims, &BrickPolicy { min_bricks, max_brick_voxels: max_vox });
+        // Total voxels conserved.
+        let total: u64 = grid.bricks().map(|b| b.voxels()).sum();
+        prop_assert_eq!(total, dims[0] as u64 * dims[1] as u64 * dims[2] as u64);
+        // Per-axis: origins tile each axis without gaps.
+        for b in grid.bricks() {
+            for a in 0..3 {
+                prop_assert!(b.origin[a] + b.size[a] <= dims[a]);
+                prop_assert!(b.size[a] >= 1);
+            }
+        }
+        // VRAM constraint honored unless unsatisfiable (single voxel bricks).
+        if grid.max_brick_voxels() > max_vox {
+            prop_assert!(grid.bricks().any(|b| b.size.contains(&1)));
+        }
+    }
+
+    #[test]
+    fn brick_ids_round_trip_through_coords(
+        dims in arb_dims(),
+        min_bricks in 1u32..20,
+    ) {
+        let grid = BrickGrid::subdivide(dims, &BrickPolicy { min_bricks, max_brick_voxels: u64::MAX });
+        for id in 0..grid.brick_count() {
+            let c = grid.coords(id);
+            let back = (c[2] * grid.counts[1] + c[1]) * grid.counts[0] + c[0];
+            prop_assert_eq!(back as usize, id);
+        }
+    }
+
+    #[test]
+    fn clamped_materialization_matches_pointwise_clamp(
+        dims in (2u32..8, 2u32..8, 2u32..8).prop_map(|(x, y, z)| [x, y, z]),
+        origin in (-3i64..8, -3i64..8, -3i64..8).prop_map(|(x, y, z)| [x, y, z]),
+        size in (1usize..6, 1usize..6, 1usize..6).prop_map(|(x, y, z)| [x, y, z]),
+        seed in 0u64..1000,
+    ) {
+        let n = (dims[0] * dims[1] * dims[2]) as usize;
+        let data: Vec<f32> = (0..n).map(|i| ((i as u64 * 37 + seed) % 101) as f32).collect();
+        let vol = Volume::in_memory("p", dims, data.clone());
+        let out = vol.materialize_clamped(origin, size);
+        for z in 0..size[2] {
+            for y in 0..size[1] {
+                for x in 0..size[0] {
+                    let cx = (origin[0] + x as i64).clamp(0, dims[0] as i64 - 1) as usize;
+                    let cy = (origin[1] + y as i64).clamp(0, dims[1] as i64 - 1) as usize;
+                    let cz = (origin[2] + z as i64).clamp(0, dims[2] as i64 - 1) as usize;
+                    let expect = data[cx + dims[0] as usize * (cy + dims[1] as usize * cz)];
+                    let got = out[x + size[0] * (y + size[1] * z)];
+                    prop_assert_eq!(got, expect, "at ({},{},{})", x, y, z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_ghosts_agree_between_neighbours(
+        seed in 0u64..500,
+        min_bricks in 2u32..12,
+    ) {
+        let dims = [12u32, 12, 12];
+        let n = (dims[0] * dims[1] * dims[2]) as usize;
+        let data: Vec<f32> = (0..n).map(|i| ((i as u64).wrapping_mul(seed | 1) % 255) as f32).collect();
+        let vol = Volume::in_memory("p", dims, data);
+        let grid = BrickGrid::subdivide(dims, &BrickPolicy { min_bricks, max_brick_voxels: u64::MAX });
+        let store = Arc::new(BrickStore::new(vol.clone(), grid, 1, u64::MAX));
+        // Every brick's stored voxels must equal a direct clamped read.
+        for id in 0..store.grid().brick_count() {
+            let b = store.get(id);
+            let expect = vol.materialize_clamped(b.store_origin, b.store_dims);
+            prop_assert_eq!(&*b.voxels, &expect, "brick {}", id);
+        }
+    }
+
+    #[test]
+    fn store_budget_is_respected_after_every_access(
+        budget_bricks in 1u64..5,
+        accesses in prop::collection::vec(0usize..8, 1..40),
+    ) {
+        let dims = [8u32, 8, 8];
+        let vol = Volume::in_memory("p", dims, vec![0.5; 512]);
+        let grid = BrickGrid::subdivide(dims, &BrickPolicy { min_bricks: 8, max_brick_voxels: u64::MAX });
+        // Brick with ghost = 6³ × 4 B = 864 B.
+        let store = BrickStore::new(vol, grid, 1, budget_bricks * 864);
+        for &id in &accesses {
+            let _ = store.get(id);
+            prop_assert!(
+                store.cached_bytes() <= budget_bricks.max(1) * 864,
+                "cache over budget: {}",
+                store.cached_bytes()
+            );
+        }
+    }
+}

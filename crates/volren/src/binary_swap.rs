@@ -1,0 +1,259 @@
+//! Binary-swap compositing — the pluggable alternative of §6.1.
+//!
+//! "Swap compositing can be implemented by changing the partitioning on each
+//! node. Every node would consume all generated ray fragments to create its
+//! partial image. The reduction phase would then be changed to perform swap
+//! compositing."
+//!
+//! Functionally, *over*'s associativity guarantees the same pixels as
+//! direct-send, so the renderer reuses the direct-send job's reduced output;
+//! what changes is the **communication/compute schedule**, modeled here:
+//!
+//! 1. Map: unchanged (bricks → kernels → fragment readback).
+//! 2. Each GPU sorts and composites its own fragments into a partial image.
+//! 3. `log2(G)` synchronized rounds: each GPU exchanges half of its current
+//!    image region with its partner (`rank XOR 2^k`) and composites what it
+//!    received — region halves every round, so round `k` moves
+//!    `W·H/2^(k+1)` dense pixels per GPU.
+//! 4. Final gather/stitch is excluded from timings, as in the paper.
+//!
+//! Against direct-send this trades per-message overhead (few, large, dense
+//! messages) for synchronization (rounds are barriers) and for sending
+//! *pixels* rather than only surviving fragments — which is why the paper
+//! prefers direct-send at these scales.
+
+use mgpu_cluster::{route, ClusterSpec, GpuId, ResourceMap, Route};
+use mgpu_mapreduce::{CostBook, JobRecord, TraceOptions};
+use mgpu_sim::{account, simulate, Activity, RunAccounting, SimDuration, TaskId, Trace};
+
+/// Bytes per exchanged pixel (premultiplied RGBA f32).
+const PIXEL_BYTES: u64 = 16;
+
+/// Build and replay the binary-swap schedule for a completed map phase.
+///
+/// `image_pixels` is the dense image size (binary swap exchanges image
+/// regions, not sparse fragments). GPUs must be a power of two — the classic
+/// binary-swap restriction (the 2-3 swap generalization is future work here,
+/// as it was in 2010).
+pub fn account_binary_swap(
+    record: &JobRecord,
+    spec: &ClusterSpec,
+    opts: &TraceOptions,
+    image_pixels: u64,
+) -> RunAccounting {
+    let g = record.mappers.len() as u32;
+    assert!(g.is_power_of_two(), "binary swap requires a power-of-two GPU count, got {g}");
+    let book = CostBook::from_cluster(spec);
+
+    let mut tr = Trace::new();
+    let rm = ResourceMap::build(spec, &mut tr);
+
+    // Phase 1+2: map chains and the local composite per GPU.
+    let mut ready: Vec<TaskId> = Vec::with_capacity(g as usize);
+    for (m, mapper) in record.mappers.iter().enumerate() {
+        let gpu = GpuId(m as u32);
+        let pcie_r = rm.pcie_r(gpu);
+        let gpu_r = rm.gpu_r(gpu);
+        let core_r = rm.core_r(gpu);
+        let disk_r = rm.disk_r(spec, gpu);
+
+        let mut prev_disk: Option<TaskId> = None;
+        let mut prev_gpu_op: Option<TaskId> = None;
+        let mut last_d2h: Option<TaskId> = None;
+        for chunk in &mapper.chunks {
+            let disk_task = (chunk.disk_bytes > 0).then(|| {
+                let t = tr.comm_task(
+                    Activity::DiskRead,
+                    disk_r,
+                    book.disk.time(chunk.disk_bytes),
+                    SimDuration::ZERO,
+                    chunk.disk_bytes,
+                    prev_disk.into_iter().collect(),
+                );
+                prev_disk = Some(t);
+                t
+            });
+            let mut h2d_deps: Vec<TaskId> = disk_task.into_iter().collect();
+            if !opts.async_upload {
+                h2d_deps.extend(prev_gpu_op);
+            }
+            let h2d = tr.comm_task(
+                Activity::HostToDevice,
+                pcie_r,
+                book.device.h2d_time(chunk.device_bytes),
+                SimDuration::ZERO,
+                chunk.device_bytes,
+                h2d_deps,
+            );
+            let kernel = tr.task(
+                Activity::Kernel,
+                gpu_r,
+                book.device.kernel.time(&chunk.launch),
+                vec![h2d],
+            );
+            let d2h = tr.comm_task(
+                Activity::DeviceToHost,
+                pcie_r,
+                book.device.d2h_time(chunk.emission_bytes),
+                SimDuration::ZERO,
+                chunk.emission_bytes,
+                vec![kernel],
+            );
+            prev_gpu_op = Some(d2h);
+            last_d2h = Some(d2h);
+        }
+
+        // Local composite of this GPU's fragments into its partial image.
+        let kept: u64 = mapper.chunks.iter().map(|c| c.kept).sum();
+        let groups = kept.min(image_pixels);
+        let sort = tr.task(
+            Activity::SortCpu,
+            core_r,
+            book.cpu.sort_time(kept),
+            last_d2h.into_iter().collect(),
+        );
+        let composite = tr.task(
+            Activity::ReduceCpu,
+            core_r,
+            book.cpu.reduce_time(kept, groups),
+            vec![sort],
+        );
+        ready.push(composite);
+    }
+
+    // Phase 3: log2(G) swap rounds.
+    let rounds = g.trailing_zeros();
+    for k in 0..rounds {
+        let mut next: Vec<TaskId> = Vec::with_capacity(g as usize);
+        let pixels_moved = image_pixels >> (k + 1);
+        let bytes = pixels_moved.max(1) * PIXEL_BYTES;
+        // First compute all send tasks of this round…
+        let mut sends: Vec<TaskId> = Vec::with_capacity(g as usize);
+        for r in 0..g {
+            let partner = r ^ (1 << k);
+            let gpu = GpuId(r);
+            let dst = GpuId(partner);
+            let send = match route(spec, gpu, dst) {
+                Route::SameProcess => unreachable!("partner is never self"),
+                Route::IntraNode => tr.comm_task(
+                    Activity::LocalCopy,
+                    rm.core_r(gpu),
+                    spec.network.intra_node_time(bytes),
+                    SimDuration::ZERO,
+                    bytes,
+                    vec![ready[r as usize]],
+                ),
+                Route::InterNode => {
+                    let s = tr.comm_task(
+                        Activity::NetSend,
+                        rm.nic_out_r(spec, gpu),
+                        spec.network.send_time(bytes),
+                        spec.network.wire_latency(),
+                        bytes,
+                        vec![ready[r as usize]],
+                    );
+                    tr.comm_task(
+                        Activity::NetRecv,
+                        rm.nic_in_r(spec, dst),
+                        spec.network.recv_time(bytes),
+                        SimDuration::ZERO,
+                        bytes,
+                        vec![s],
+                    )
+                }
+            };
+            sends.push(send);
+        }
+        // …then every GPU merges what its partner sent.
+        for r in 0..g {
+            let partner = r ^ (1 << k);
+            let gpu = GpuId(r);
+            let merge = tr.task(
+                Activity::ReduceCpu,
+                rm.core_r(gpu),
+                book.cpu.reduce_time(pixels_moved, pixels_moved),
+                vec![ready[r as usize], sends[partner as usize]],
+            );
+            next.push(merge);
+        }
+        ready = next;
+    }
+
+    let schedule = simulate(&tr);
+    account(&tr, &schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_gpu::LaunchStats;
+    use mgpu_mapreduce::{ChunkRecord, MapperRecord, ReducerRecord};
+
+    fn record(gpus: usize) -> JobRecord {
+        let mut rec = JobRecord::default();
+        for m in 0..gpus {
+            rec.mappers.push(MapperRecord {
+                chunks: vec![ChunkRecord {
+                    chunk_id: m,
+                    disk_bytes: 0,
+                    device_bytes: 1 << 20,
+                    launch: LaunchStats {
+                        threads: 4096,
+                        blocks: 16,
+                        warps: 128,
+                        total_samples: 1_000_000,
+                        simt_samples: 1_200_000,
+                    },
+                    emitted: 4096,
+                    kept: 2000,
+                    emission_bytes: 4096 * 28,
+                }],
+                sends: Vec::new(),
+                init_bytes: 4096,
+            });
+            rec.reducers.push(ReducerRecord::default());
+        }
+        rec
+    }
+
+    #[test]
+    fn produces_complete_breakdown() {
+        let spec = ClusterSpec::accelerator_cluster(8);
+        let acc = account_binary_swap(&record(8), &spec, &TraceOptions::default(), 64 * 64);
+        assert!(!acc.breakdown.map.is_zero());
+        assert!(!acc.breakdown.reduce.is_zero());
+        assert_eq!(acc.breakdown.total(), acc.makespan);
+    }
+
+    #[test]
+    fn round_count_scales_logarithmically() {
+        let spec2 = ClusterSpec::accelerator_cluster(2);
+        let spec16 = ClusterSpec::accelerator_cluster(16);
+        let a2 = account_binary_swap(&record(2), &spec2, &TraceOptions::default(), 256 * 256);
+        let a16 = account_binary_swap(&record(16), &spec16, &TraceOptions::default(), 256 * 256);
+        // 2 GPUs: 1 round, all intra-node. 16 GPUs: 4 rounds, some inter-node.
+        assert_eq!(a2.totals(Activity::NetSend).tasks, 0);
+        assert!(a16.totals(Activity::NetSend).tasks > 0);
+        let merges2 = a2.totals(Activity::ReduceCpu).tasks;
+        let merges16 = a16.totals(Activity::ReduceCpu).tasks;
+        assert_eq!(merges2, 2 + 2); // local composite + 1 round × 2 GPUs
+        assert_eq!(merges16, 16 + 4 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let spec = ClusterSpec::accelerator_cluster(6);
+        account_binary_swap(&record(6), &spec, &TraceOptions::default(), 64 * 64);
+    }
+
+    #[test]
+    fn bytes_halve_each_round() {
+        let spec = ClusterSpec::accelerator_cluster(4);
+        let acc = account_binary_swap(&record(4), &spec, &TraceOptions::default(), 1 << 16);
+        // All traffic is intra-node for 4 GPUs; round 0 moves 2^15 pixels per
+        // GPU, round 1 moves 2^14: total = 4·(2^15+2^14)·16 B.
+        let total = acc.totals(Activity::LocalCopy).bytes;
+        assert_eq!(total, 4 * ((1 << 15) + (1 << 14)) * 16);
+    }
+}

@@ -1,0 +1,80 @@
+//! Ray fragments: the key–value pairs of the rendering MapReduce job.
+//!
+//! The key is the pixel index (`y·width + x`, §3.1.2); the value is the
+//! partially composited color of one ray segment through one brick plus the
+//! segment's parametric extent — homogeneous POD, exactly the paper's
+//! emission restriction. Colors are premultiplied by alpha so compositing is
+//! the associative *over* operator (what makes partial-ray compositing legal
+//! at all). The exit depth exists so a combiner can prove two segments are
+//! adjacent along the ray before merging them — the only safe way to combine
+//! fragments.
+
+use mgpu_mapreduce::WireValue;
+
+/// One ray segment's contribution: premultiplied RGBA plus `[depth, exit)`,
+/// the half-open parametric interval the segment covered.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Fragment {
+    /// Premultiplied color: `[r·a, g·a, b·a, a]`.
+    pub color: [f32; 4],
+    /// Ray parameter at brick entry — the depth-sort key for compositing.
+    pub depth: f32,
+    /// Ray parameter at brick exit (half-open).
+    pub exit: f32,
+}
+
+impl WireValue for Fragment {
+    /// 4 color floats + entry + exit = 24 bytes on the wire (28 with the
+    /// 4-byte pixel key; the paper's fragment is 24 including its key — ours
+    /// carries the extra exit float to make combining provably safe).
+    const WIRE_BYTES: usize = 24;
+}
+
+impl Fragment {
+    pub fn is_empty(&self) -> bool {
+        self.color[3] <= 0.0
+    }
+
+    /// Whether `next` starts exactly where `self` ends along the ray (within
+    /// `tol`), i.e. no other brick's segment can lie between them.
+    pub fn adjacent_before(&self, next: &Fragment, tol: f32) -> bool {
+        (self.exit - next.depth).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgpu_mapreduce::pair_wire_bytes;
+
+    #[test]
+    fn wire_size_is_28_with_key() {
+        assert_eq!(pair_wire_bytes::<Fragment>(), 28);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Fragment::default().is_empty());
+    }
+
+    #[test]
+    fn adjacency() {
+        let a = Fragment {
+            depth: 0.0,
+            exit: 2.0,
+            ..Default::default()
+        };
+        let b = Fragment {
+            depth: 2.0,
+            exit: 4.0,
+            ..Default::default()
+        };
+        let c = Fragment {
+            depth: 3.0,
+            exit: 5.0,
+            ..Default::default()
+        };
+        assert!(a.adjacent_before(&b, 1e-4));
+        assert!(!a.adjacent_before(&c, 1e-4));
+    }
+}

@@ -1,0 +1,281 @@
+//! The ray-casting map kernel (§3.2), executed for real by the software GPU.
+//!
+//! Per thread: one pixel of the brick's sub-image. The ray is intersected
+//! against the brick's bounding box; surviving rays march the brick at fixed
+//! increments on a **global** sample grid (`t_k = (k + 0.5)·step`, identical
+//! for every brick), sampling the 3-D texture trilinearly, classifying
+//! through the 1-D transfer-function texture, accumulating front-to-back
+//! with early ray termination. Threads with nothing to contribute emit the
+//! sentinel placeholder — the paper's "every GPU thread must emit" rule.
+//!
+//! Two details make bricked rendering bit-compatible with unbricked:
+//! * the global `t` grid means sample *positions* do not depend on how the
+//!   volume was bricked;
+//! * half-open segment ownership (`t ∈ [t_enter, t_exit)`) means each sample
+//!   belongs to exactly one brick along the ray.
+
+use mgpu_gpu::{Kernel, Texture1D, Texture3D, ThreadCtx};
+use mgpu_mapreduce::{Key, SENTINEL_KEY};
+
+use crate::camera::Camera;
+use crate::composite::accumulate;
+use crate::fragment::Fragment;
+use crate::math::Vec3;
+
+/// Alpha below which a fragment is considered empty and discarded.
+pub const EMPTY_ALPHA: f32 = 1e-5;
+
+/// The ray-cast kernel for one brick.
+pub struct RayCastKernel<'a> {
+    pub camera: &'a Camera,
+    pub lut: &'a Texture1D,
+    pub texture: &'a Texture3D,
+    /// World coordinate of the stored array's origin (core origin − ghost).
+    pub store_origin: Vec3,
+    /// Brick core box in world (voxel) coordinates.
+    pub core_lo: Vec3,
+    pub core_hi: Vec3,
+    /// Full image dimensions.
+    pub image: (u32, u32),
+    /// Sub-image (footprint) origin this launch covers.
+    pub offset: (u32, u32),
+    /// Step along the ray in voxel units (the global sample grid).
+    pub step: f32,
+    /// Early-ray-termination opacity threshold (≥ 1.0 disables).
+    pub early_term: f32,
+}
+
+impl RayCastKernel<'_> {
+    /// Whether opacity correction is needed (`step ≠ 1`).
+    #[inline]
+    fn needs_correction(&self) -> bool {
+        (self.step - 1.0).abs() > 1e-6
+    }
+}
+
+impl Kernel for RayCastKernel<'_> {
+    type Out = (Key, Fragment);
+
+    fn thread(&self, ctx: &mut ThreadCtx) -> (Key, Fragment) {
+        let px = self.offset.0 + ctx.global.0;
+        let py = self.offset.1 + ctx.global.1;
+        // Padding threads outside the image emit placeholders.
+        if px >= self.image.0 || py >= self.image.1 {
+            return (SENTINEL_KEY, Fragment::default());
+        }
+
+        let ray = self.camera.ray(px, py, self.image.0, self.image.1);
+        let Some((t0, t1)) = ray.intersect_aabb(self.core_lo, self.core_hi) else {
+            return (SENTINEL_KEY, Fragment::default());
+        };
+
+        // First global sample index with t_k = (k + 0.5)·step ≥ t0.
+        let mut k = (t0 / self.step - 0.5).ceil().max(0.0) as u64;
+        let correct = self.needs_correction();
+        let mut acc = [0f32; 4];
+        loop {
+            let t = (k as f32 + 0.5) * self.step;
+            if t >= t1 {
+                break; // half-open ownership: t1 belongs to the next brick
+            }
+            let p = ray.at(t);
+            let v = self.texture.sample(
+                p.x - self.store_origin.x,
+                p.y - self.store_origin.y,
+                p.z - self.store_origin.z,
+            );
+            ctx.tally(1);
+            let rgba = self.lut.sample(v);
+            let mut a = rgba[3];
+            if correct && a > 0.0 {
+                a = 1.0 - (1.0 - a).powf(self.step);
+            }
+            if a > 0.0 {
+                accumulate(&mut acc, [rgba[0], rgba[1], rgba[2]], a);
+                if acc[3] >= self.early_term {
+                    break;
+                }
+            }
+            k += 1;
+        }
+
+        if acc[3] <= EMPTY_ALPHA {
+            // "Ray fragments with no contributions are discarded."
+            return (SENTINEL_KEY, Fragment::default());
+        }
+        let key = py * self.image.0 + px;
+        (
+            key,
+            Fragment {
+                color: acc,
+                depth: t0,
+                exit: t1,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Scene;
+    use crate::math::vec3;
+    use crate::transfer::TransferFunction;
+    use mgpu_gpu::{launch, LaunchConfig};
+    use mgpu_voldata::Dataset;
+
+    /// A uniform 8³ texture (with ghost padding) of constant density.
+    fn flat_texture(value: f32) -> Texture3D {
+        Texture3D::new([10, 10, 10], vec![value; 1000])
+    }
+
+    fn test_scene() -> Scene {
+        let v = Dataset::Skull.volume(8);
+        Scene::orbit(&v, 30.0, 20.0, TransferFunction::grayscale())
+    }
+
+    fn run_kernel(kernel: &RayCastKernel<'_>, w: u32, h: u32) -> Vec<(Key, Fragment)> {
+        let out = launch(kernel, LaunchConfig::cover(w, h), 1);
+        out.outputs
+    }
+
+    #[test]
+    fn every_thread_emits_and_misses_are_sentinels() {
+        let tex = flat_texture(0.5);
+        let lut = TransferFunction::grayscale().bake();
+        let scene = test_scene();
+        let kernel = RayCastKernel {
+            camera: &scene.camera,
+            lut: &lut,
+            texture: &tex,
+            store_origin: vec3(-1.0, -1.0, -1.0),
+            core_lo: Vec3::ZERO,
+            core_hi: vec3(8.0, 8.0, 8.0),
+            image: (64, 64),
+            offset: (0, 0),
+            step: 1.0,
+            early_term: 1.1,
+        };
+        let outs = run_kernel(&kernel, 64, 64);
+        assert_eq!(outs.len(), 64 * 64);
+        let hits = outs.iter().filter(|(k, _)| *k != SENTINEL_KEY).count();
+        let sentinels = outs.len() - hits;
+        assert!(hits > 0, "no ray hit the box");
+        assert!(sentinels > 0, "some padding/missing rays expected");
+        for (k, f) in &outs {
+            if *k != SENTINEL_KEY {
+                assert!(*k < 64 * 64);
+                assert!(f.color[3] > 0.0);
+                assert!(f.depth >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn denser_volume_yields_higher_alpha() {
+        let lut = TransferFunction::grayscale().bake();
+        let scene = test_scene();
+        let mut alphas = Vec::new();
+        for density in [0.2f32, 0.6] {
+            let tex = flat_texture(density);
+            let kernel = RayCastKernel {
+                camera: &scene.camera,
+                lut: &lut,
+                texture: &tex,
+                store_origin: vec3(-1.0, -1.0, -1.0),
+                core_lo: Vec3::ZERO,
+                core_hi: vec3(8.0, 8.0, 8.0),
+                image: (32, 32),
+                offset: (0, 0),
+                step: 1.0,
+                early_term: 1.1,
+            };
+            let outs = run_kernel(&kernel, 32, 32);
+            let best = outs
+                .iter()
+                .filter(|(k, _)| *k != SENTINEL_KEY)
+                .map(|(_, f)| f.color[3])
+                .fold(0f32, f32::max);
+            alphas.push(best);
+        }
+        assert!(alphas[1] > alphas[0]);
+    }
+
+    #[test]
+    fn early_termination_reduces_samples() {
+        let tex = flat_texture(1.0); // fully opaque everywhere
+        let lut = TransferFunction::grayscale().bake();
+        let scene = test_scene();
+        let base = RayCastKernel {
+            camera: &scene.camera,
+            lut: &lut,
+            texture: &tex,
+            store_origin: vec3(-1.0, -1.0, -1.0),
+            core_lo: Vec3::ZERO,
+            core_hi: vec3(8.0, 8.0, 8.0),
+            image: (32, 32),
+            offset: (0, 0),
+            step: 1.0,
+            early_term: 1.1,
+        };
+        let no_et = launch(&base, LaunchConfig::cover(32, 32), 1).stats;
+        let with_et = RayCastKernel {
+            early_term: 0.95,
+            ..base
+        };
+        let et = launch(&with_et, LaunchConfig::cover(32, 32), 1).stats;
+        assert!(
+            et.total_samples < no_et.total_samples,
+            "ET must cut samples: {} vs {}",
+            et.total_samples,
+            no_et.total_samples
+        );
+    }
+
+    #[test]
+    fn offset_launch_covers_sub_image() {
+        let tex = flat_texture(0.5);
+        let lut = TransferFunction::grayscale().bake();
+        let scene = test_scene();
+        let kernel = RayCastKernel {
+            camera: &scene.camera,
+            lut: &lut,
+            texture: &tex,
+            store_origin: vec3(-1.0, -1.0, -1.0),
+            core_lo: Vec3::ZERO,
+            core_hi: vec3(8.0, 8.0, 8.0),
+            image: (64, 64),
+            offset: (16, 16),
+            step: 1.0,
+            early_term: 1.1,
+        };
+        let outs = run_kernel(&kernel, 32, 32);
+        for (k, _) in outs.iter().filter(|(k, _)| *k != SENTINEL_KEY) {
+            let x = k % 64;
+            let y = k / 64;
+            assert!((16..48).contains(&x), "x {x} outside sub-image");
+            assert!((16..48).contains(&y), "y {y} outside sub-image");
+        }
+    }
+
+    #[test]
+    fn empty_volume_emits_only_sentinels() {
+        let tex = flat_texture(0.0);
+        let lut = TransferFunction::bone().bake(); // air is transparent
+        let scene = test_scene();
+        let kernel = RayCastKernel {
+            camera: &scene.camera,
+            lut: &lut,
+            texture: &tex,
+            store_origin: vec3(-1.0, -1.0, -1.0),
+            core_lo: Vec3::ZERO,
+            core_hi: vec3(8.0, 8.0, 8.0),
+            image: (32, 32),
+            offset: (0, 0),
+            step: 1.0,
+            early_term: 1.1,
+        };
+        let outs = run_kernel(&kernel, 32, 32);
+        assert!(outs.iter().all(|(k, _)| *k == SENTINEL_KEY));
+    }
+}

@@ -1,0 +1,46 @@
+//! # mgpu-volren — the multi-GPU MapReduce volume renderer
+//!
+//! The application layer of the reproduction of *"Multi-GPU Volume Rendering
+//! using MapReduce"* (Stuart et al., 2010): ray-casting volume rendering as
+//! a MapReduce job over volume bricks.
+//!
+//! * Map — [`kernel::RayCastKernel`] per [`brick::RenderBrick`] (§3.2: 16×16
+//!   blocks over the brick's screen footprint, ray–box intersection,
+//!   fixed-step trilinear sampling, 1-D transfer function, early
+//!   termination, front-to-back compositing);
+//! * Partition — pixel-index keys, per-pixel round-robin
+//!   ([`config::PartitionStrategy`] offers the alternatives);
+//! * Sort — θ(n) counting sort in the substrate;
+//! * Reduce — [`reduce::CompositeReducer`]: per-pixel depth sort + *over*.
+//!
+//! [`renderer::render`] drives the whole pipeline and returns a real image
+//! plus the DES-replayed timing report. [`baseline`] holds the unbricked
+//! reference renderer (the correctness oracle) and the ParaView-class
+//! comparator from the paper's footnote 1; [`binary_swap`] models the
+//! alternative compositor of §6.1.
+
+pub mod baseline;
+pub mod binary_swap;
+pub mod brick;
+pub mod camera;
+pub mod combine;
+pub mod composite;
+pub mod config;
+pub mod fragment;
+pub mod image;
+pub mod kernel;
+pub mod mapper;
+pub mod math;
+pub mod ray;
+pub mod reduce;
+pub mod renderer;
+pub mod stitch;
+pub mod transfer;
+
+pub use brick::{RenderBrick, Staging};
+pub use camera::{Camera, Scene};
+pub use config::{Compositor, PartitionStrategy, RenderConfig, Residency};
+pub use fragment::Fragment;
+pub use image::Image;
+pub use renderer::{render, RenderOutcome, RenderReport};
+pub use transfer::TransferFunction;

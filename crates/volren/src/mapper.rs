@@ -1,0 +1,171 @@
+//! The rendering Mapper: wires [`RenderBrick`]s through the ray-cast kernel.
+
+use mgpu_cluster::GpuId;
+use mgpu_gpu::{launch, LaunchConfig, LaunchStats, Texture1D, Texture3D};
+use mgpu_mapreduce::{GpuMapper, MapOutput};
+
+use crate::brick::RenderBrick;
+use crate::camera::Scene;
+use crate::fragment::Fragment;
+use crate::kernel::RayCastKernel;
+use crate::math::vec3;
+
+/// Maps bricks to ray fragments. One instance is shared by all mapper
+/// threads (it is stateless per GPU beyond the scene constants, which is
+/// what the paper's Mapper `initialize` uploads: view matrix + TF LUT).
+pub struct VolumeMapper {
+    scene: Scene,
+    lut: Texture1D,
+    image: (u32, u32),
+    step: f32,
+    early_term: f32,
+    /// Real host threads per kernel launch (wall-clock only; no effect on
+    /// results or simulated time).
+    kernel_parallelism: usize,
+}
+
+impl VolumeMapper {
+    pub fn new(
+        scene: Scene,
+        image: (u32, u32),
+        step: f32,
+        early_term: f32,
+        kernel_parallelism: usize,
+    ) -> VolumeMapper {
+        assert!(step > 0.0, "step must be positive");
+        let lut = scene.transfer.bake();
+        VolumeMapper {
+            scene,
+            lut,
+            image,
+            step,
+            early_term,
+            kernel_parallelism: kernel_parallelism.max(1),
+        }
+    }
+
+    pub fn image(&self) -> (u32, u32) {
+        self.image
+    }
+}
+
+impl GpuMapper<RenderBrick> for VolumeMapper {
+    type Value = Fragment;
+
+    fn init(&self, _gpu: GpuId) -> u64 {
+        // Static per-GPU state: the transfer-function LUT and the camera
+        // constants (comfortably one 4 KiB page).
+        self.scene.transfer.device_bytes() + 256
+    }
+
+    fn map_chunk(&self, _gpu: GpuId, brick: &RenderBrick) -> MapOutput<Fragment> {
+        let Some((x0, y0, x1, y1)) = brick.footprint(&self.scene.camera, self.image.0, self.image.1)
+        else {
+            // Off-screen brick: nothing to launch, nothing emitted.
+            return MapOutput {
+                pairs: Vec::new(),
+                stats: LaunchStats::default(),
+            };
+        };
+
+        let data = brick.voxels();
+        let texture = Texture3D::from_shared(data.store_dims, std::sync::Arc::clone(&data.voxels));
+        let (core_lo, core_hi) = brick.core_box();
+        let kernel = RayCastKernel {
+            camera: &self.scene.camera,
+            lut: &self.lut,
+            texture: &texture,
+            store_origin: vec3(
+                data.store_origin[0] as f32,
+                data.store_origin[1] as f32,
+                data.store_origin[2] as f32,
+            ),
+            core_lo,
+            core_hi,
+            image: self.image,
+            offset: (x0, y0),
+            step: self.step,
+            early_term: self.early_term,
+        };
+        let out = launch(
+            &kernel,
+            LaunchConfig::cover(x1 - x0, y1 - y0),
+            self.kernel_parallelism,
+        );
+        MapOutput {
+            pairs: out.outputs,
+            stats: out.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brick::Staging;
+    use crate::transfer::TransferFunction;
+    use mgpu_mapreduce::{Chunk, SENTINEL_KEY};
+    use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, Dataset};
+    use std::sync::Arc;
+
+    fn setup(bricks: u32) -> (Vec<RenderBrick>, VolumeMapper) {
+        let v = Dataset::Skull.volume(32);
+        let grid = BrickGrid::subdivide(
+            v.dims(),
+            &BrickPolicy {
+                min_bricks: bricks,
+                max_brick_voxels: u64::MAX,
+            },
+        );
+        let scene = Scene::orbit(&v, 30.0, 20.0, TransferFunction::bone());
+        let store = Arc::new(BrickStore::new(v, grid, 1, u64::MAX));
+        let n = store.grid().brick_count();
+        let bricks = (0..n)
+            .map(|i| RenderBrick::new(Arc::clone(&store), i, Staging::HostResident))
+            .collect();
+        let mapper = VolumeMapper::new(scene, (128, 128), 1.0, 0.98, 1);
+        (bricks, mapper)
+    }
+
+    #[test]
+    fn mapping_emits_fragments_with_valid_keys() {
+        let (bricks, mapper) = setup(8);
+        let mut total_kept = 0usize;
+        for b in &bricks {
+            let out = mapper.map_chunk(GpuId(0), b);
+            assert_eq!(out.pairs.len() as u64, out.stats.threads);
+            for (k, f) in &out.pairs {
+                if *k != SENTINEL_KEY {
+                    assert!(*k < 128 * 128);
+                    assert!(f.color[3] > 0.0);
+                    total_kept += 1;
+                }
+            }
+        }
+        assert!(total_kept > 100, "the skull should produce fragments");
+    }
+
+    #[test]
+    fn footprint_launch_is_smaller_than_full_image() {
+        let (bricks, mapper) = setup(27);
+        // At least one small brick launches fewer threads than 128².
+        let smaller = bricks.iter().any(|b| {
+            let out = mapper.map_chunk(GpuId(0), b);
+            out.stats.threads > 0 && out.stats.threads < 128 * 128
+        });
+        assert!(smaller, "footprint clipping is not happening");
+    }
+
+    #[test]
+    fn init_reports_static_bytes() {
+        let (_, mapper) = setup(1);
+        assert!(mapper.init(GpuId(0)) >= 4096);
+    }
+
+    #[test]
+    fn chunk_trait_wiring() {
+        let (bricks, _) = setup(8);
+        assert_eq!(bricks[3].id(), 3);
+        assert!(bricks[3].device_bytes() > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal 3-vector math for the renderer (f32, by value, no dependencies).
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+}
+
+pub const fn vec3(x: f32, y: f32, z: f32) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = vec3(0.0, 0.0, 0.0);
+
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        vec3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    pub fn normalized(self) -> Vec3 {
+        let l = self.length();
+        assert!(l > 0.0, "normalizing zero vector");
+        self / l
+    }
+
+    pub fn min_elem(self, o: Vec3) -> Vec3 {
+        vec3(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    pub fn max_elem(self, o: Vec3) -> Vec3 {
+        vec3(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    pub fn get(self, axis: usize) -> f32 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            _ => self.z,
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        vec3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        vec3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        vec3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f32) -> Vec3 {
+        vec3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        vec3(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let a = vec3(1.0, 2.0, 3.0);
+        let b = vec3(4.0, 5.0, 6.0);
+        assert_eq!(a + b, vec3(5.0, 7.0, 9.0));
+        assert_eq!(b - a, vec3(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, vec3(2.0, 4.0, 6.0));
+        assert_eq!(a.dot(b), 32.0);
+        assert_eq!(vec3(1.0, 0.0, 0.0).cross(vec3(0.0, 1.0, 0.0)), vec3(0.0, 0.0, 1.0));
+        assert!((vec3(3.0, 4.0, 0.0).length() - 5.0).abs() < 1e-6);
+        let n = vec3(0.0, 0.0, 9.0).normalized();
+        assert_eq!(n, vec3(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn elementwise_and_axis() {
+        let a = vec3(1.0, 5.0, 3.0);
+        let b = vec3(2.0, 4.0, 6.0);
+        assert_eq!(a.min_elem(b), vec3(1.0, 4.0, 3.0));
+        assert_eq!(a.max_elem(b), vec3(2.0, 5.0, 6.0));
+        assert_eq!(a.get(1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        Vec3::ZERO.normalized();
+    }
+}

@@ -1,0 +1,304 @@
+//! The high-level renderer: brick the volume, run the MapReduce job for
+//! real, replay its trace on the modeled cluster, stitch the image.
+
+use std::sync::Arc;
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_mapreduce::{
+    build_trace, run_job, CostBook, JobConfig, JobStats, Key,
+};
+use mgpu_sim::{account, simulate, PhaseBreakdown, RunAccounting, SimDuration};
+use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, StoreSnapshot, Volume};
+
+use crate::brick::{RenderBrick, Staging};
+use crate::camera::Scene;
+use crate::combine::AdjacentFragmentCombiner;
+use crate::config::{Compositor, RenderConfig, Residency};
+use crate::image::Image;
+use crate::mapper::VolumeMapper;
+use crate::reduce::CompositeReducer;
+use crate::stitch::stitch;
+
+/// Modeled host memory per node (the Accelerator Cluster's 8 GB), used by
+/// the automatic residency decision.
+const HOST_BYTES_PER_NODE: u64 = 8 << 30;
+
+/// Everything measured about one rendered frame.
+#[derive(Debug, Clone)]
+pub struct RenderReport {
+    pub volume_label: String,
+    pub volume_voxels: u64,
+    pub gpus: u32,
+    pub bricks: usize,
+    pub grid_counts: [u32; 3],
+    /// Bricked volume fits aggregate VRAM (the paper's in-core condition).
+    pub in_core: bool,
+    /// Bricks were staged from disk (out-of-core w.r.t. host RAM).
+    pub from_disk: bool,
+    pub accounting: RunAccounting,
+    pub job: JobStats,
+    pub store: StoreSnapshot,
+}
+
+impl RenderReport {
+    /// Virtual wall-clock of the frame (the paper's "runtime").
+    pub fn runtime(&self) -> SimDuration {
+        self.accounting.makespan
+    }
+
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.accounting.breakdown
+    }
+
+    /// Frames per second (Figure 4, left).
+    pub fn fps(&self) -> f64 {
+        let s = self.runtime().as_secs_f64();
+        if s > 0.0 {
+            1.0 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Voxels per second (Figure 4, right): volume voxels over runtime.
+    pub fn vps(&self) -> f64 {
+        let s = self.runtime().as_secs_f64();
+        if s > 0.0 {
+            self.volume_voxels as f64 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A rendered frame plus its report.
+#[derive(Debug)]
+pub struct RenderOutcome {
+    pub image: Image,
+    pub report: RenderReport,
+}
+
+/// Render one frame of `volume` on the modeled `spec` cluster.
+///
+/// The computation (every texture sample, every blend) runs for real on host
+/// threads; the report's times come from the DES replay of the recorded
+/// trace against the cluster's hardware models.
+pub fn render(
+    spec: &ClusterSpec,
+    volume: &Volume,
+    scene: &Scene,
+    cfg: &RenderConfig,
+) -> RenderOutcome {
+    let gpus = spec.gpus;
+    let (width, height) = cfg.image;
+    assert!(width > 0 && height > 0, "degenerate image");
+
+    // Brick the volume: ~2 bricks per GPU, capped so a brick (with ghost)
+    // fits comfortably in VRAM.
+    let vram_voxel_cap = spec.device.vram_bytes / 4 / 4; // ≤ quarter of VRAM
+    let policy = BrickPolicy {
+        min_bricks: cfg.bricks_per_gpu.max(1) * gpus,
+        max_brick_voxels: cfg.max_brick_voxels.min(vram_voxel_cap),
+    };
+    let grid = BrickGrid::subdivide(volume.dims(), &policy);
+
+    // The paper's restriction #1: every map task must fit in GPU memory.
+    let ghost = 1u32;
+    let max_brick_bytes: u64 = grid
+        .bricks()
+        .map(|b| {
+            (0..3)
+                .map(|a| b.size[a] as u64 + 2 * ghost as u64)
+                .product::<u64>()
+                * 4
+        })
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_brick_bytes <= spec.device.vram_bytes,
+        "brick of {max_brick_bytes} bytes cannot fit device VRAM"
+    );
+
+    let in_core = volume.meta.bytes() <= spec.total_vram_bytes();
+    let from_disk = match cfg.residency {
+        Residency::HostResident => false,
+        Residency::Disk => true,
+        Residency::Auto => {
+            volume.meta.bytes() > HOST_BYTES_PER_NODE * spec.nodes() as u64
+        }
+    };
+    let staging = if from_disk {
+        Staging::Disk
+    } else {
+        Staging::HostResident
+    };
+
+    let store = Arc::new(BrickStore::new(
+        volume.clone(),
+        grid.clone(),
+        ghost,
+        cfg.host_cache_bytes,
+    ));
+    let bricks: Vec<RenderBrick> = (0..grid.brick_count())
+        .map(|i| RenderBrick::new(Arc::clone(&store), i, staging))
+        .collect();
+
+    let mapper = VolumeMapper::new(
+        scene.clone(),
+        cfg.image,
+        cfg.step_voxels,
+        cfg.early_term,
+        cfg.resolved_kernel_parallelism(gpus),
+    );
+    let reducer = CompositeReducer {
+        background: scene.background,
+    };
+    let partitioner = cfg.partition.build(width);
+    let combiner = AdjacentFragmentCombiner::default();
+    let job_cfg = JobConfig {
+        batch_bytes: cfg.batch_bytes,
+        assignment: cfg.assignment,
+        ..JobConfig::new(gpus, width * height)
+    };
+
+    let output = run_job(
+        &bricks,
+        &mapper,
+        &reducer,
+        partitioner.as_ref(),
+        cfg.combiner
+            .then_some(&combiner as &dyn mgpu_mapreduce::Combiner<_>),
+        spec,
+        &job_cfg,
+    );
+    debug_assert!(output.stats.conserved(), "fragment conservation violated");
+
+    let accounting = match cfg.compositor {
+        Compositor::DirectSend => {
+            let book = CostBook::from_cluster(spec);
+            let trace = build_trace(&output.record, spec, &book, &cfg.trace);
+            let schedule = simulate(&trace);
+            account(&trace, &schedule)
+        }
+        Compositor::BinarySwap => crate::binary_swap::account_binary_swap(
+            &output.record,
+            spec,
+            &cfg.trace,
+            width as u64 * height as u64,
+        ),
+    };
+
+    let image = stitch(
+        &output.groups as &[(Key, [f32; 4])],
+        width,
+        height,
+        scene.background,
+    );
+
+    let report = RenderReport {
+        volume_label: volume.meta.label(),
+        volume_voxels: volume.meta.voxel_count(),
+        gpus,
+        bricks: grid.brick_count(),
+        grid_counts: grid.counts,
+        in_core,
+        from_disk,
+        accounting,
+        job: output.stats,
+        store: store.snapshot(),
+    };
+
+    RenderOutcome { image, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::TransferFunction;
+    use mgpu_voldata::Dataset;
+
+    fn quick_render(gpus: u32, size: u32, image: u32) -> RenderOutcome {
+        let volume = Dataset::Skull.volume(size);
+        let spec = ClusterSpec::accelerator_cluster(gpus);
+        let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+        let cfg = RenderConfig::test_size(image);
+        render(&spec, &volume, &scene, &cfg)
+    }
+
+    #[test]
+    fn renders_something_visible() {
+        let out = quick_render(2, 32, 64);
+        assert!(out.image.coverage(0.05) > 0.05, "skull should be visible");
+        assert!(out.report.runtime().nanos() > 0);
+        assert!(out.report.job.conserved());
+        assert_eq!(out.report.gpus, 2);
+        assert!(out.report.bricks >= 4);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick_render(4, 32, 64);
+        let b = quick_render(4, 32, 64);
+        assert_eq!(a.image, b.image);
+        assert_eq!(a.report.runtime(), b.report.runtime());
+        assert_eq!(a.report.job, b.report.job);
+    }
+
+    #[test]
+    fn gpu_count_does_not_change_pixels_without_early_termination() {
+        // With ET disabled the sample set is bricking-invariant, so any GPU
+        // count must reproduce the same image up to f32 rounding.
+        let volume = Dataset::Skull.volume(32);
+        let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+        let mut cfg = RenderConfig::test_size(64);
+        cfg.early_term = 1.1;
+        let render_g = |g: u32| {
+            let spec = ClusterSpec::accelerator_cluster(g);
+            render(&spec, &volume, &scene, &cfg).image
+        };
+        let one = render_g(1);
+        let eight = render_g(8);
+        let diff = one.max_abs_diff(&eight);
+        assert!(diff < 1e-4, "bricked render must match: diff {diff}");
+    }
+
+    #[test]
+    fn early_termination_error_is_bounded_by_threshold() {
+        // ET truncates per brick, so brickings may differ — but never by
+        // more than the transmittance left when termination fires (1 − τ).
+        let one = quick_render(1, 32, 64);
+        let eight = quick_render(8, 32, 64);
+        let diff = one.image.max_abs_diff(&eight.image);
+        let bound = 1.0 - RenderConfig::default().early_term + 0.01;
+        assert!(
+            diff as f32 <= bound,
+            "ET divergence {diff} exceeds bound {bound}"
+        );
+    }
+
+    #[test]
+    fn report_metrics_sane() {
+        let out = quick_render(2, 32, 64);
+        let r = &out.report;
+        assert!(r.fps() > 0.0);
+        assert!(r.vps() > 0.0);
+        assert_eq!(r.volume_voxels, 32 * 32 * 32);
+        assert_eq!(r.breakdown().total(), r.accounting.makespan);
+        assert!(r.in_core);
+        assert!(!r.from_disk);
+    }
+
+    #[test]
+    fn forced_disk_staging_slows_the_frame() {
+        let volume = Dataset::Skull.volume(32);
+        let spec = ClusterSpec::accelerator_cluster(2);
+        let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+        let mut cfg = RenderConfig::test_size(64);
+        let resident = render(&spec, &volume, &scene, &cfg);
+        cfg.residency = Residency::Disk;
+        let disk = render(&spec, &volume, &scene, &cfg);
+        assert_eq!(resident.image, disk.image, "staging must not change pixels");
+        assert!(disk.report.runtime() > resident.report.runtime());
+        assert!(disk.report.from_disk);
+    }
+}

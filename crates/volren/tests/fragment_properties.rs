@@ -1,0 +1,95 @@
+//! Property tests on the kernel's fragment semantics: segment intervals
+//! along a ray must abut exactly across brick boundaries (half-open
+//! ownership), and compositing the segments must equal marching the whole
+//! ray — the foundation of partial-ray compositing.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mgpu_cluster::GpuId;
+use mgpu_mapreduce::{GpuMapper, SENTINEL_KEY};
+use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, Dataset, Volume};
+use mgpu_volren::brick::{RenderBrick, Staging};
+use mgpu_volren::camera::Scene;
+use mgpu_volren::mapper::VolumeMapper;
+use mgpu_volren::{Fragment, TransferFunction};
+
+fn fragments_by_pixel(
+    volume: &Volume,
+    scene: &Scene,
+    bricks: u32,
+    image: u32,
+) -> HashMap<u32, Vec<Fragment>> {
+    let grid = BrickGrid::subdivide(
+        volume.dims(),
+        &BrickPolicy {
+            min_bricks: bricks,
+            max_brick_voxels: u64::MAX,
+        },
+    );
+    let store = Arc::new(BrickStore::new(volume.clone(), grid, 1, u64::MAX));
+    let mapper = VolumeMapper::new(scene.clone(), (image, image), 1.0, 1.1, 1);
+    let mut by_pixel: HashMap<u32, Vec<Fragment>> = HashMap::new();
+    for id in 0..store.grid().brick_count() {
+        let brick = RenderBrick::new(Arc::clone(&store), id, Staging::HostResident);
+        let out = mapper.map_chunk(GpuId(0), &brick);
+        for (k, f) in out.pairs {
+            if k != SENTINEL_KEY {
+                by_pixel.entry(k).or_default().push(f);
+            }
+        }
+    }
+    by_pixel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn segments_abut_and_never_overlap(
+        az in 0f32..360.0,
+        el in -50f32..50.0,
+        bricks in 2u32..12,
+    ) {
+        let volume = Dataset::Supernova.volume(24);
+        let scene = Scene::orbit(&volume, az, el, TransferFunction::grayscale());
+        let by_pixel = fragments_by_pixel(&volume, &scene, bricks, 48);
+        prop_assert!(!by_pixel.is_empty());
+        for (pixel, frags) in &by_pixel {
+            let mut sorted = frags.clone();
+            sorted.sort_by(|a, b| a.depth.total_cmp(&b.depth));
+            for w in sorted.windows(2) {
+                // Intervals [depth, exit) of consecutive fragments of a ray
+                // must not overlap (half-open ownership)…
+                prop_assert!(
+                    w[0].exit <= w[1].depth + 1e-3,
+                    "pixel {pixel}: overlap {} > {}",
+                    w[0].exit,
+                    w[1].depth
+                );
+                prop_assert!(w[0].depth < w[1].depth + 1e-6);
+            }
+            for f in &sorted {
+                prop_assert!(f.exit > f.depth, "degenerate segment");
+                prop_assert!(f.color[3] > 0.0, "empty fragment emitted");
+                prop_assert!(f.color[3] <= 1.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn finer_bricking_creates_more_adjacent_fragments(
+        az in 0f32..360.0,
+    ) {
+        // With more bricks, per-pixel fragment counts rise but the union of
+        // their intervals along each ray stays identical (same volume).
+        let volume = Dataset::Skull.volume(24);
+        let scene = Scene::orbit(&volume, az, 15.0, TransferFunction::grayscale());
+        let coarse = fragments_by_pixel(&volume, &scene, 2, 48);
+        let fine = fragments_by_pixel(&volume, &scene, 16, 48);
+        let coarse_total: usize = coarse.values().map(|v| v.len()).sum();
+        let fine_total: usize = fine.values().map(|v| v.len()).sum();
+        prop_assert!(fine_total >= coarse_total);
+    }
+}

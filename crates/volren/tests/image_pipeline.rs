@@ -1,0 +1,144 @@
+//! Renderer-level edge cases: tiny images, extreme configurations, plume
+//! aspect ratios, background blending.
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_voldata::Dataset;
+use mgpu_volren::camera::Scene;
+use mgpu_volren::renderer::render;
+use mgpu_volren::{RenderConfig, TransferFunction};
+
+#[test]
+fn tiny_image_renders() {
+    let volume = Dataset::Skull.volume(16);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let cfg = RenderConfig::test_size(16);
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let out = render(&spec, &volume, &scene, &cfg);
+    assert_eq!(out.image.width(), 16);
+    assert_eq!(out.report.breakdown().total(), out.report.runtime());
+}
+
+#[test]
+fn non_square_image() {
+    let volume = Dataset::Plume.volume(16); // 16×16×64 column
+    let scene = Scene::orbit(&volume, 10.0, 5.0, TransferFunction::smoke());
+    let mut cfg = RenderConfig::test_size(32);
+    cfg.image = (32, 96); // tall image for a tall volume
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let out = render(&spec, &volume, &scene, &cfg);
+    assert_eq!(out.image.width(), 32);
+    assert_eq!(out.image.height(), 96);
+    assert!(out.image.coverage(0.01) > 0.01);
+}
+
+#[test]
+fn opaque_background_fills_empty_pixels() {
+    let volume = Dataset::Supernova.volume(16);
+    let scene = Scene::orbit(&volume, 0.0, 0.0, TransferFunction::fire())
+        .with_background([0.25, 0.5, 0.75, 1.0]);
+    let cfg = RenderConfig::test_size(48);
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let out = render(&spec, &volume, &scene, &cfg);
+    // A corner pixel far from the supernova shows pure background.
+    let c = out.image.get(0, 0);
+    assert!((c[0] - 0.25).abs() < 1e-5);
+    assert!((c[1] - 0.5).abs() < 1e-5);
+    assert!((c[2] - 0.75).abs() < 1e-5);
+}
+
+#[test]
+fn coarse_steps_are_faster_but_similar() {
+    let volume = Dataset::Skull.volume(32);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let mut cfg = RenderConfig::test_size(64);
+    cfg.step_voxels = 1.0;
+    let fine = render(&spec, &volume, &scene, &cfg);
+    cfg.step_voxels = 2.0;
+    let coarse = render(&spec, &volume, &scene, &cfg);
+    // Half the samples → faster simulated frame.
+    assert!(coarse.report.runtime() < fine.report.runtime());
+    // Opacity correction keeps the images visually close.
+    let diff = fine.image.mean_abs_diff(&coarse.image);
+    assert!(diff < 0.05, "step-2 image diverged too much: {diff}");
+}
+
+#[test]
+fn one_brick_per_gpu_configuration() {
+    let volume = Dataset::Skull.volume(32);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let spec = ClusterSpec::accelerator_cluster(4);
+    let mut cfg = RenderConfig::test_size(64);
+    cfg.bricks_per_gpu = 1;
+    let out = render(&spec, &volume, &scene, &cfg);
+    assert!(out.report.bricks >= 4);
+    assert!(out.report.job.conserved());
+}
+
+#[test]
+fn thirty_two_gpus_on_tiny_volume_still_correct() {
+    // The paper's "why would one wish to use more resources than necessary"
+    // case: extreme overprovisioning must stay correct, just slower.
+    let volume = Dataset::Supernova.volume(16);
+    let scene = Scene::orbit(&volume, 45.0, 30.0, TransferFunction::fire());
+    let mut cfg = RenderConfig::test_size(48);
+    cfg.early_term = 1.1;
+    let reference = {
+        let spec = ClusterSpec::accelerator_cluster(1);
+        render(&spec, &volume, &scene, &cfg)
+    };
+    let spec = ClusterSpec::accelerator_cluster(32);
+    let overkill = render(&spec, &volume, &scene, &cfg);
+    let diff = reference.image.max_abs_diff(&overkill.image);
+    assert!(diff < 2e-4);
+    assert!(overkill.report.runtime().nanos() > reference.report.runtime().nanos() / 32);
+}
+
+#[test]
+fn assignment_policy_changes_schedule_not_pixels() {
+    use mgpu_mapreduce::Assignment;
+    let volume = Dataset::Skull.volume(32);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let spec = ClusterSpec::accelerator_cluster(4);
+    let mut cfg = RenderConfig::test_size(64);
+    let mut images = Vec::new();
+    for a in [
+        Assignment::RoundRobin,
+        Assignment::Blocked,
+        Assignment::Strided { stride: 3 },
+    ] {
+        cfg.assignment = a;
+        let out = render(&spec, &volume, &scene, &cfg);
+        assert!(out.report.job.conserved());
+        images.push(out.image);
+    }
+    assert_eq!(images[0], images[1]);
+    assert_eq!(images[0], images[2]);
+}
+
+#[test]
+fn blocked_assignment_feeds_the_combiner() {
+    use mgpu_mapreduce::Assignment;
+    // The §3.1 combiner finding depends on brick placement: with blocked
+    // assignment one mapper owns depth-adjacent bricks, so the combiner can
+    // actually merge — with round-robin it rarely can.
+    let volume = Dataset::Skull.volume(32);
+    // Axis-aligned view: rays cross bricks in x-order, which blocked
+    // assignment groups on one GPU.
+    let scene = Scene::orbit(&volume, 0.0, 0.0, TransferFunction::bone());
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let mut cfg = RenderConfig::test_size(64);
+    cfg.combiner = true;
+    cfg.early_term = 1.1;
+
+    cfg.assignment = Assignment::Blocked;
+    let blocked = render(&spec, &volume, &scene, &cfg);
+    cfg.assignment = Assignment::RoundRobin;
+    let rr = render(&spec, &volume, &scene, &cfg);
+    assert!(
+        blocked.report.job.combined_away >= rr.report.job.combined_away,
+        "blocked {} vs round-robin {}",
+        blocked.report.job.combined_away,
+        rr.report.job.combined_away
+    );
+}

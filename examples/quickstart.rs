@@ -1,0 +1,45 @@
+//! Quickstart: render the Skull on a simulated 4-GPU node and write a PPM.
+//!
+//!     cargo run --release --example quickstart
+//!
+//! Prints the phase breakdown the library measures (the same accounting that
+//! regenerates the paper's Figure 3) and writes `skull.ppm`.
+
+use gpumr::prelude::*;
+
+fn main() {
+    // A 128³ procedural stand-in for the paper's Skull dataset.
+    let volume = Dataset::Skull.volume(128);
+
+    // One Accelerator-Cluster node: 4 Tesla C1060-class GPUs.
+    let cluster = ClusterSpec::accelerator_cluster(4);
+
+    // Orbit camera + CT-bone transfer function; 512² image (paper setup).
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let config = RenderConfig::default();
+
+    let outcome = render(&cluster, &volume, &scene, &config);
+    let report = &outcome.report;
+
+    println!(
+        "rendered {} on {} GPUs ({} bricks)",
+        report.volume_label, report.gpus, report.bricks
+    );
+    println!("frame time (simulated 2010 cluster): {}", report.runtime());
+    println!("  map:            {}", report.breakdown().map);
+    println!("  partition+i/o:  {}", report.breakdown().partition_io);
+    println!("  sort:           {}", report.breakdown().sort);
+    println!("  reduce:         {}", report.breakdown().reduce);
+    println!(
+        "throughput: {:.2} FPS, {:.0}M voxels/s",
+        report.fps(),
+        report.vps() / 1e6
+    );
+    println!(
+        "fragments: {} reduced over {} pixels; {} batches on the wire",
+        report.job.reduced_items, report.job.reduced_groups, report.job.batches
+    );
+
+    outcome.image.write_ppm("skull.ppm").expect("writing skull.ppm");
+    println!("wrote skull.ppm");
+}

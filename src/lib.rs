@@ -1,0 +1,45 @@
+//! # gpumr — Multi-GPU Volume Rendering using MapReduce
+//!
+//! A full Rust reproduction of *"Multi-GPU Volume Rendering using MapReduce"*
+//! (Stuart, Chen, Ma, Owens — HPDC/MAPREDUCE 2010) on a simulated GPU
+//! cluster. This facade crate re-exports the public API of the workspace:
+//!
+//! * [`sim`] — discrete-event simulation engine and cost models;
+//! * [`gpu`] — the software GPU (textures, VRAM, grid/block kernels, PCIe);
+//! * [`cluster`] — cluster topology, disks and the interconnect;
+//! * [`mapreduce`] — the paper's streaming multi-GPU MapReduce library;
+//! * [`voldata`] — procedural volume datasets and the out-of-core brick store;
+//! * [`volren`] — the ray-casting volume renderer built on all of the above.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use gpumr::prelude::*;
+//!
+//! // A 128³ procedural "skull" on a 1-node × 4-GPU simulated cluster.
+//! let volume = Dataset::Skull.volume(128);
+//! let cluster = ClusterSpec::accelerator_cluster(4);
+//! let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+//! let config = RenderConfig::default();
+//! let outcome = render(&cluster, &volume, &scene, &config);
+//! println!("frame in {}", outcome.report.accounting.makespan);
+//! outcome.image.write_ppm("skull.ppm").unwrap();
+//! ```
+
+pub use mgpu_cluster as cluster;
+pub use mgpu_gpu as gpu;
+pub use mgpu_mapreduce as mapreduce;
+pub use mgpu_sim as sim;
+pub use mgpu_voldata as voldata;
+pub use mgpu_volren as volren;
+
+/// Convenient single-import surface for examples and downstream users.
+pub mod prelude {
+    pub use mgpu_cluster::topology::ClusterSpec;
+    pub use mgpu_sim::{Fig3Bucket, SimDuration};
+    pub use mgpu_voldata::datasets::Dataset;
+    pub use mgpu_volren::camera::Scene;
+    pub use mgpu_volren::config::RenderConfig;
+    pub use mgpu_volren::renderer::{render, RenderOutcome};
+    pub use mgpu_volren::transfer::TransferFunction;
+}

@@ -1,0 +1,105 @@
+//! Pluggable compositing (§6.1): direct-send and binary-swap must produce
+//! identical pixels (over is associative); the combiner must never change
+//! results; partition strategy must never change results.
+
+use gpumr::cluster::ClusterSpec;
+use gpumr::voldata::Dataset;
+use gpumr::volren::camera::Scene;
+use gpumr::volren::renderer::render;
+use gpumr::volren::{Compositor, PartitionStrategy, RenderConfig, TransferFunction};
+
+fn scene_and_volume() -> (gpumr::voldata::Volume, Scene) {
+    let volume = Dataset::Supernova.volume(32);
+    let scene = Scene::orbit(&volume, 40.0, 10.0, TransferFunction::fire());
+    (volume, scene)
+}
+
+#[test]
+fn binary_swap_pixels_equal_direct_send() {
+    let (volume, scene) = scene_and_volume();
+    for gpus in [2u32, 4, 8, 16] {
+        let spec = ClusterSpec::accelerator_cluster(gpus);
+        let mut cfg = RenderConfig::test_size(96);
+        cfg.compositor = Compositor::DirectSend;
+        let ds = render(&spec, &volume, &scene, &cfg);
+        cfg.compositor = Compositor::BinarySwap;
+        let bs = render(&spec, &volume, &scene, &cfg);
+        assert_eq!(ds.image, bs.image, "compositor changed pixels at {gpus} GPUs");
+        // But the schedules differ: binary swap has synchronized rounds.
+        assert_ne!(
+            ds.report.runtime(),
+            bs.report.runtime(),
+            "schedules should differ at {gpus} GPUs"
+        );
+    }
+}
+
+#[test]
+fn combiner_never_changes_pixels() {
+    let (volume, scene) = scene_and_volume();
+    let spec = ClusterSpec::accelerator_cluster(4);
+    let mut cfg = RenderConfig::test_size(96);
+    cfg.combiner = false;
+    let off = render(&spec, &volume, &scene, &cfg);
+    cfg.combiner = true;
+    let on = render(&spec, &volume, &scene, &cfg);
+    // Merging is algebraically exact (over-associativity) but reassociates
+    // floating-point ops, so allow rounding-level differences only.
+    let diff = off.image.max_abs_diff(&on.image);
+    assert!(diff < 1e-5, "combiner changed pixels beyond rounding: {diff}");
+    // The combiner only merges provably adjacent segments; whatever it
+    // merged must be accounted.
+    assert_eq!(
+        on.report.job.kept,
+        on.report.job.combined_away + on.report.job.reduced_items
+    );
+}
+
+#[test]
+fn partition_strategy_never_changes_pixels() {
+    let (volume, scene) = scene_and_volume();
+    let spec = ClusterSpec::accelerator_cluster(8);
+    let strategies = [
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::Striped { rows_per_stripe: 8 },
+        PartitionStrategy::Tiled { tile: 32 },
+        PartitionStrategy::Checkerboard { cell: 16 },
+    ];
+    let mut reference: Option<gpumr::volren::Image> = None;
+    for s in strategies {
+        let mut cfg = RenderConfig::test_size(96);
+        cfg.partition = s;
+        let out = render(&spec, &volume, &scene, &cfg);
+        match &reference {
+            None => reference = Some(out.image),
+            Some(r) => assert_eq!(r, &out.image, "{} changed pixels", s.label()),
+        }
+    }
+}
+
+#[test]
+fn reduce_device_changes_schedule_not_pixels() {
+    let (volume, scene) = scene_and_volume();
+    let spec = ClusterSpec::accelerator_cluster(8);
+    let mut cfg = RenderConfig::test_size(96);
+    cfg.trace.reduce_on_gpu = false;
+    let cpu = render(&spec, &volume, &scene, &cfg);
+    cfg.trace.reduce_on_gpu = true;
+    let gpu = render(&spec, &volume, &scene, &cfg);
+    assert_eq!(cpu.image, gpu.image);
+    // §3.1.2: CPU compositing wins at paper scale.
+    assert!(cpu.report.runtime() <= gpu.report.runtime());
+}
+
+#[test]
+fn async_upload_is_a_strict_improvement() {
+    let (volume, scene) = scene_and_volume();
+    let spec = ClusterSpec::accelerator_cluster(4);
+    let mut cfg = RenderConfig::test_size(96);
+    cfg.trace.async_upload = false;
+    let sync = render(&spec, &volume, &scene, &cfg);
+    cfg.trace.async_upload = true;
+    let asy = render(&spec, &volume, &scene, &cfg);
+    assert_eq!(sync.image, asy.image);
+    assert!(asy.report.runtime() <= sync.report.runtime());
+}

@@ -1,0 +1,43 @@
+//! Same configuration and seed ⇒ byte-identical image AND identical
+//! simulated timings, regardless of real thread interleavings.
+
+use gpumr::cluster::ClusterSpec;
+use gpumr::voldata::Dataset;
+use gpumr::volren::camera::Scene;
+use gpumr::volren::renderer::render;
+use gpumr::volren::{RenderConfig, TransferFunction};
+
+#[test]
+fn renders_are_fully_deterministic() {
+    let volume = Dataset::Plume.volume(24);
+    let scene = Scene::orbit(&volume, 15.0, 25.0, TransferFunction::smoke());
+    let cfg = RenderConfig::test_size(96);
+    let spec = ClusterSpec::accelerator_cluster(8);
+
+    let runs: Vec<_> = (0..3).map(|_| render(&spec, &volume, &scene, &cfg)).collect();
+    for pair in runs.windows(2) {
+        assert_eq!(pair[0].image, pair[1].image, "images must be bit-identical");
+        assert_eq!(
+            pair[0].report.runtime(),
+            pair[1].report.runtime(),
+            "simulated time must be identical"
+        );
+        assert_eq!(pair[0].report.job, pair[1].report.job);
+        assert_eq!(
+            pair[0].report.breakdown(),
+            pair[1].report.breakdown()
+        );
+    }
+}
+
+#[test]
+fn dataset_seeds_are_stable() {
+    // Document the seeds: changing them silently would invalidate every
+    // recorded experiment.
+    assert_eq!(Dataset::Skull.seed(), 0x5C11);
+    assert_eq!(Dataset::Supernova.seed(), 0x50BA);
+    assert_eq!(Dataset::Plume.seed(), 0x9127);
+    let a = Dataset::Skull.volume(16).materialize_full();
+    let b = Dataset::Skull.volume(16).materialize_full();
+    assert_eq!(a, b);
+}

