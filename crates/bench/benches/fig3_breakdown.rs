@@ -7,7 +7,10 @@ use mgpu_bench::BenchScale;
 
 fn main() {
     let scale = BenchScale::from_env();
-    println!("Figure 3 — runtime breakdown by phase (scale {:.2})", scale.factor);
+    println!(
+        "Figure 3 — runtime breakdown by phase (scale {:.2})",
+        scale.factor
+    );
     let rows = run_sweep(&scale);
     fig3_report(&rows);
 }

@@ -52,7 +52,13 @@ fn bench_partition(c: &mut Criterion) {
                 rows_per_stripe: 16,
             }),
         ),
-        ("tiled", Box::new(Tiled { width: 512, tile: 64 })),
+        (
+            "tiled",
+            Box::new(Tiled {
+                width: 512,
+                tile: 64,
+            }),
+        ),
     ];
     for (name, p) in strategies {
         g.bench_function(format!("{name}_262k_keys"), |b| {
@@ -153,7 +159,11 @@ fn bench_des(c: &mut Criterion) {
     let rs = tr.add_resources(16);
     let mut prev = Vec::new();
     for i in 0..10_000u32 {
-        let deps = if i >= 8 { vec![prev[(i - 8) as usize]] } else { vec![] };
+        let deps = if i >= 8 {
+            vec![prev[(i - 8) as usize]]
+        } else {
+            vec![]
+        };
         let t = tr.task(
             Activity::Kernel,
             rs[(i % 16) as usize],

@@ -16,7 +16,9 @@ fn main() {
 
     let strategies = [
         PartitionStrategy::RoundRobin,
-        PartitionStrategy::Striped { rows_per_stripe: 32 },
+        PartitionStrategy::Striped {
+            rows_per_stripe: 32,
+        },
         PartitionStrategy::Tiled { tile: 64 },
         PartitionStrategy::Checkerboard { cell: 64 },
     ];
@@ -46,10 +48,7 @@ fn main() {
     }
     print_table("partition strategies", &t);
 
-    let best = results
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap();
+    let best = results.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     println!(
         "fastest: {} ({:.1} ms) — paper picked round-robin",
         best.0, best.1

@@ -22,7 +22,12 @@ fn main() {
             gpus.to_string(),
             format!("{:.1}", cpu.total_ms),
             format!("{:.1}", gpu.total_ms),
-            if cpu.total_ms <= gpu.total_ms { "cpu" } else { "gpu" }.to_string(),
+            if cpu.total_ms <= gpu.total_ms {
+                "cpu"
+            } else {
+                "gpu"
+            }
+            .to_string(),
         ]);
     }
     print_table("reduce on CPU vs GPU", &t);

@@ -19,7 +19,11 @@ fn main() {
     println!("out-of-core ablation at {size}^3, {gpus} GPUs");
 
     let mut t = Table::new(&[
-        "mode", "total ms", "part+io ms", "cache evictions", "bytes materialized MB",
+        "mode",
+        "total ms",
+        "part+io ms",
+        "cache evictions",
+        "bytes materialized MB",
     ]);
     let mut images = Vec::new();
     for (label, residency, cache) in [

@@ -41,10 +41,20 @@ fn main() {
         .map(|i| RenderBrick::new(Arc::clone(&store), i, Staging::HostResident))
         .collect();
     let mapper = VolumeMapper::new(scene.clone(), cfg.image, 1.0, cfg.early_term, 2);
-    let reducer = CompositeReducer { background: scene.background };
+    let reducer = CompositeReducer {
+        background: scene.background,
+    };
     let partitioner = PartitionStrategy::RoundRobin.build(cfg.image.0);
     let job_cfg = JobConfig::new(gpus, cfg.image.0 * cfg.image.1);
-    let out = run_job(&bricks, &mapper, &reducer, partitioner.as_ref(), None, &spec, &job_cfg);
+    let out = run_job(
+        &bricks,
+        &mapper,
+        &reducer,
+        partitioner.as_ref(),
+        None,
+        &spec,
+        &job_cfg,
+    );
 
     let book = CostBook::from_cluster(&spec);
     let trace = build_trace(&out.record, &spec, &book, &TraceOptions::default());

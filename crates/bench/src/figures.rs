@@ -29,7 +29,14 @@ pub fn run_sweep(scale: &BenchScale) -> Vec<FigRow> {
 /// Figure 3: the stacked phase-breakdown table + ASCII bars.
 pub fn fig3_report(rows: &[FigRow]) {
     let mut t = Table::new(&[
-        "volume", "gpus", "bricks", "map ms", "part+io ms", "sort ms", "reduce ms", "total ms",
+        "volume",
+        "gpus",
+        "bricks",
+        "map ms",
+        "part+io ms",
+        "sort ms",
+        "reduce ms",
+        "total ms",
     ]);
     for r in rows {
         t.row(&[
@@ -71,8 +78,12 @@ pub fn fig3_report(rows: &[FigRow]) {
     let dir = crate::results_dir();
     std::fs::create_dir_all(&dir).ok();
     let path = dir.join("fig3.csv");
-    write_csv(&path, &FigRow::CSV_HEADERS, rows.iter().map(|r| r.csv_cells()))
-        .expect("writing fig3.csv");
+    write_csv(
+        &path,
+        &FigRow::CSV_HEADERS,
+        rows.iter().map(|r| r.csv_cells()),
+    )
+    .expect("writing fig3.csv");
     println!("\nwrote {}", path.display());
 }
 
@@ -119,8 +130,12 @@ pub fn fig4_report(rows: &[FigRow], scale: &BenchScale) {
     let dir = crate::results_dir();
     std::fs::create_dir_all(&dir).ok();
     let path = dir.join("fig4.csv");
-    write_csv(&path, &FigRow::CSV_HEADERS, rows.iter().map(|r| r.csv_cells()))
-        .expect("writing fig4.csv");
+    write_csv(
+        &path,
+        &FigRow::CSV_HEADERS,
+        rows.iter().map(|r| r.csv_cells()),
+    )
+    .expect("writing fig4.csv");
     println!("wrote {}", path.display());
 }
 
@@ -261,10 +276,9 @@ pub fn speed_of_light_report(scale: &BenchScale) {
         let compute_lb = busy(Activity::Kernel) / g;
         let pcie_lb = (busy(Activity::HostToDevice) + busy(Activity::DeviceToHost)) / g;
         let net_lb = busy(Activity::NetSend) / nodes;
-        let cpu_lb = (busy(Activity::PartitionCpu)
-            + busy(Activity::SortCpu)
-            + busy(Activity::ReduceCpu))
-            / g;
+        let cpu_lb =
+            (busy(Activity::PartitionCpu) + busy(Activity::SortCpu) + busy(Activity::ReduceCpu))
+                / g;
         let bound = compute_lb.max(pcie_lb).max(net_lb).max(cpu_lb);
         let achieved = acc.makespan.as_secs_f64();
         t.row(&[
@@ -277,9 +291,6 @@ pub fn speed_of_light_report(scale: &BenchScale) {
             format!("{:.0}%", bound / achieved * 100.0),
         ]);
     }
-    print_table(
-        &format!("§6.3 speed-of-light analysis at {size}^3"),
-        &t,
-    );
+    print_table(&format!("§6.3 speed-of-light analysis at {size}^3"), &t);
     println!("paper: 'the combination of our library and renderer are as efficient as\n       possible' — achieved times should sit near the busiest-resource bound.");
 }

@@ -215,7 +215,10 @@ fn bake_to_file(volume: &Volume) -> Volume {
     std::fs::create_dir_all(&dir).expect("creating bench cache dir");
     let path = dir.join(format!("{}.vol", volume.meta.label()));
     let dims = volume.dims();
-    if volio::read_header(&path).map(|d| d == dims).unwrap_or(false) {
+    if volio::read_header(&path)
+        .map(|d| d == dims)
+        .unwrap_or(false)
+    {
         // Already baked by an earlier run.
     } else {
         eprintln!(
@@ -231,8 +234,7 @@ fn bake_to_file(volume: &Volume) -> Volume {
             for d in dims {
                 f.write_all(&d.to_le_bytes()).unwrap();
             }
-            let slab_z =
-                (((64 << 20) / (dims[0] as usize * dims[1] as usize * 4)) as u32).max(1);
+            let slab_z = (((64 << 20) / (dims[0] as usize * dims[1] as usize * 4)) as u32).max(1);
             let mut z = 0u32;
             let mut slab = Vec::new();
             while z < dims[2] {

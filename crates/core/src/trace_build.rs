@@ -384,8 +384,7 @@ mod tests {
         let acc = run(&record, 2, &TraceOptions::default());
         assert_eq!(acc.totals(Activity::DiskRead).tasks, 4);
         // ~20 ms per 1 MiB read (the paper's anchor).
-        let per_read =
-            acc.totals(Activity::DiskRead).busy.as_millis_f64() / 4.0;
+        let per_read = acc.totals(Activity::DiskRead).busy.as_millis_f64() / 4.0;
         assert!((per_read - 20.0).abs() < 2.0, "{per_read} ms");
     }
 

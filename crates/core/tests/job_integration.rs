@@ -118,10 +118,7 @@ fn histogram_matches_reference_for_many_gpu_counts() {
         for (k, count) in &out.groups {
             assert_eq!(*count, expect[*k as usize], "bucket {k} at {gpus} GPUs");
         }
-        assert_eq!(
-            out.groups.len(),
-            expect.iter().filter(|&&c| c > 0).count()
-        );
+        assert_eq!(out.groups.len(), expect.iter().filter(|&&c| c > 0).count());
         assert!(out.stats.conserved());
         // Half the emissions were padding sentinels.
         assert_eq!(out.stats.sentinels, out.stats.kept);
@@ -148,7 +145,12 @@ fn more_gpus_than_chunks_leaves_idle_mappers() {
     }
     // 5 mappers had nothing to do; their records must be empty, not absent.
     assert_eq!(out.record.mappers.len(), 8);
-    let idle = out.record.mappers.iter().filter(|m| m.chunks.is_empty()).count();
+    let idle = out
+        .record
+        .mappers
+        .iter()
+        .filter(|m| m.chunks.is_empty())
+        .count();
     assert_eq!(idle, 5);
 }
 
@@ -181,7 +183,15 @@ fn chunk_with_only_sentinels_is_harmless() {
     let chunks = make_chunks(4, 64);
     let spec = ClusterSpec::accelerator_cluster(2);
     let config = JobConfig::new(2, 64);
-    let out = run_job(&chunks, &NullMapper, &CountReducer, &RoundRobin, None, &spec, &config);
+    let out = run_job(
+        &chunks,
+        &NullMapper,
+        &CountReducer,
+        &RoundRobin,
+        None,
+        &spec,
+        &config,
+    );
     assert!(out.groups.is_empty());
     assert_eq!(out.stats.kept, 0);
     assert_eq!(out.stats.sentinels, 4 * 64);
@@ -194,7 +204,15 @@ fn tiny_batches_create_many_sends_but_same_result() {
     let spec = ClusterSpec::accelerator_cluster(4);
     let mut config = JobConfig::new(4, 64);
     config.batch_bytes = 1; // flush after every chunk
-    let out = run_job(&chunks, &HistMapper, &CountReducer, &RoundRobin, None, &spec, &config);
+    let out = run_job(
+        &chunks,
+        &HistMapper,
+        &CountReducer,
+        &RoundRobin,
+        None,
+        &spec,
+        &config,
+    );
     for (k, count) in &out.groups {
         assert_eq!(*count, expect[*k as usize]);
     }

@@ -114,7 +114,11 @@ pub struct LaunchOutput<Out> {
 
 /// Execute `kernel` over `config`, using up to `parallelism` host threads
 /// (block-level parallelism, matching how blocks map to SMs).
-pub fn launch<K: Kernel>(kernel: &K, config: LaunchConfig, parallelism: usize) -> LaunchOutput<K::Out>
+pub fn launch<K: Kernel>(
+    kernel: &K,
+    config: LaunchConfig,
+    parallelism: usize,
+) -> LaunchOutput<K::Out>
 where
     K::Out: Default + Clone,
 {

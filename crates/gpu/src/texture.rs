@@ -167,7 +167,10 @@ mod tests {
         for &(x, y, z) in &[(1.25f32, 2.75f32, 3.5f32), (4.1, 5.9, 6.3), (2.0, 2.0, 2.0)] {
             let v = t.sample(x, y, z);
             let expect = (x - 0.5) + 10.0 * (y - 0.5) + 100.0 * (z - 0.5);
-            assert!((v - expect).abs() < 1e-3, "at ({x},{y},{z}): {v} vs {expect}");
+            assert!(
+                (v - expect).abs() < 1e-3,
+                "at ({x},{y},{z}): {v} vs {expect}"
+            );
         }
     }
 

@@ -5,11 +5,10 @@ use proptest::prelude::*;
 use mgpu_gpu::{launch, Kernel, LaunchConfig, Texture3D, ThreadCtx};
 
 fn arb_texture() -> impl Strategy<Value = Texture3D> {
-    (2usize..6, 2usize..6, 2usize..6)
-        .prop_flat_map(|(x, y, z)| {
-            prop::collection::vec(0f32..1.0, x * y * z)
-                .prop_map(move |data| Texture3D::new([x, y, z], data))
-        })
+    (2usize..6, 2usize..6, 2usize..6).prop_flat_map(|(x, y, z)| {
+        prop::collection::vec(0f32..1.0, x * y * z)
+            .prop_map(move |data| Texture3D::new([x, y, z], data))
+    })
 }
 
 proptest! {

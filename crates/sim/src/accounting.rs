@@ -109,9 +109,7 @@ pub fn account(trace: &Trace, schedule: &Schedule) -> RunAccounting {
         let t = schedule.timings()[i];
         match spec.activity.fig3_bucket() {
             Some(Fig3Bucket::Map) => map_done = SimTime::max_of(map_done, t.complete),
-            Some(Fig3Bucket::PartitionIo) => {
-                routed_done = SimTime::max_of(routed_done, t.complete)
-            }
+            Some(Fig3Bucket::PartitionIo) => routed_done = SimTime::max_of(routed_done, t.complete),
             Some(Fig3Bucket::Sort) => sort_done = SimTime::max_of(sort_done, t.complete),
             Some(Fig3Bucket::Reduce) => reduce_done = SimTime::max_of(reduce_done, t.complete),
             None => {}

@@ -101,7 +101,10 @@ impl Activity {
     /// *computation*.
     pub fn is_computation(self) -> bool {
         use Activity::*;
-        matches!(self, Kernel | PartitionCpu | SortCpu | SortGpu | ReduceCpu | ReduceGpu)
+        matches!(
+            self,
+            Kernel | PartitionCpu | SortCpu | SortGpu | ReduceCpu | ReduceGpu
+        )
     }
 
     pub fn label(self) -> &'static str {

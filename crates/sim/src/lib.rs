@@ -21,16 +21,16 @@
 
 pub mod accounting;
 pub mod activity;
-pub mod gantt;
 pub mod engine;
+pub mod gantt;
 pub mod models;
 pub mod time;
 pub mod trace;
 
 pub use accounting::{account, ActivityTotals, PhaseBreakdown, RunAccounting};
-pub use gantt::{ascii_timeline, gantt_bars, resource_use, GanttBar, ResourceUse};
 pub use activity::{Activity, Fig3Bucket};
 pub use engine::{serial_demand, simulate, Schedule, TaskTiming};
+pub use gantt::{ascii_timeline, gantt_bars, resource_use, GanttBar, ResourceUse};
 pub use models::{LinkModel, RateModel};
 pub use time::{SimDuration, SimTime};
 pub use trace::{ResourceId, TaskId, TaskSpec, Trace};

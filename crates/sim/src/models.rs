@@ -99,7 +99,10 @@ mod tests {
         let disk = LinkModel::new(0.008, 85.0 * units::MIB);
         let brick_bytes = 64u64 * 64 * 64 * 4;
         let t = disk.time(brick_bytes).as_millis_f64();
-        assert!((t - 20.0).abs() < 1.5, "disk model off paper anchor: {t} ms");
+        assert!(
+            (t - 20.0).abs() < 1.5,
+            "disk model off paper anchor: {t} ms"
+        );
     }
 
     #[test]

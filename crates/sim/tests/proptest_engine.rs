@@ -28,7 +28,10 @@ struct RandomTaskPlan {
     dep_offsets: Vec<usize>,
 }
 
-fn plan_strategy(max_tasks: usize, max_resources: usize) -> impl Strategy<Value = Vec<RandomTaskPlan>> {
+fn plan_strategy(
+    max_tasks: usize,
+    max_resources: usize,
+) -> impl Strategy<Value = Vec<RandomTaskPlan>> {
     prop::collection::vec(
         (
             0..ACTIVITIES.len(),

@@ -73,9 +73,8 @@ impl BrickGrid {
         let mut counts = [1u32; 3];
         let brick_extent =
             |counts: &[u32; 3], a: usize| -> u64 { dims[a].div_ceil(counts[a]) as u64 };
-        let brick_voxels = |counts: &[u32; 3]| -> u64 {
-            (0..3).map(|a| brick_extent(counts, a)).product()
-        };
+        let brick_voxels =
+            |counts: &[u32; 3]| -> u64 { (0..3).map(|a| brick_extent(counts, a)).product() };
         let total = |counts: &[u32; 3]| -> u64 { counts.iter().map(|&c| c as u64).product() };
 
         while total(&counts) < policy.min_bricks as u64
@@ -125,16 +124,11 @@ impl BrickGrid {
         let mut size = [0u32; 3];
         for a in 0..3 {
             let lo = (c[a] as u64 * self.vol_dims[a] as u64 / self.counts[a] as u64) as u32;
-            let hi =
-                ((c[a] as u64 + 1) * self.vol_dims[a] as u64 / self.counts[a] as u64) as u32;
+            let hi = ((c[a] as u64 + 1) * self.vol_dims[a] as u64 / self.counts[a] as u64) as u32;
             origin[a] = lo;
             size[a] = hi - lo;
         }
-        BrickInfo {
-            id,
-            origin,
-            size,
-        }
+        BrickInfo { id, origin, size }
     }
 
     pub fn bricks(&self) -> impl Iterator<Item = BrickInfo> + '_ {
@@ -197,8 +191,7 @@ mod tests {
                     max_brick_voxels: 500,
                 },
             );
-            let mut covered =
-                vec![0u8; dims[0] as usize * dims[1] as usize * dims[2] as usize];
+            let mut covered = vec![0u8; dims[0] as usize * dims[1] as usize * dims[2] as usize];
             for b in g.bricks() {
                 for z in 0..b.size[2] {
                     for y in 0..b.size[1] {
@@ -207,8 +200,7 @@ mod tests {
                             let gy = b.origin[1] + y;
                             let gz = b.origin[2] + z;
                             let idx = (gx as usize)
-                                + dims[0] as usize
-                                    * (gy as usize + dims[1] as usize * gz as usize);
+                                + dims[0] as usize * (gy as usize + dims[1] as usize * gz as usize);
                             covered[idx] += 1;
                         }
                     }

@@ -233,7 +233,7 @@ mod tests {
         let d0 = b0.store_dims;
         // Ghost voxel at store x = size+ghost (global x = 8) in brick 0…
         let x_ghost = b0.info.size[0] as usize + 1; // ghost=1 shifts by one
-        // …equals brick 1's first interior voxel (store x = 1, global x = 8).
+                                                    // …equals brick 1's first interior voxel (store x = 1, global x = 8).
         for z in 1..d0[2] - 1 {
             for y in 1..d0[1] - 1 {
                 let v0 = b0.voxels[(z * d0[1] + y) * d0[0] + x_ghost];

@@ -118,7 +118,15 @@ impl ScalarField for SkullField {
 
         // Brain: mid-density convoluted interior.
         if r < shell_r - 0.03 {
-            let folds = fbm(x * 14.0, y * 14.0, z * 14.0, 3, 2.1, 0.5, self.seed ^ 0xB4A1);
+            let folds = fbm(
+                x * 14.0,
+                y * 14.0,
+                z * 14.0,
+                3,
+                2.1,
+                0.5,
+                self.seed ^ 0xB4A1,
+            );
             v = v.max(0.30 + 0.18 * folds);
         }
 
@@ -153,15 +161,7 @@ impl ScalarField for SupernovaField {
 
         // Filamentary ejecta fill the interior, fading towards the shock.
         if r < shock_r {
-            let fil = turbulence(
-                x * 11.0,
-                y * 11.0,
-                z * 11.0,
-                3,
-                2.2,
-                0.55,
-                self.seed ^ 0xE)
-                ;
+            let fil = turbulence(x * 11.0, y * 11.0, z * 11.0, 3, 2.2, 0.55, self.seed ^ 0xE);
             let radial = 1.0 - (r / shock_r);
             v = v.max(clamp01(0.65 * fil * (0.35 + 0.65 * radial)));
         }
@@ -198,15 +198,7 @@ impl ScalarField for PlumeField {
         let core = (-3.0 * (d / radius) * (d / radius)).exp();
 
         // Turbulent mixing intensifies with height.
-        let turb = fbm(
-            x * 7.0,
-            y * 7.0,
-            z * 21.0,
-            3,
-            2.0,
-            0.5,
-            self.seed ^ 0xF00D,
-        );
+        let turb = fbm(x * 7.0, y * 7.0, z * 21.0, 3, 2.0, 0.5, self.seed ^ 0xF00D);
         let mixed = core * (0.55 + 0.45 * turb) * (1.0 - 0.55 * h);
 
         // Hot source pool at the base.

@@ -60,7 +60,13 @@ pub fn read_volume(path: &Path) -> io::Result<([u32; 3], Vec<f32>)> {
     let dims = read_header(path)?;
     let n = dims[0] as usize * dims[1] as usize * dims[2] as usize;
     let mut out = vec![0f32; n];
-    read_region(path, dims, [0, 0, 0], [dims[0] as usize, dims[1] as usize, dims[2] as usize], &mut out)?;
+    read_region(
+        path,
+        dims,
+        [0, 0, 0],
+        [dims[0] as usize, dims[1] as usize, dims[2] as usize],
+        &mut out,
+    )?;
     Ok((dims, out))
 }
 

@@ -11,7 +11,11 @@ use crate::volume::{Volume, VolumeMeta, VolumeSource};
 /// voxels average only the in-bounds samples.
 pub fn downsample(volume: &Volume) -> Volume {
     let d = volume.dims();
-    let nd = [d[0].div_ceil(2).max(1), d[1].div_ceil(2).max(1), d[2].div_ceil(2).max(1)];
+    let nd = [
+        d[0].div_ceil(2).max(1),
+        d[1].div_ceil(2).max(1),
+        d[2].div_ceil(2).max(1),
+    ];
     let mut out = vec![0f32; nd[0] as usize * nd[1] as usize * nd[2] as usize];
 
     // Stream pairs of source slabs.
@@ -42,8 +46,7 @@ pub fn downsample(volume: &Volume) -> Volume {
                         }
                     }
                 }
-                out[(nz as usize * nd[1] as usize + ny) * nd[0] as usize + nx] =
-                    sum / n as f32;
+                out[(nz as usize * nd[1] as usize + ny) * nd[0] as usize + nx] = sum / n as f32;
             }
         }
     }

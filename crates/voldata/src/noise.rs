@@ -73,15 +73,7 @@ pub fn value_noise(x: f32, y: f32, z: f32, seed: u64) -> f32 {
 
 /// Fractal Brownian motion: `octaves` layers of value noise, each `lacunarity`
 /// times finer and `gain` times weaker. Output normalized to [0, 1).
-pub fn fbm(
-    x: f32,
-    y: f32,
-    z: f32,
-    octaves: u32,
-    lacunarity: f32,
-    gain: f32,
-    seed: u64,
-) -> f32 {
+pub fn fbm(x: f32, y: f32, z: f32, octaves: u32, lacunarity: f32, gain: f32, seed: u64) -> f32 {
     let mut sum = 0.0f32;
     let mut amp = 1.0f32;
     let mut norm = 0.0f32;

@@ -147,8 +147,7 @@ impl Volume {
         let d = self.meta.dims;
         // In-bounds core that actually needs reading.
         let lo = [0usize, 1, 2].map(|a| origin[a].clamp(0, d[a] as i64 - 1) as u32);
-        let hi = [0usize, 1, 2]
-            .map(|a| (origin[a] + size[a] as i64).clamp(1, d[a] as i64) as u32);
+        let hi = [0usize, 1, 2].map(|a| (origin[a] + size[a] as i64).clamp(1, d[a] as i64) as u32);
         let core_size = [0usize, 1, 2].map(|a| (hi[a].max(lo[a] + 1) - lo[a]) as usize);
         let mut core = vec![0f32; core_size[0] * core_size[1] * core_size[2]];
         self.read_region(lo, core_size, &mut core);

@@ -21,11 +21,7 @@ use crate::math::vec3;
 pub fn reference_render(volume: &Volume, scene: &Scene, cfg: &RenderConfig) -> Image {
     let d = volume.dims();
     let ghost = 1i64;
-    let store_dims = [
-        d[0] as usize + 2,
-        d[1] as usize + 2,
-        d[2] as usize + 2,
-    ];
+    let store_dims = [d[0] as usize + 2, d[1] as usize + 2, d[2] as usize + 2];
     let voxels = volume.materialize_clamped([-ghost, -ghost, -ghost], store_dims);
     let texture = Texture3D::new(store_dims, voxels);
     let lut = scene.transfer.bake();
@@ -81,7 +77,12 @@ pub fn reference_stats(volume: &Volume, scene: &Scene, cfg: &RenderConfig) -> La
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    launch(&kernel, LaunchConfig::cover(cfg.image.0, cfg.image.1), parallelism).stats
+    launch(
+        &kernel,
+        LaunchConfig::cover(cfg.image.0, cfg.image.1),
+        parallelism,
+    )
+    .stats
 }
 
 /// The paper's footnote-1 comparator: "Moreland et al. show that ParaView

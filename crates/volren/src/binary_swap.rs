@@ -42,7 +42,10 @@ pub fn account_binary_swap(
     image_pixels: u64,
 ) -> RunAccounting {
     let g = record.mappers.len() as u32;
-    assert!(g.is_power_of_two(), "binary swap requires a power-of-two GPU count, got {g}");
+    assert!(
+        g.is_power_of_two(),
+        "binary swap requires a power-of-two GPU count, got {g}"
+    );
     let book = CostBook::from_cluster(spec);
 
     let mut tr = Trace::new();

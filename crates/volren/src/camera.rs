@@ -85,7 +85,12 @@ pub struct Scene {
 impl Scene {
     /// Orbit the volume: `azimuth`/`elevation` in degrees around the volume
     /// center at a distance framing the whole volume, 40° vertical FOV.
-    pub fn orbit(volume: &Volume, azimuth_deg: f32, elevation_deg: f32, transfer: TransferFunction) -> Scene {
+    pub fn orbit(
+        volume: &Volume,
+        azimuth_deg: f32,
+        elevation_deg: f32,
+        transfer: TransferFunction,
+    ) -> Scene {
         let d = volume.dims();
         let dims = vec3(d[0] as f32, d[1] as f32, d[2] as f32);
         let center = dims * 0.5;
@@ -121,12 +126,7 @@ mod tests {
     use mgpu_voldata::Dataset;
 
     fn test_camera() -> Camera {
-        Camera::look_at(
-            vec3(0.0, 0.0, 10.0),
-            Vec3::ZERO,
-            vec3(0.0, 1.0, 0.0),
-            45.0,
-        )
+        Camera::look_at(vec3(0.0, 0.0, 10.0), Vec3::ZERO, vec3(0.0, 1.0, 0.0), 45.0)
     }
 
     #[test]
@@ -173,7 +173,10 @@ mod tests {
                 }
             }
         }
-        let (cx, cy) = scene.camera.project(vec3(16.0, 16.0, 16.0), 512, 512).unwrap();
+        let (cx, cy) = scene
+            .camera
+            .project(vec3(16.0, 16.0, 16.0), 512, 512)
+            .unwrap();
         assert!((cx - 256.0).abs() < 64.0 && (cy - 256.0).abs() < 64.0);
     }
 

@@ -1,7 +1,9 @@
 //! Renderer configuration: every §3 design decision is a knob here, so the
 //! ablation benches can flip them one at a time.
 
-use mgpu_mapreduce::{Assignment, Checkerboard, Partitioner, RoundRobin, Striped, Tiled, TraceOptions};
+use mgpu_mapreduce::{
+    Assignment, Checkerboard, Partitioner, RoundRobin, Striped, Tiled, TraceOptions,
+};
 
 /// Which partitioning strategy routes fragments to reducers (§3.1.1 — the
 /// paper found per-pixel round-robin "empirically the most performant").

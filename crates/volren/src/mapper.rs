@@ -59,7 +59,8 @@ impl GpuMapper<RenderBrick> for VolumeMapper {
     }
 
     fn map_chunk(&self, _gpu: GpuId, brick: &RenderBrick) -> MapOutput<Fragment> {
-        let Some((x0, y0, x1, y1)) = brick.footprint(&self.scene.camera, self.image.0, self.image.1)
+        let Some((x0, y0, x1, y1)) =
+            brick.footprint(&self.scene.camera, self.image.0, self.image.1)
         else {
             // Off-screen brick: nothing to launch, nothing emitted.
             return MapOutput {

@@ -102,7 +102,10 @@ mod tests {
         assert_eq!(b - a, vec3(3.0, 3.0, 3.0));
         assert_eq!(a * 2.0, vec3(2.0, 4.0, 6.0));
         assert_eq!(a.dot(b), 32.0);
-        assert_eq!(vec3(1.0, 0.0, 0.0).cross(vec3(0.0, 1.0, 0.0)), vec3(0.0, 0.0, 1.0));
+        assert_eq!(
+            vec3(1.0, 0.0, 0.0).cross(vec3(0.0, 1.0, 0.0)),
+            vec3(0.0, 0.0, 1.0)
+        );
         assert!((vec3(3.0, 4.0, 0.0).length() - 5.0).abs() < 1e-6);
         let n = vec3(0.0, 0.0, 9.0).normalized();
         assert_eq!(n, vec3(0.0, 0.0, 1.0));

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use mgpu_cluster::ClusterSpec;
-use mgpu_mapreduce::{
-    build_trace, run_job, CostBook, JobConfig, JobStats, Key,
-};
+use mgpu_mapreduce::{build_trace, run_job, CostBook, JobConfig, JobStats, Key};
 use mgpu_sim::{account, simulate, PhaseBreakdown, RunAccounting, SimDuration};
 use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, StoreSnapshot, Volume};
 
@@ -123,9 +121,7 @@ pub fn render(
     let from_disk = match cfg.residency {
         Residency::HostResident => false,
         Residency::Disk => true,
-        Residency::Auto => {
-            volume.meta.bytes() > HOST_BYTES_PER_NODE * spec.nodes() as u64
-        }
+        Residency::Auto => volume.meta.bytes() > HOST_BYTES_PER_NODE * spec.nodes() as u64,
     };
     let staging = if from_disk {
         Staging::Disk

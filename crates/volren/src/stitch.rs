@@ -11,12 +11,7 @@ use crate::image::Image;
 
 /// Build the final image: reduced pixels land at their keys; pixels no
 /// fragment reached show the pure background.
-pub fn stitch(
-    groups: &[(Key, [f32; 4])],
-    width: u32,
-    height: u32,
-    background: [f32; 4],
-) -> Image {
+pub fn stitch(groups: &[(Key, [f32; 4])], width: u32, height: u32, background: [f32; 4]) -> Image {
     let bg = composite_sorted(&[], background);
     let mut img = Image::filled(width, height, bg);
     for &(key, color) in groups {

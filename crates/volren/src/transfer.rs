@@ -75,12 +75,30 @@ impl TransferFunction {
         TransferFunction::from_points(
             "bone",
             vec![
-                ControlPoint { value: 0.00, rgba: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 0.08, rgba: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 0.18, rgba: [0.55, 0.25, 0.15, 0.02] },
-                ControlPoint { value: 0.40, rgba: [0.80, 0.55, 0.40, 0.08] },
-                ControlPoint { value: 0.65, rgba: [0.95, 0.90, 0.80, 0.55] },
-                ControlPoint { value: 1.00, rgba: [1.0, 1.0, 0.95, 0.95] },
+                ControlPoint {
+                    value: 0.00,
+                    rgba: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 0.08,
+                    rgba: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 0.18,
+                    rgba: [0.55, 0.25, 0.15, 0.02],
+                },
+                ControlPoint {
+                    value: 0.40,
+                    rgba: [0.80, 0.55, 0.40, 0.08],
+                },
+                ControlPoint {
+                    value: 0.65,
+                    rgba: [0.95, 0.90, 0.80, 0.55],
+                },
+                ControlPoint {
+                    value: 1.00,
+                    rgba: [1.0, 1.0, 0.95, 0.95],
+                },
             ],
         )
     }
@@ -91,12 +109,30 @@ impl TransferFunction {
         TransferFunction::from_points(
             "fire",
             vec![
-                ControlPoint { value: 0.00, rgba: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 0.10, rgba: [0.1, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 0.30, rgba: [0.6, 0.05, 0.0, 0.08] },
-                ControlPoint { value: 0.55, rgba: [0.9, 0.45, 0.05, 0.25] },
-                ControlPoint { value: 0.80, rgba: [1.0, 0.8, 0.3, 0.6] },
-                ControlPoint { value: 1.00, rgba: [1.0, 1.0, 0.9, 0.9] },
+                ControlPoint {
+                    value: 0.00,
+                    rgba: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 0.10,
+                    rgba: [0.1, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 0.30,
+                    rgba: [0.6, 0.05, 0.0, 0.08],
+                },
+                ControlPoint {
+                    value: 0.55,
+                    rgba: [0.9, 0.45, 0.05, 0.25],
+                },
+                ControlPoint {
+                    value: 0.80,
+                    rgba: [1.0, 0.8, 0.3, 0.6],
+                },
+                ControlPoint {
+                    value: 1.00,
+                    rgba: [1.0, 1.0, 0.9, 0.9],
+                },
             ],
         )
     }
@@ -106,12 +142,30 @@ impl TransferFunction {
         TransferFunction::from_points(
             "smoke",
             vec![
-                ControlPoint { value: 0.00, rgba: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 0.05, rgba: [0.1, 0.1, 0.2, 0.0] },
-                ControlPoint { value: 0.25, rgba: [0.3, 0.4, 0.7, 0.06] },
-                ControlPoint { value: 0.55, rgba: [0.55, 0.7, 0.9, 0.25] },
-                ControlPoint { value: 0.85, rgba: [0.9, 0.95, 1.0, 0.7] },
-                ControlPoint { value: 1.00, rgba: [1.0, 1.0, 1.0, 0.9] },
+                ControlPoint {
+                    value: 0.00,
+                    rgba: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 0.05,
+                    rgba: [0.1, 0.1, 0.2, 0.0],
+                },
+                ControlPoint {
+                    value: 0.25,
+                    rgba: [0.3, 0.4, 0.7, 0.06],
+                },
+                ControlPoint {
+                    value: 0.55,
+                    rgba: [0.55, 0.7, 0.9, 0.25],
+                },
+                ControlPoint {
+                    value: 0.85,
+                    rgba: [0.9, 0.95, 1.0, 0.7],
+                },
+                ControlPoint {
+                    value: 1.00,
+                    rgba: [1.0, 1.0, 1.0, 0.9],
+                },
             ],
         )
     }
@@ -121,8 +175,14 @@ impl TransferFunction {
         TransferFunction::from_points(
             "grayscale",
             vec![
-                ControlPoint { value: 0.0, rgba: [0.0, 0.0, 0.0, 0.0] },
-                ControlPoint { value: 1.0, rgba: [1.0, 1.0, 1.0, 1.0] },
+                ControlPoint {
+                    value: 0.0,
+                    rgba: [0.0, 0.0, 0.0, 0.0],
+                },
+                ControlPoint {
+                    value: 1.0,
+                    rgba: [1.0, 1.0, 1.0, 1.0],
+                },
             ],
         )
     }
@@ -175,7 +235,11 @@ mod tests {
             TransferFunction::smoke(),
         ] {
             assert_eq!(tf.eval(0.0)[3], 0.0, "{} air must be clear", tf.name());
-            assert!(tf.eval(0.95)[3] > 0.4, "{} dense must be visible", tf.name());
+            assert!(
+                tf.eval(0.95)[3] > 0.4,
+                "{} dense must be visible",
+                tf.name()
+            );
         }
     }
 
@@ -192,8 +256,14 @@ mod tests {
         let tf = TransferFunction::from_points(
             "t",
             vec![
-                ControlPoint { value: 1.0, rgba: [1.0; 4] },
-                ControlPoint { value: 0.0, rgba: [0.0; 4] },
+                ControlPoint {
+                    value: 1.0,
+                    rgba: [1.0; 4],
+                },
+                ControlPoint {
+                    value: 0.0,
+                    rgba: [0.0; 4],
+                },
             ],
         );
         assert!(tf.eval(0.25)[0] < tf.eval(0.75)[0]);

@@ -17,10 +17,22 @@ fn main() {
     let tf = TransferFunction::from_points(
         "custom-teal",
         vec![
-            ControlPoint { value: 0.0, rgba: [0.0, 0.0, 0.0, 0.0] },
-            ControlPoint { value: 0.2, rgba: [0.0, 0.3, 0.4, 0.02] },
-            ControlPoint { value: 0.6, rgba: [0.2, 0.9, 0.8, 0.3] },
-            ControlPoint { value: 1.0, rgba: [1.0, 1.0, 0.9, 0.9] },
+            ControlPoint {
+                value: 0.0,
+                rgba: [0.0, 0.0, 0.0, 0.0],
+            },
+            ControlPoint {
+                value: 0.2,
+                rgba: [0.0, 0.3, 0.4, 0.02],
+            },
+            ControlPoint {
+                value: 0.6,
+                rgba: [0.2, 0.9, 0.8, 0.3],
+            },
+            ControlPoint {
+                value: 1.0,
+                rgba: [1.0, 1.0, 0.9, 0.9],
+            },
         ],
     );
     let scene = Scene::orbit(&volume, 45.0, 25.0, tf);
@@ -38,14 +50,23 @@ fn main() {
     custom_cfg.combiner = true;
     let custom_run = render(&cluster, &volume, &scene, &custom_cfg);
 
-    println!("default  (direct-send, round-robin): {}", default_run.report.runtime());
-    println!("custom   (binary-swap, tiled, comb): {}", custom_run.report.runtime());
+    println!(
+        "default  (direct-send, round-robin): {}",
+        default_run.report.runtime()
+    );
+    println!(
+        "custom   (binary-swap, tiled, comb): {}",
+        custom_run.report.runtime()
+    );
 
     // Over is associative, so the pixels must agree regardless of plumbing.
     let diff = default_run.image.max_abs_diff(&custom_run.image);
     println!("max pixel difference between pipelines: {diff:e} (must be ~0)");
     assert!(diff < 1e-4);
 
-    custom_run.image.write_ppm("supernova_custom.ppm").expect("write");
+    custom_run
+        .image
+        .write_ppm("supernova_custom.ppm")
+        .expect("write");
     println!("wrote supernova_custom.ppm");
 }

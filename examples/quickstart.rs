@@ -40,6 +40,9 @@ fn main() {
         report.job.reduced_items, report.job.reduced_groups, report.job.batches
     );
 
-    outcome.image.write_ppm("skull.ppm").expect("writing skull.ppm");
+    outcome
+        .image
+        .write_ppm("skull.ppm")
+        .expect("writing skull.ppm");
     println!("wrote skull.ppm");
 }

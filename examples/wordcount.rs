@@ -7,8 +7,7 @@
 
 use gpumr::cluster::ClusterSpec;
 use gpumr::mapreduce::{
-    run_job, Chunk, FnCombiner, GpuMapper, JobConfig, MapOutput, Reducer, RoundRobin,
-    SENTINEL_KEY,
+    run_job, Chunk, FnCombiner, GpuMapper, JobConfig, MapOutput, Reducer, RoundRobin, SENTINEL_KEY,
 };
 use mgpu_gpu::LaunchStats;
 
@@ -77,7 +76,9 @@ fn main() {
     for id in 0..64 {
         let mut words = Vec::new();
         for _ in 0..5000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = (state >> 33) as usize;
             // Zipf-ish: low word ids far more common.
             let w = (r % vocab.len()) * (r % 3) / 2 % vocab.len();
@@ -94,14 +95,33 @@ fn main() {
         vs.push(s);
     });
 
-    let with = run_job(&docs, &CountMapper, &SumReducer, &RoundRobin, Some(&combiner), &spec, &config);
-    let without = run_job(&docs, &CountMapper, &SumReducer, &RoundRobin, None, &spec, &config);
+    let with = run_job(
+        &docs,
+        &CountMapper,
+        &SumReducer,
+        &RoundRobin,
+        Some(&combiner),
+        &spec,
+        &config,
+    );
+    let without = run_job(
+        &docs,
+        &CountMapper,
+        &SumReducer,
+        &RoundRobin,
+        None,
+        &spec,
+        &config,
+    );
 
     println!("{:<8} {:>10}", "word", "count");
     for (k, count) in &with.groups {
         println!("{:<8} {:>10}", vocab[*k as usize], count);
     }
-    assert_eq!(with.groups, without.groups, "combiner must not change results");
+    assert_eq!(
+        with.groups, without.groups,
+        "combiner must not change results"
+    );
     println!(
         "\nwire bytes: {} with combiner vs {} without ({}x less traffic)",
         with.stats.wire_bytes_sent,

@@ -1,0 +1,55 @@
+//! Offline shim for `crossbeam`: just the `channel::bounded` MPSC surface the
+//! MapReduce runtime uses (clonable `Sender`, single-consumer `Receiver` with
+//! blocking `recv`/`iter`), implemented over `std::sync::mpsc::sync_channel`.
+//! The runtime never clones receivers or `select!`s, so std's semantics match.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline shim for `serde`. The workspace derives `Serialize`/`Deserialize`
+//! on its config and report types for future interop but never serializes
+//! through them yet, so marker traits plus no-op derives are enough to
+//! compile. Replace with the real serde when a registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (namespaced apart from the derive).
+pub trait SerializeTrait {}
+
+/// Marker stand-in for `serde::Deserialize` (namespaced apart from the derive).
+pub trait DeserializeTrait<'de> {}

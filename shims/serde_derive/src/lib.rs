@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`: the container image has no crates-io
+//! access, and nothing in the workspace serializes through serde yet — the
+//! derives only need to parse. Each derive expands to nothing; swap in the
+//! real serde once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

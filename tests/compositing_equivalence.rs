@@ -24,7 +24,10 @@ fn binary_swap_pixels_equal_direct_send() {
         let ds = render(&spec, &volume, &scene, &cfg);
         cfg.compositor = Compositor::BinarySwap;
         let bs = render(&spec, &volume, &scene, &cfg);
-        assert_eq!(ds.image, bs.image, "compositor changed pixels at {gpus} GPUs");
+        assert_eq!(
+            ds.image, bs.image,
+            "compositor changed pixels at {gpus} GPUs"
+        );
         // But the schedules differ: binary swap has synchronized rounds.
         assert_ne!(
             ds.report.runtime(),
@@ -46,7 +49,10 @@ fn combiner_never_changes_pixels() {
     // Merging is algebraically exact (over-associativity) but reassociates
     // floating-point ops, so allow rounding-level differences only.
     let diff = off.image.max_abs_diff(&on.image);
-    assert!(diff < 1e-5, "combiner changed pixels beyond rounding: {diff}");
+    assert!(
+        diff < 1e-5,
+        "combiner changed pixels beyond rounding: {diff}"
+    );
     // The combiner only merges provably adjacent segments; whatever it
     // merged must be accounted.
     assert_eq!(

@@ -14,7 +14,9 @@ fn renders_are_fully_deterministic() {
     let cfg = RenderConfig::test_size(96);
     let spec = ClusterSpec::accelerator_cluster(8);
 
-    let runs: Vec<_> = (0..3).map(|_| render(&spec, &volume, &scene, &cfg)).collect();
+    let runs: Vec<_> = (0..3)
+        .map(|_| render(&spec, &volume, &scene, &cfg))
+        .collect();
     for pair in runs.windows(2) {
         assert_eq!(pair[0].image, pair[1].image, "images must be bit-identical");
         assert_eq!(
@@ -23,10 +25,7 @@ fn renders_are_fully_deterministic() {
             "simulated time must be identical"
         );
         assert_eq!(pair[0].report.job, pair[1].report.job);
-        assert_eq!(
-            pair[0].report.breakdown(),
-            pair[1].report.breakdown()
-        );
+        assert_eq!(pair[0].report.breakdown(), pair[1].report.breakdown());
     }
 }
 

@@ -53,14 +53,7 @@ fn figure3_shapes_hold() {
 
     // 3. The paper's crossover: a middling GPU count wins; 32 GPUs is worse
     //    ("with more than 8 GPUs, there is too much communication").
-    let total = |g: u32| {
-        reports
-            .iter()
-            .find(|(gg, _)| *gg == g)
-            .unwrap()
-            .1
-            .runtime()
-    };
+    let total = |g: u32| reports.iter().find(|(gg, _)| *gg == g).unwrap().1.runtime();
     let best = [1u32, 2, 4, 8, 16, 32]
         .into_iter()
         .min_by_key(|g| total(*g))
@@ -85,7 +78,10 @@ fn section63_comm_overtakes_compute() {
         / r32.accounting.computation_demand.as_secs_f64();
     // "As the number of GPUs grows large, the communication time for
     // fragments is the dominant part of the algorithm."
-    assert!(ratio32 > ratio8, "comm/compute must grow: {ratio8} -> {ratio32}");
+    assert!(
+        ratio32 > ratio8,
+        "comm/compute must grow: {ratio8} -> {ratio32}"
+    );
     assert!(
         ratio32 > 1.0,
         "at 32 GPUs communication must dominate: {ratio32}"
@@ -99,7 +95,10 @@ fn more_gpus_more_fragments() {
     let reports = sweep();
     let frags: Vec<u64> = reports.iter().map(|(_, r)| r.job.reduced_items).collect();
     assert!(frags.windows(2).all(|w| w[1] >= w[0]), "{frags:?}");
-    assert!(frags[5] > frags[0], "32 GPUs must emit more fragments than 1");
+    assert!(
+        frags[5] > frags[0],
+        "32 GPUs must emit more fragments than 1"
+    );
 }
 
 #[test]

@@ -1,0 +1,51 @@
+//! Workspace smoke test: the whole stack — procedural dataset, bricking,
+//! MapReduce render, DES replay — driven twice through nothing but
+//! `gpumr::prelude`, asserting bit-identical output. This locks in the
+//! determinism guarantee documented in `crates/core/src/runtime.rs` (chunks
+//! assigned round-robin, batches re-ordered by `(mapper, sequence)`) at the
+//! facade level, and doubles as a check that the prelude exposes everything
+//! the quickstart needs.
+
+use gpumr::prelude::*;
+
+#[test]
+fn prelude_render_is_bit_identical_across_runs() {
+    let volume = Dataset::Skull.volume(16);
+    let cluster = ClusterSpec::accelerator_cluster(4);
+    let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+    let config = RenderConfig::test_size(32);
+
+    let first: RenderOutcome = render(&cluster, &volume, &scene, &config);
+    let second: RenderOutcome = render(&cluster, &volume, &scene, &config);
+
+    // Bit-level comparison (stricter than f32 PartialEq: distinguishes -0.0
+    // from 0.0 and would catch NaNs).
+    assert_eq!(first.image.width(), second.image.width());
+    assert_eq!(first.image.height(), second.image.height());
+    for (i, (a, b)) in first
+        .image
+        .pixels()
+        .iter()
+        .zip(second.image.pixels())
+        .enumerate()
+    {
+        for c in 0..4 {
+            assert_eq!(
+                a[c].to_bits(),
+                b[c].to_bits(),
+                "pixel {i} channel {c} differs: {} vs {}",
+                a[c],
+                b[c]
+            );
+        }
+    }
+
+    // The simulated schedule must replay identically too.
+    assert_eq!(first.report.runtime(), second.report.runtime());
+
+    // The render must have actually hit the image.
+    assert!(
+        first.image.coverage(0.01) > 0.0,
+        "smoke render produced an empty image"
+    );
+}
