@@ -254,3 +254,59 @@ fn trace_replay_is_consistent_with_record() {
         .sum();
     assert_eq!(intra + inter, recorded);
 }
+
+/// `run_job` must reject a malformed config up front with a descriptive
+/// message, not fail somewhere downstream in the pipeline.
+#[test]
+#[should_panic(expected = "invalid JobConfig: batch_bytes must be > 0")]
+fn run_job_rejects_zero_batch_bytes_at_entry() {
+    let chunks = make_chunks(2, 10);
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let mut config = JobConfig::new(2, 64);
+    config.batch_bytes = 0;
+    run_job(
+        &chunks,
+        &HistMapper,
+        &CountReducer,
+        &RoundRobin,
+        None,
+        &spec,
+        &config,
+    );
+}
+
+#[test]
+#[should_panic(expected = "invalid JobConfig: channel_capacity must be > 0")]
+fn run_job_rejects_zero_channel_capacity_at_entry() {
+    let chunks = make_chunks(2, 10);
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let mut config = JobConfig::new(2, 64);
+    config.channel_capacity = 0;
+    run_job(
+        &chunks,
+        &HistMapper,
+        &CountReducer,
+        &RoundRobin,
+        None,
+        &spec,
+        &config,
+    );
+}
+
+#[test]
+#[should_panic(expected = "invalid JobConfig: gpus must be >= 1")]
+fn run_job_rejects_zero_gpus_at_entry() {
+    let chunks = make_chunks(2, 10);
+    // The spec assertion would also fire, but config validation comes first.
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let config = JobConfig::new(0, 64);
+    run_job(
+        &chunks,
+        &HistMapper,
+        &CountReducer,
+        &RoundRobin,
+        None,
+        &spec,
+        &config,
+    );
+}

@@ -1,0 +1,81 @@
+//! Batch compatibility: which queued frames can share one [`FramePlan`].
+//!
+//! Bricking, the staging decision and the brick store depend on the cluster
+//! spec, the volume and the scene-independent parts of the render config —
+//! not on the camera. Frames that agree on those render against one shared
+//! plan, so the volume is bricked once and every brick is staged once per
+//! batch instead of once per frame (the service-level analogue of the
+//! paper's "all data resident" assumption).
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_voldata::Volume;
+use mgpu_volren::config::RenderConfig;
+
+use crate::SceneRequest;
+
+/// Identity of a shareable render plan: the `Debug` encoding of the cluster
+/// spec, the volume metadata and the full render config — everything except
+/// the scene. Requests with equal keys batch together.
+///
+/// The whole config participates (not only the bricking fields): equal keys
+/// must imply "one plan serves all", and config fields like the partition
+/// strategy also shape the per-frame job, so distinct configs never batch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchKey(String);
+
+impl BatchKey {
+    pub fn new(spec: &ClusterSpec, volume: &Volume, cfg: &RenderConfig) -> BatchKey {
+        BatchKey(format!("{spec:?}|{:?}|{cfg:?}", volume.meta))
+    }
+
+    pub fn of(request: &SceneRequest) -> BatchKey {
+        BatchKey::new(&request.spec, &request.volume, &request.config)
+    }
+
+    /// An opaque key for tests and tools.
+    pub fn synthetic(tag: impl std::fmt::Display) -> BatchKey {
+        BatchKey(format!("synthetic-{tag}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Priority;
+    use mgpu_voldata::Dataset;
+    use mgpu_volren::camera::Scene;
+    use mgpu_volren::{RenderConfig, TransferFunction};
+
+    fn request(volume: &Volume, azimuth: f32, image: u32) -> SceneRequest {
+        SceneRequest {
+            spec: ClusterSpec::accelerator_cluster(2),
+            volume: volume.clone(),
+            scene: Scene::orbit(volume, azimuth, 20.0, TransferFunction::bone()),
+            config: RenderConfig::test_size(image),
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn same_volume_and_config_batch_across_scenes() {
+        let v = Dataset::Skull.volume(16);
+        let a = BatchKey::of(&request(&v, 10.0, 32));
+        let b = BatchKey::of(&request(&v, 80.0, 32));
+        assert_eq!(a, b, "camera must not split batches");
+    }
+
+    #[test]
+    fn different_volume_config_or_cluster_do_not_batch() {
+        let v = Dataset::Skull.volume(16);
+        let base = BatchKey::of(&request(&v, 10.0, 32));
+
+        let other_volume = Dataset::Plume.volume(8);
+        assert_ne!(base, BatchKey::of(&request(&other_volume, 10.0, 32)));
+
+        assert_ne!(base, BatchKey::of(&request(&v, 10.0, 64)));
+
+        let mut bigger = request(&v, 10.0, 32);
+        bigger.spec = ClusterSpec::accelerator_cluster(4);
+        assert_ne!(base, BatchKey::of(&bigger));
+    }
+}

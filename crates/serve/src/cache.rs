@@ -1,0 +1,262 @@
+//! The frame cache: a bounded LRU over fully rendered frames, keyed by a
+//! canonical fingerprint of `(cluster, volume, scene, config)`.
+//!
+//! Repeated views — the common case for interactive sessions orbiting a
+//! dataset — are answered without touching the queue or the renderer. The
+//! key is the exact `Debug` encoding of every input that can change pixels
+//! or timing, so lookups are equality matches, never hash-collision guesses.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_voldata::Volume;
+use mgpu_volren::camera::Scene;
+use mgpu_volren::config::RenderConfig;
+
+/// Canonical identity of one frame request.
+///
+/// Built from the `Debug` encodings of the cluster spec, the volume
+/// metadata, the scene (camera, transfer function, background) and the full
+/// render config — every input that influences the output. Two keys are
+/// equal iff every rendering input is field-for-field identical.
+///
+/// Volume *content* is identified by its metadata `(name, dims, seed)`;
+/// procedural and file volumes are fully determined by it. In-memory
+/// volumes with identical metadata but different voxels would alias — don't
+/// serve those through one cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FrameKey(String);
+
+impl FrameKey {
+    pub fn new(spec: &ClusterSpec, volume: &Volume, scene: &Scene, cfg: &RenderConfig) -> FrameKey {
+        FrameKey(format!("{spec:?}|{:?}|{scene:?}|{cfg:?}", volume.meta))
+    }
+
+    /// An opaque key for tests and tools.
+    pub fn synthetic(tag: impl std::fmt::Display) -> FrameKey {
+        FrameKey(format!("synthetic-{tag}"))
+    }
+}
+
+#[derive(Debug)]
+struct CacheInner<V> {
+    entries: HashMap<FrameKey, (V, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameCacheSnapshot {
+    pub entries: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// A bounded LRU cache from [`FrameKey`] to `V` (the service stores
+/// [`crate::RenderedFrame`]s). `capacity` is in entries; zero disables
+/// caching entirely (every `get` misses, `insert` is a no-op).
+#[derive(Debug)]
+pub struct FrameCache<V> {
+    capacity: usize,
+    inner: Mutex<CacheInner<V>>,
+}
+
+impl<V: Clone> FrameCache<V> {
+    pub fn new(capacity: usize) -> FrameCache<V> {
+        FrameCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up an entry, refreshing its recency on hit.
+    pub fn get(&self, key: &FrameKey) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some((value, last)) => {
+                *last = tick;
+                let value = value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`FrameCache::get`], but a lookup failure does not count as a
+    /// miss. This is the worker's in-flight coalescing *re-check* of a key
+    /// that already missed at submit time — counting it again would report
+    /// every rendered frame as two misses.
+    pub fn recheck(&self, key: &FrameKey) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some((value, last)) => {
+                *last = tick;
+                let value = value.clone();
+                inner.hits += 1;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting least-recently-used entries
+    /// past capacity.
+    pub fn insert(&self, key: FrameKey, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(key, (value, tick));
+        while inner.entries.len() > self.capacity {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last))| *last)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.entries.remove(&k);
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> FrameCacheSnapshot {
+        let inner = self.inner.lock();
+        FrameCacheSnapshot {
+            entries: inner.entries.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+
+    #[cfg(test)]
+    fn contains(&self, key: &FrameKey) -> bool {
+        self.inner.lock().entries.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u32) -> FrameKey {
+        FrameKey::synthetic(tag)
+    }
+
+    #[test]
+    fn hit_refreshes_and_counts() {
+        let c: FrameCache<u32> = FrameCache::new(4);
+        c.insert(key(1), 11);
+        assert!(c.get(&key(2)).is_none());
+        assert_eq!(c.get(&key(1)), Some(11));
+        let snap = c.snapshot();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_is_strict_lru_order() {
+        let c: FrameCache<u32> = FrameCache::new(2);
+        c.insert(key(1), 1);
+        c.insert(key(2), 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get(&key(1)).unwrap();
+        c.insert(key(3), 3);
+        assert!(c.contains(&key(1)));
+        assert!(!c.contains(&key(2)), "2 was least recently used");
+        assert!(c.contains(&key(3)));
+        // Next eviction removes 1 (3 arrived after the touch of 1).
+        c.insert(key(4), 4);
+        assert!(!c.contains(&key(1)));
+        assert!(c.contains(&key(3)));
+        assert!(c.contains(&key(4)));
+        assert_eq!(c.snapshot().evictions, 2);
+    }
+
+    #[test]
+    fn recheck_counts_hits_but_not_misses() {
+        let c: FrameCache<u32> = FrameCache::new(2);
+        assert!(c.recheck(&key(1)).is_none());
+        c.insert(key(1), 1);
+        assert_eq!(c.recheck(&key(1)), Some(1));
+        let snap = c.snapshot();
+        assert_eq!((snap.hits, snap.misses), (1, 0));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let c: FrameCache<u32> = FrameCache::new(2);
+        c.insert(key(1), 1);
+        c.insert(key(2), 2);
+        c.insert(key(1), 10); // refresh, no eviction: len stays 2
+        c.insert(key(3), 3); // victim must be 2, not 1
+        assert_eq!(c.get(&key(1)), Some(10));
+        assert!(!c.contains(&key(2)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let c: FrameCache<u32> = FrameCache::new(0);
+        c.insert(key(1), 1);
+        assert!(c.get(&key(1)).is_none());
+        // A disabled cache records no statistics at all.
+        assert_eq!(c.snapshot(), FrameCacheSnapshot::default());
+    }
+
+    #[test]
+    fn frame_key_separates_every_input() {
+        use mgpu_voldata::Dataset;
+        use mgpu_volren::TransferFunction;
+
+        let spec = ClusterSpec::accelerator_cluster(2);
+        let volume = Dataset::Skull.volume(16);
+        let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+        let cfg = RenderConfig::test_size(32);
+        let base = FrameKey::new(&spec, &volume, &scene, &cfg);
+        assert_eq!(base, FrameKey::new(&spec, &volume, &scene, &cfg));
+
+        let scene2 = Scene::orbit(&volume, 31.0, 20.0, TransferFunction::bone());
+        assert_ne!(base, FrameKey::new(&spec, &volume, &scene2, &cfg));
+        let cfg2 = RenderConfig::test_size(64);
+        assert_ne!(base, FrameKey::new(&spec, &volume, &scene, &cfg2));
+        let spec2 = ClusterSpec::accelerator_cluster(4);
+        assert_ne!(base, FrameKey::new(&spec2, &volume, &scene, &cfg));
+        let volume2 = Dataset::Supernova.volume(16);
+        assert_ne!(base, FrameKey::new(&spec, &volume2, &scene, &cfg));
+    }
+}

@@ -1,0 +1,270 @@
+//! # mgpu-serve — a multi-scene render service over `mgpu-volren`
+//!
+//! The paper renders one frame at a time; this crate adds the production
+//! front-end the ROADMAP's north star asks for: a [`RenderService`] that
+//! accepts concurrent frame requests for many scenes and schedules the
+//! renderer behind a job queue, in the spirit of distributed GPU render
+//! front-ends (cf. Hassan et al., arXiv:1205.0282).
+//!
+//! Architecture (one request's path):
+//!
+//! ```text
+//! submit(SceneRequest) ── frame cache? ──hit──► FrameTicket (immediate)
+//!        │ miss
+//!        ▼
+//!   JobQueue (priority, FIFO within class)
+//!        │ pop + drain_matching(batch key)
+//!        ▼
+//!   worker: shared FramePlan ──► render_planned per frame ──► cache ──► ticket
+//! ```
+//!
+//! * **Queue** — [`queue::JobQueue`]: interactive requests overtake batch
+//!   sweeps, FIFO within a class (no starvation).
+//! * **Batching** — [`batch::BatchKey`]: frames that agree on (cluster,
+//!   volume, config) share one [`mgpu_volren::FramePlan`], so the volume is
+//!   bricked and staged once per batch instead of once per frame.
+//! * **Cache** — [`cache::FrameCache`]: bounded LRU over rendered frames;
+//!   repeated views skip the renderer entirely.
+//! * **Accounting** — [`report::ServiceReport`]: queue latency, batch
+//!   occupancy, cache hit rate, staging reuse, frames/sec — alongside the
+//!   per-frame [`mgpu_volren::RenderReport`] each ticket carries.
+//!
+//! Determinism: a frame rendered through the service is bit-identical to a
+//! direct [`mgpu_volren::render`] call with the same request, regardless of
+//! worker count, batching, caching or interleaving.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver};
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_voldata::Volume;
+use mgpu_volren::camera::Scene;
+use mgpu_volren::config::RenderConfig;
+use mgpu_volren::{Image, RenderReport};
+
+pub mod batch;
+pub mod cache;
+pub mod queue;
+pub mod report;
+pub mod session;
+mod worker;
+
+pub use batch::BatchKey;
+pub use cache::{FrameCache, FrameCacheSnapshot, FrameKey};
+pub use queue::Priority;
+pub use report::ServiceReport;
+pub use session::SceneSession;
+
+use report::ServiceStats;
+
+/// Everything needed to render one frame, as submitted by a client.
+#[derive(Debug, Clone)]
+pub struct SceneRequest {
+    pub spec: ClusterSpec,
+    pub volume: Volume,
+    pub scene: Scene,
+    pub config: RenderConfig,
+    pub priority: Priority,
+}
+
+/// A completed frame as delivered by a [`FrameTicket`]. Cheap to clone: the
+/// image and report are shared (cache hits hand out the same allocation).
+#[derive(Debug, Clone)]
+pub struct RenderedFrame {
+    pub image: Arc<Image>,
+    pub report: Arc<RenderReport>,
+    /// Served from the frame cache (no render happened for this request).
+    pub from_cache: bool,
+}
+
+/// Handle to one submitted frame; redeem with [`FrameTicket::wait`].
+#[derive(Debug)]
+pub struct FrameTicket {
+    rx: Receiver<RenderedFrame>,
+    seq: Option<u64>,
+}
+
+impl FrameTicket {
+    /// Block until the frame is rendered (or served from cache).
+    ///
+    /// Panics if the service was torn down without completing the job —
+    /// that cannot happen through the public API: shutdown drains the queue.
+    pub fn wait(self) -> RenderedFrame {
+        self.rx
+            .recv()
+            .expect("render service dropped a pending job")
+    }
+
+    /// Queue sequence number, if the request went through the queue
+    /// (`None` = answered immediately from the frame cache).
+    pub fn seq(&self) -> Option<u64> {
+        self.seq
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads rendering frames (each render additionally spawns its
+    /// own mapper/reducer threads, so a few workers saturate a host).
+    pub workers: usize,
+    /// Max frames per batch; 1 disables batching.
+    pub max_batch: usize,
+    /// Frame-cache capacity in frames; 0 disables the cache.
+    pub cache_frames: usize,
+    /// Start with the queue paused: submissions accumulate until
+    /// [`RenderService::resume`], which makes batch formation deterministic
+    /// (benchmarks, tests).
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            max_batch: 8,
+            cache_frames: 64,
+            start_paused: false,
+        }
+    }
+}
+
+/// Shared state behind the service handle (workers hold an `Arc`).
+pub(crate) struct ServiceInner {
+    pub(crate) config: ServiceConfig,
+    pub(crate) queue: queue::JobQueue,
+    pub(crate) cache: FrameCache<RenderedFrame>,
+    pub(crate) stats: ServiceStats,
+    pub(crate) started: Instant,
+}
+
+impl ServiceInner {
+    pub(crate) fn submit(self: &Arc<Self>, request: SceneRequest) -> FrameTicket {
+        // Uniform behaviour for handles (sessions) that outlive the service:
+        // every submit after shutdown panics, cached or not.
+        assert!(
+            !self.queue.is_closed(),
+            "cannot submit to a shut-down render service"
+        );
+        ServiceStats::bump(&self.stats.frames_submitted);
+        let key = FrameKey::new(
+            &request.spec,
+            &request.volume,
+            &request.scene,
+            &request.config,
+        );
+        // Fast path: a cached frame resolves the ticket immediately, without
+        // queueing. (Workers re-check the cache, so duplicates in flight
+        // still coalesce once the first render lands.)
+        if let Some(mut frame) = self.cache.get(&key) {
+            frame.from_cache = true;
+            ServiceStats::bump(&self.stats.cache_hits);
+            ServiceStats::bump(&self.stats.frames_completed);
+            let (tx, rx) = bounded(1);
+            tx.send(frame).expect("fresh ticket channel");
+            return FrameTicket { rx, seq: None };
+        }
+        let batch_key = BatchKey::of(&request);
+        let (tx, rx) = bounded(1);
+        let seq = self.queue.push(request, batch_key, tx);
+        FrameTicket { rx, seq: Some(seq) }
+    }
+
+    pub(crate) fn report(&self) -> ServiceReport {
+        ServiceReport::from_stats(&self.stats, self.started.elapsed())
+    }
+}
+
+/// The render service: a worker pool over a prioritized job queue with frame
+/// batching and a frame cache. See the crate docs for the architecture.
+pub struct RenderService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RenderService {
+    /// Start the service with `config.workers` worker threads.
+    pub fn start(config: ServiceConfig) -> RenderService {
+        assert!(config.workers >= 1, "service needs at least one worker");
+        assert!(config.max_batch >= 1, "max_batch of 0 would render nothing");
+        let inner = Arc::new(ServiceInner {
+            queue: queue::JobQueue::new(config.start_paused),
+            cache: FrameCache::new(config.cache_frames),
+            stats: ServiceStats::default(),
+            started: Instant::now(),
+            config,
+        });
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mgpu-serve-worker-{i}"))
+                    .spawn(move || worker::worker_loop(inner))
+                    .expect("spawn render worker")
+            })
+            .collect();
+        RenderService { inner, workers }
+    }
+
+    /// Submit one frame request; returns immediately with a ticket.
+    ///
+    /// Panics if called (from this handle or an outliving [`SceneSession`])
+    /// after [`RenderService::shutdown`].
+    pub fn submit(&self, request: SceneRequest) -> FrameTicket {
+        self.inner.submit(request)
+    }
+
+    /// Open a client session bound to one (cluster, volume, config) — the
+    /// ergonomic way to request many frames of one dataset.
+    pub fn session(&self, spec: ClusterSpec, volume: Volume, config: RenderConfig) -> SceneSession {
+        SceneSession::new(Arc::clone(&self.inner), spec, volume, config)
+    }
+
+    /// Stop popping jobs (submissions still accepted and queued).
+    pub fn pause(&self) {
+        self.inner.queue.set_paused(true);
+    }
+
+    /// Resume popping; wakes all workers.
+    pub fn resume(&self) {
+        self.inner.queue.set_paused(false);
+    }
+
+    /// Jobs currently waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Point-in-time service accounting.
+    pub fn report(&self) -> ServiceReport {
+        self.inner.report()
+    }
+
+    /// Frame-cache counters.
+    pub fn cache_snapshot(&self) -> FrameCacheSnapshot {
+        self.inner.cache.snapshot()
+    }
+
+    /// Drain the queue, stop the workers and return the final report. Every
+    /// ticket submitted before the call still resolves.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.teardown();
+        self.inner.report()
+    }
+
+    fn teardown(&mut self) {
+        self.inner.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RenderService {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}

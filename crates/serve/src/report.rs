@@ -1,0 +1,192 @@
+//! Service-level accounting: monotonic counters updated by the submit path
+//! and the workers, snapshotted into a [`ServiceReport`].
+//!
+//! This sits *above* the per-frame [`mgpu_volren::RenderReport`]: the frame
+//! report times one frame on the modeled cluster; the service report
+//! measures how the front-end behaves under load — queue latency, batch
+//! occupancy, cache hit rate, brick staging reuse, wall-clock throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic service counters (all relaxed: they are statistics, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub(crate) struct ServiceStats {
+    pub frames_submitted: AtomicU64,
+    pub frames_completed: AtomicU64,
+    /// Frames that went through the full render pipeline.
+    pub frames_rendered: AtomicU64,
+    /// Frames answered from the frame cache (submit-side or worker-side).
+    pub cache_hits: AtomicU64,
+    pub batches: AtomicU64,
+    /// Frames rendered as part of some batch (= occupancy numerator).
+    pub batched_frames: AtomicU64,
+    /// Total time jobs spent queued before a worker picked them up.
+    pub queue_wait_nanos: AtomicU64,
+    /// Bricks materialized by the shared stores (staging work actually paid).
+    pub brick_stagings: AtomicU64,
+    /// Brick fetches answered by a warm shared store (staging work avoided).
+    pub brick_reuses: AtomicU64,
+    /// Sum of simulated per-frame runtimes (DES makespans), nanoseconds.
+    pub sim_frame_nanos: AtomicU64,
+}
+
+impl ServiceStats {
+    pub fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time summary of service behaviour, alongside the per-frame
+/// `RenderReport`s the tickets deliver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    pub frames_submitted: u64,
+    pub frames_completed: u64,
+    pub frames_rendered: u64,
+    pub cache_hits: u64,
+    pub batches: u64,
+    pub batched_frames: u64,
+    pub brick_stagings: u64,
+    pub brick_reuses: u64,
+    /// Mean time a job waited in the queue before a worker picked it up.
+    pub mean_queue_wait: Duration,
+    /// Real elapsed time since the service started.
+    pub wall_elapsed: Duration,
+    /// Sum of simulated per-frame runtimes.
+    pub sim_frame_total: Duration,
+}
+
+impl ServiceReport {
+    pub(crate) fn from_stats(stats: &ServiceStats, wall_elapsed: Duration) -> ServiceReport {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let completed = ld(&stats.frames_completed);
+        let waited = ld(&stats.queue_wait_nanos);
+        // Queue wait is recorded per *popped* job; cache fast-path frames
+        // never enter the queue, so the mean is over rendered frames.
+        let rendered = ld(&stats.frames_rendered);
+        ServiceReport {
+            frames_submitted: ld(&stats.frames_submitted),
+            frames_completed: completed,
+            frames_rendered: rendered,
+            cache_hits: ld(&stats.cache_hits),
+            batches: ld(&stats.batches),
+            batched_frames: ld(&stats.batched_frames),
+            brick_stagings: ld(&stats.brick_stagings),
+            brick_reuses: ld(&stats.brick_reuses),
+            mean_queue_wait: Duration::from_nanos(if rendered > 0 { waited / rendered } else { 0 }),
+            wall_elapsed,
+            sim_frame_total: Duration::from_nanos(ld(&stats.sim_frame_nanos)),
+        }
+    }
+
+    /// Fraction of completed frames answered from the frame cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.frames_completed == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.frames_completed as f64
+        }
+    }
+
+    /// Mean frames per batch (1.0 = batching bought nothing).
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_frames as f64 / self.batches as f64
+        }
+    }
+
+    /// Completed frames per wall-clock second since service start.
+    pub fn frames_per_sec(&self) -> f64 {
+        let s = self.wall_elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.frames_completed as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean simulated frame time across rendered frames.
+    pub fn mean_sim_frame(&self) -> Duration {
+        if self.frames_rendered == 0 {
+            Duration::ZERO
+        } else {
+            self.sim_frame_total / self.frames_rendered as u32
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "frames: {} submitted, {} completed ({} rendered, {} cache hits, {:.1}% hit rate)",
+            self.frames_submitted,
+            self.frames_completed,
+            self.frames_rendered,
+            self.cache_hits,
+            self.cache_hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "batching: {} batches, mean occupancy {:.2} frames/batch",
+            self.batches,
+            self.batch_occupancy()
+        )?;
+        writeln!(
+            f,
+            "bricks: {} staged, {} reused from shared stores",
+            self.brick_stagings, self.brick_reuses
+        )?;
+        write!(
+            f,
+            "throughput: {:.1} frames/s wall ({:.3} s elapsed), mean queue wait {:.2} ms, \
+             mean sim frame {:.2} ms",
+            self.frames_per_sec(),
+            self.wall_elapsed.as_secs_f64(),
+            self.mean_queue_wait.as_secs_f64() * 1e3,
+            self.mean_sim_frame().as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let stats = ServiceStats::default();
+        ServiceStats::add(&stats.frames_submitted, 10);
+        ServiceStats::add(&stats.frames_completed, 10);
+        ServiceStats::add(&stats.frames_rendered, 8);
+        ServiceStats::add(&stats.cache_hits, 2);
+        ServiceStats::add(&stats.batches, 2);
+        ServiceStats::add(&stats.batched_frames, 8);
+        ServiceStats::add(&stats.queue_wait_nanos, 8_000_000);
+        let r = ServiceReport::from_stats(&stats, Duration::from_secs(2));
+        assert_eq!(r.cache_hit_rate(), 0.2);
+        assert_eq!(r.batch_occupancy(), 4.0);
+        assert_eq!(r.frames_per_sec(), 5.0);
+        assert_eq!(r.mean_queue_wait, Duration::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn empty_report_has_no_nans() {
+        let stats = ServiceStats::default();
+        let r = ServiceReport::from_stats(&stats, Duration::ZERO);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+        assert_eq!(r.batch_occupancy(), 0.0);
+        assert_eq!(r.frames_per_sec(), 0.0);
+        assert_eq!(r.mean_sim_frame(), Duration::ZERO);
+        let text = r.to_string();
+        assert!(text.contains("0 submitted"));
+    }
+}

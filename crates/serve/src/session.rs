@@ -1,0 +1,98 @@
+//! Client sessions: a handle bound to one (cluster, volume, config) that
+//! submits frames for that scene family — the "user orbiting a dataset"
+//! abstraction. All sessions share the service's queue, workers and cache,
+//! so two sessions over the same volume batch and cache-share naturally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_voldata::Volume;
+use mgpu_volren::camera::Scene;
+use mgpu_volren::config::RenderConfig;
+use mgpu_volren::TransferFunction;
+
+use crate::queue::Priority;
+use crate::{FrameTicket, SceneRequest, ServiceInner};
+
+/// A client's view of the service, pre-bound to cluster + volume + config.
+pub struct SceneSession {
+    inner: Arc<ServiceInner>,
+    spec: ClusterSpec,
+    volume: Volume,
+    config: RenderConfig,
+    priority: Priority,
+    submitted: AtomicU64,
+}
+
+impl SceneSession {
+    pub(crate) fn new(
+        inner: Arc<ServiceInner>,
+        spec: ClusterSpec,
+        volume: Volume,
+        config: RenderConfig,
+    ) -> SceneSession {
+        SceneSession {
+            inner,
+            spec,
+            volume,
+            config,
+            priority: Priority::Normal,
+            submitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Default priority for subsequent requests.
+    pub fn with_priority(mut self, priority: Priority) -> SceneSession {
+        self.priority = priority;
+        self
+    }
+
+    /// Submit one frame of this session's volume under the given scene.
+    pub fn request(&self, scene: Scene) -> FrameTicket {
+        self.request_with_priority(scene, self.priority)
+    }
+
+    pub fn request_with_priority(&self, scene: Scene, priority: Priority) -> FrameTicket {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.submit(SceneRequest {
+            spec: self.spec.clone(),
+            volume: self.volume.clone(),
+            scene,
+            config: self.config.clone(),
+            priority,
+        })
+    }
+
+    /// Convenience: orbit this session's volume (see [`Scene::orbit`]).
+    pub fn request_orbit(
+        &self,
+        azimuth_deg: f32,
+        elevation_deg: f32,
+        transfer: TransferFunction,
+    ) -> FrameTicket {
+        self.request(Scene::orbit(
+            &self.volume,
+            azimuth_deg,
+            elevation_deg,
+            transfer,
+        ))
+    }
+
+    pub fn volume(&self) -> &Volume {
+        &self.volume
+    }
+
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    pub fn config(&self) -> &RenderConfig {
+        &self.config
+    }
+
+    /// Frames this session has submitted so far.
+    pub fn frames_submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,75 @@
+//! The worker pool: each worker pops the best queued job, opportunistically
+//! drains compatible jobs into a batch, then renders the batch against one
+//! shared [`FramePlan`].
+//!
+//! Per-frame determinism: pixels depend only on the request itself (volume,
+//! scene, config, GPU count), never on batch composition, worker identity or
+//! interleaving — `render_planned` is bit-identical to a direct `render`
+//! call. Only the *timing and staging statistics* benefit from sharing.
+
+use std::sync::Arc;
+
+use mgpu_volren::renderer::{render_planned, FramePlan};
+
+use crate::cache::FrameKey;
+use crate::queue::QueuedJob;
+use crate::report::ServiceStats;
+use crate::{RenderedFrame, ServiceInner};
+
+pub(crate) fn worker_loop(inner: Arc<ServiceInner>) {
+    while let Some(first) = inner.queue.pop() {
+        let mut jobs = vec![first];
+        let extra = inner.config.max_batch.saturating_sub(1);
+        if extra > 0 {
+            jobs.extend(inner.queue.drain_matching(&jobs[0].batch_key, extra));
+        }
+        render_batch(&inner, jobs);
+    }
+}
+
+/// Render a batch of same-key jobs over one shared plan. Jobs whose frame
+/// landed in the cache since submission are answered without rendering; the
+/// plan is built lazily on the first actual render.
+fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
+    let stats = &inner.stats;
+    let mut plan: Option<FramePlan> = None;
+    for job in jobs {
+        let req = &job.request;
+        let key = FrameKey::new(&req.spec, &req.volume, &req.scene, &req.config);
+        // Coalescing re-check: an identical request may have rendered since
+        // this one was queued (recheck: the submit path already counted the
+        // miss).
+        if let Some(mut frame) = inner.cache.recheck(&key) {
+            frame.from_cache = true;
+            ServiceStats::bump(&stats.cache_hits);
+            ServiceStats::bump(&stats.frames_completed);
+            let _ = job.reply.send(frame);
+            continue;
+        }
+
+        ServiceStats::add(
+            &stats.queue_wait_nanos,
+            job.enqueued.elapsed().as_nanos() as u64,
+        );
+        let plan = plan.get_or_insert_with(|| {
+            ServiceStats::bump(&stats.batches);
+            FramePlan::prepare(&req.spec, &req.volume, &req.config)
+        });
+        let outcome = render_planned(&req.spec, plan, &req.scene, &req.config);
+        ServiceStats::add(&stats.brick_stagings, outcome.report.store.misses);
+        ServiceStats::add(&stats.brick_reuses, outcome.report.store.hits);
+        ServiceStats::add(&stats.sim_frame_nanos, outcome.report.runtime().nanos());
+        ServiceStats::bump(&stats.batched_frames);
+        ServiceStats::bump(&stats.frames_rendered);
+        ServiceStats::bump(&stats.frames_completed);
+
+        let frame = RenderedFrame {
+            image: Arc::new(outcome.image),
+            report: Arc::new(outcome.report),
+            from_cache: false,
+        };
+        inner.cache.insert(key, frame.clone());
+        // A dropped ticket is fine: the frame is already cached.
+        let _ = job.reply.send(frame);
+    }
+}

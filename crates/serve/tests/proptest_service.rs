@@ -1,0 +1,73 @@
+//! Property: for ANY mix of scenes, worker counts, batch limits and cache
+//! sizes — i.e. any concurrent interleaving the service can produce — every
+//! frame delivered by the service is bit-identical to a sequential direct
+//! `render` call with the same request.
+
+use proptest::prelude::*;
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_serve::{Priority, RenderService, ServiceConfig};
+use mgpu_voldata::Dataset;
+use mgpu_volren::camera::Scene;
+use mgpu_volren::renderer::render;
+use mgpu_volren::{RenderConfig, TransferFunction};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn any_interleaving_matches_sequential_direct_renders(
+        azimuth_steps in prop::collection::vec(0u32..12, 3..9),
+        workers in 1usize..4,
+        max_batch in 1usize..5,
+        cache_frames in 0usize..3,
+        priority_bits in prop::collection::vec(0u32..3, 3..9),
+    ) {
+        let spec = ClusterSpec::accelerator_cluster(2);
+        let cfg = RenderConfig::test_size(24);
+        let volume = Dataset::Skull.volume(16);
+        let scene_of = |step: u32| {
+            Scene::orbit(&volume, step as f32 * 30.0, 15.0, TransferFunction::bone())
+        };
+
+        // Sequential ground truth, one direct render per request (duplicate
+        // azimuths included: the service may serve them from cache, direct
+        // renders recompute them — outputs must match either way).
+        let direct: Vec<_> = azimuth_steps
+            .iter()
+            .map(|s| render(&spec, &volume, &scene_of(*s), &cfg).image)
+            .collect();
+
+        let service = RenderService::start(ServiceConfig {
+            workers,
+            max_batch,
+            cache_frames,
+            start_paused: false,
+        });
+        let session = service.session(spec.clone(), volume.clone(), cfg.clone());
+        let tickets: Vec<_> = azimuth_steps
+            .iter()
+            .zip(priority_bits.iter().cycle())
+            .map(|(s, p)| {
+                let priority = match p {
+                    0 => Priority::Batch,
+                    1 => Priority::Normal,
+                    _ => Priority::Interactive,
+                };
+                session.request_with_priority(scene_of(*s), priority)
+            })
+            .collect();
+
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let frame = ticket.wait();
+            prop_assert_eq!(
+                &*frame.image,
+                &direct[i],
+                "frame {} (azimuth step {}) diverged under workers={} max_batch={} cache={}",
+                i, azimuth_steps[i], workers, max_batch, cache_frames
+            );
+        }
+        let report = service.shutdown();
+        prop_assert_eq!(report.frames_completed, azimuth_steps.len() as u64);
+    }
+}

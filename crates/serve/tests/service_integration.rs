@@ -1,0 +1,242 @@
+//! End-to-end tests of the render service: per-frame bit-equivalence with
+//! direct renders, staging savings from batching, cache behaviour, and
+//! clean shutdown semantics.
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_serve::{Priority, RenderService, SceneRequest, ServiceConfig};
+use mgpu_voldata::Dataset;
+use mgpu_volren::camera::Scene;
+use mgpu_volren::renderer::render;
+use mgpu_volren::{RenderConfig, TransferFunction};
+
+fn scene_for(volume: &mgpu_voldata::Volume, azimuth: f32) -> Scene {
+    Scene::orbit(volume, azimuth, 20.0, TransferFunction::bone())
+}
+
+/// The acceptance scenario: two concurrent sessions, ≥8 queued frames each,
+/// every service frame bit-identical to a direct `render` call.
+#[test]
+fn two_sessions_eight_frames_each_match_direct_renders() {
+    let service = RenderService::start(ServiceConfig {
+        workers: 2,
+        max_batch: 4,
+        cache_frames: 32,
+        start_paused: false,
+    });
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let cfg = RenderConfig::test_size(32);
+    let skull = Dataset::Skull.volume(16);
+    let supernova = Dataset::Supernova.volume(16);
+
+    let s1 = service.session(spec.clone(), skull.clone(), cfg.clone());
+    let s2 = service.session(spec.clone(), supernova.clone(), cfg.clone());
+
+    let azimuths: Vec<f32> = (0..8).map(|i| i as f32 * 36.0).collect();
+    let t1: Vec<_> = azimuths
+        .iter()
+        .map(|az| s1.request(scene_for(&skull, *az)))
+        .collect();
+    let t2: Vec<_> = azimuths
+        .iter()
+        .map(|az| s2.request(scene_for(&supernova, *az)))
+        .collect();
+    assert_eq!(s1.frames_submitted(), 8);
+    assert_eq!(s2.frames_submitted(), 8);
+
+    for (az, ticket) in azimuths.iter().zip(t1) {
+        let frame = ticket.wait();
+        let direct = render(&spec, &skull, &scene_for(&skull, *az), &cfg);
+        assert_eq!(*frame.image, direct.image, "skull az {az}");
+    }
+    for (az, ticket) in azimuths.iter().zip(t2) {
+        let frame = ticket.wait();
+        let direct = render(&spec, &supernova, &scene_for(&supernova, *az), &cfg);
+        assert_eq!(*frame.image, direct.image, "supernova az {az}");
+    }
+
+    let report = service.shutdown();
+    assert_eq!(report.frames_submitted, 16);
+    assert_eq!(report.frames_completed, 16);
+    assert_eq!(report.frames_rendered + report.cache_hits, 16);
+}
+
+/// Batched same-volume requests stage each brick once; unbatched requests
+/// pay the full staging cost per frame.
+#[test]
+fn batching_cuts_brick_stagings() {
+    let frames = 6;
+    let run = |max_batch: usize| {
+        let service = RenderService::start(ServiceConfig {
+            workers: 1,
+            max_batch,
+            cache_frames: 0, // isolate batching from caching
+            start_paused: true,
+        });
+        let spec = ClusterSpec::accelerator_cluster(2);
+        let cfg = RenderConfig::test_size(32);
+        let volume = Dataset::Skull.volume(16);
+        let session = service.session(spec, volume.clone(), cfg);
+        let tickets: Vec<_> = (0..frames)
+            .map(|i| session.request(scene_for(&volume, i as f32 * 30.0)))
+            .collect();
+        service.resume();
+        let bricks = tickets
+            .into_iter()
+            .map(|t| t.wait().report.bricks as u64)
+            .max()
+            .unwrap();
+        (service.shutdown(), bricks)
+    };
+
+    let (batched, bricks) = run(frames);
+    let (unbatched, _) = run(1);
+
+    // One paused single-worker batch: every frame in one batch, every brick
+    // staged exactly once.
+    assert_eq!(batched.batches, 1);
+    assert_eq!(batched.batch_occupancy(), frames as f64);
+    assert_eq!(batched.brick_stagings, bricks);
+
+    // Unbatched: one plan per frame, full staging cost each time.
+    assert_eq!(unbatched.batches, frames as u64);
+    assert_eq!(unbatched.batch_occupancy(), 1.0);
+    assert_eq!(unbatched.brick_stagings, bricks * frames as u64);
+    assert!(
+        batched.brick_stagings < unbatched.brick_stagings,
+        "batching must reduce stagings: {} vs {}",
+        batched.brick_stagings,
+        unbatched.brick_stagings
+    );
+}
+
+/// Repeated views hit the frame cache and share the rendered allocation.
+#[test]
+fn repeated_view_hits_the_cache() {
+    let service = RenderService::start(ServiceConfig::default());
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let cfg = RenderConfig::test_size(24);
+    let volume = Dataset::Plume.volume(8);
+    let session = service.session(spec, volume.clone(), cfg);
+
+    let scene = Scene::orbit(&volume, 45.0, 10.0, TransferFunction::smoke());
+    let first = session.request(scene.clone()).wait();
+    assert!(!first.from_cache);
+    let second = session.request(scene.clone()).wait();
+    assert!(second.from_cache, "identical request must hit the cache");
+    assert_eq!(first.image, second.image);
+
+    // A different view renders fresh.
+    let third = session
+        .request(Scene::orbit(&volume, 46.0, 10.0, TransferFunction::smoke()))
+        .wait();
+    assert!(!third.from_cache);
+
+    let report = service.shutdown();
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(report.frames_rendered, 2);
+    assert!((report.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+}
+
+/// Interactive requests overtake queued batch work. Pop order is observed
+/// through the cache: both jobs request the SAME scene, so whichever the
+/// single worker renders first populates the cache and the other coalesces
+/// onto it — the interactive frame must be the rendered one even though the
+/// batch job was submitted first.
+#[test]
+fn interactive_requests_overtake_batch_work() {
+    let service = RenderService::start(ServiceConfig {
+        workers: 1,
+        max_batch: 1, // isolate priority order from batch grouping
+        cache_frames: 4,
+        start_paused: true,
+    });
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let cfg = RenderConfig::test_size(16);
+    let volume = Dataset::Skull.volume(8);
+    let session = service.session(spec, volume.clone(), cfg);
+
+    let scene = scene_for(&volume, 10.0);
+    let batch_ticket = session.request_with_priority(scene.clone(), Priority::Batch);
+    let interactive_ticket = session.request_with_priority(scene, Priority::Interactive);
+    service.resume();
+
+    let b = batch_ticket.wait();
+    let i = interactive_ticket.wait();
+    assert!(
+        !i.from_cache,
+        "the interactive job must have been popped (and rendered) first"
+    );
+    assert!(
+        b.from_cache,
+        "the earlier-submitted batch job must have coalesced onto the \
+         interactive render"
+    );
+    assert_eq!(*b.image, *i.image);
+    let report = service.shutdown();
+    assert_eq!(report.frames_completed, 2);
+    assert_eq!(report.frames_rendered, 1);
+}
+
+/// A session that outlives the service fails loudly and uniformly —
+/// cached or not.
+#[test]
+#[should_panic(expected = "shut-down render service")]
+fn submit_through_outliving_session_panics_after_shutdown() {
+    let service = RenderService::start(ServiceConfig::default());
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let cfg = RenderConfig::test_size(16);
+    let volume = Dataset::Skull.volume(8);
+    let session = service.session(spec, volume.clone(), cfg);
+    // Render (and cache) a view, then shut the service down.
+    session.request(scene_for(&volume, 0.0)).wait();
+    service.shutdown();
+    // Even the cached view must refuse: the service is gone.
+    session.request(scene_for(&volume, 0.0));
+}
+
+/// Shutdown drains every queued job; all tickets resolve.
+#[test]
+fn shutdown_resolves_all_pending_tickets() {
+    let service = RenderService::start(ServiceConfig {
+        workers: 1,
+        max_batch: 2,
+        cache_frames: 4,
+        start_paused: true, // jobs pile up before any worker runs
+    });
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let cfg = RenderConfig::test_size(16);
+    let volume = Dataset::Skull.volume(8);
+    let session = service.session(spec, volume.clone(), cfg);
+    let tickets: Vec<_> = (0..5)
+        .map(|i| session.request(scene_for(&volume, i as f32 * 20.0)))
+        .collect();
+    assert_eq!(service.queue_len(), 5);
+    // Shutdown (queue close) drains even a paused queue.
+    let report = service.shutdown();
+    assert_eq!(report.frames_completed, 5);
+    for t in tickets {
+        let _ = t.wait(); // already resolved
+    }
+}
+
+/// Direct submit (no session) with an explicit request.
+#[test]
+fn raw_submit_roundtrip() {
+    let service = RenderService::start(ServiceConfig::default());
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let cfg = RenderConfig::test_size(16);
+    let volume = Dataset::Skull.volume(8);
+    let scene = scene_for(&volume, 0.0);
+    let frame = service
+        .submit(SceneRequest {
+            spec: spec.clone(),
+            volume: volume.clone(),
+            scene: scene.clone(),
+            config: cfg.clone(),
+            priority: Priority::Normal,
+        })
+        .wait();
+    let direct = render(&spec, &volume, &scene, &cfg);
+    assert_eq!(*frame.image, direct.image);
+    assert_eq!(frame.report.job, direct.report.job);
+}

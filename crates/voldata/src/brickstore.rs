@@ -45,12 +45,28 @@ pub struct StoreStats {
     pub bytes_materialized: AtomicU64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StoreSnapshot {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
     pub bytes_materialized: u64,
+}
+
+impl StoreSnapshot {
+    /// Counter deltas since an `earlier` snapshot of the same store —
+    /// attributes staging work to one frame when a store is shared across
+    /// frames (the render service's batching path).
+    pub fn since(&self, earlier: &StoreSnapshot) -> StoreSnapshot {
+        StoreSnapshot {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            bytes_materialized: self
+                .bytes_materialized
+                .saturating_sub(earlier.bytes_materialized),
+        }
+    }
 }
 
 struct CacheInner {
@@ -241,6 +257,19 @@ mod tests {
                 assert_eq!(v0, v1, "ghost mismatch at y={y} z={z}");
             }
         }
+    }
+
+    #[test]
+    fn snapshot_since_subtracts_counters() {
+        let s = store(u64::MAX);
+        s.get(0);
+        let before = s.snapshot();
+        s.get(0);
+        s.get(1);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.hits, 1);
+        assert_eq!(delta.misses, 1);
+        assert_eq!(delta.since(&delta), StoreSnapshot::default());
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use camera::{Camera, Scene};
 pub use config::{Compositor, PartitionStrategy, RenderConfig, Residency};
 pub use fragment::Fragment;
 pub use image::Image;
-pub use renderer::{render, RenderOutcome, RenderReport};
+pub use renderer::{render, render_planned, FramePlan, RenderOutcome, RenderReport};
 pub use transfer::TransferFunction;

@@ -76,6 +76,119 @@ pub struct RenderOutcome {
     pub report: RenderReport,
 }
 
+/// Per-(cluster, volume, config) render state that is scene-independent and
+/// can be shared across frames: the brick grid, the staging decision, the
+/// brick store and the chunk handles. [`render`] builds one per call; the
+/// render service builds one per *batch* so same-volume frames stage bricks
+/// once instead of once per frame.
+pub struct FramePlan {
+    pub grid: BrickGrid,
+    pub staging: Staging,
+    /// Bricked volume fits aggregate VRAM (the paper's in-core condition).
+    pub in_core: bool,
+    /// Bricks are staged from disk (out-of-core w.r.t. host RAM).
+    pub from_disk: bool,
+    store: Arc<BrickStore>,
+    bricks: Vec<RenderBrick>,
+    /// Identity of the (spec, cfg) this plan was prepared for; guards
+    /// [`render_planned`] against mismatched reuse.
+    fingerprint: String,
+}
+
+fn plan_fingerprint(spec: &ClusterSpec, cfg: &RenderConfig) -> String {
+    format!("{spec:?}|{cfg:?}")
+}
+
+impl FramePlan {
+    /// Brick `volume` for `spec` under `cfg` and build the shared store.
+    ///
+    /// Only the scene-independent parts of `cfg` matter for the bricking
+    /// (`bricks_per_gpu`, `max_brick_voxels`, `residency`,
+    /// `host_cache_bytes`), but [`render_planned`] insists on the exact same
+    /// `spec` and `cfg` — a mismatch would silently break its bit-identical
+    /// guarantee.
+    pub fn prepare(spec: &ClusterSpec, volume: &Volume, cfg: &RenderConfig) -> FramePlan {
+        let gpus = spec.gpus;
+
+        // Brick the volume: ~2 bricks per GPU, capped so a brick (with
+        // ghost) fits comfortably in VRAM.
+        let vram_voxel_cap = spec.device.vram_bytes / 4 / 4; // ≤ quarter of VRAM
+        let policy = BrickPolicy {
+            min_bricks: cfg.bricks_per_gpu.max(1) * gpus,
+            max_brick_voxels: cfg.max_brick_voxels.min(vram_voxel_cap),
+        };
+        let grid = BrickGrid::subdivide(volume.dims(), &policy);
+
+        // The paper's restriction #1: every map task must fit in GPU memory.
+        let ghost = 1u32;
+        let max_brick_bytes: u64 = grid
+            .bricks()
+            .map(|b| {
+                (0..3)
+                    .map(|a| b.size[a] as u64 + 2 * ghost as u64)
+                    .product::<u64>()
+                    * 4
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_brick_bytes <= spec.device.vram_bytes,
+            "brick of {max_brick_bytes} bytes cannot fit device VRAM"
+        );
+
+        let in_core = volume.meta.bytes() <= spec.total_vram_bytes();
+        let from_disk = match cfg.residency {
+            Residency::HostResident => false,
+            Residency::Disk => true,
+            Residency::Auto => volume.meta.bytes() > HOST_BYTES_PER_NODE * spec.nodes() as u64,
+        };
+        let staging = if from_disk {
+            Staging::Disk
+        } else {
+            Staging::HostResident
+        };
+
+        let store = Arc::new(BrickStore::new(
+            volume.clone(),
+            grid.clone(),
+            ghost,
+            cfg.host_cache_bytes,
+        ));
+        let bricks: Vec<RenderBrick> = (0..grid.brick_count())
+            .map(|i| RenderBrick::new(Arc::clone(&store), i, staging))
+            .collect();
+
+        FramePlan {
+            grid,
+            staging,
+            in_core,
+            from_disk,
+            store,
+            bricks,
+            fingerprint: plan_fingerprint(spec, cfg),
+        }
+    }
+
+    /// Does this plan match the given spec/config (field-for-field)?
+    pub fn matches(&self, spec: &ClusterSpec, cfg: &RenderConfig) -> bool {
+        self.fingerprint == plan_fingerprint(spec, cfg)
+    }
+
+    /// The shared brick store (cache counters accumulate across frames).
+    pub fn store(&self) -> &Arc<BrickStore> {
+        &self.store
+    }
+
+    pub fn brick_count(&self) -> usize {
+        self.bricks.len()
+    }
+
+    /// The volume this plan bricks.
+    pub fn volume(&self) -> &Volume {
+        self.store.volume()
+    }
+}
+
 /// Render one frame of `volume` on the modeled `spec` cluster.
 ///
 /// The computation (every texture sample, every blend) runs for real on host
@@ -87,57 +200,36 @@ pub fn render(
     scene: &Scene,
     cfg: &RenderConfig,
 ) -> RenderOutcome {
+    let plan = FramePlan::prepare(spec, volume, cfg);
+    render_planned(spec, &plan, scene, cfg)
+}
+
+/// Render one frame against a prebuilt [`FramePlan`].
+///
+/// Pixels depend only on `(volume, scene, cfg, spec.gpus)` — a frame
+/// rendered through a shared plan is bit-identical to a direct [`render`]
+/// call. The report's `store` counters are the *delta* this frame caused on
+/// the shared store, so a warm store shows up as fewer misses (stagings).
+///
+/// Panics if `spec`/`cfg` differ from the ones the plan was prepared with:
+/// the plan's bricking was sized and VRAM-checked for exactly that pair, and
+/// a silent mismatch would break the bit-identical guarantee.
+pub fn render_planned(
+    spec: &ClusterSpec,
+    plan: &FramePlan,
+    scene: &Scene,
+    cfg: &RenderConfig,
+) -> RenderOutcome {
+    assert!(
+        plan.matches(spec, cfg),
+        "render_planned requires the exact ClusterSpec and RenderConfig the \
+         FramePlan was prepared with"
+    );
     let gpus = spec.gpus;
     let (width, height) = cfg.image;
     assert!(width > 0 && height > 0, "degenerate image");
-
-    // Brick the volume: ~2 bricks per GPU, capped so a brick (with ghost)
-    // fits comfortably in VRAM.
-    let vram_voxel_cap = spec.device.vram_bytes / 4 / 4; // ≤ quarter of VRAM
-    let policy = BrickPolicy {
-        min_bricks: cfg.bricks_per_gpu.max(1) * gpus,
-        max_brick_voxels: cfg.max_brick_voxels.min(vram_voxel_cap),
-    };
-    let grid = BrickGrid::subdivide(volume.dims(), &policy);
-
-    // The paper's restriction #1: every map task must fit in GPU memory.
-    let ghost = 1u32;
-    let max_brick_bytes: u64 = grid
-        .bricks()
-        .map(|b| {
-            (0..3)
-                .map(|a| b.size[a] as u64 + 2 * ghost as u64)
-                .product::<u64>()
-                * 4
-        })
-        .max()
-        .unwrap_or(0);
-    assert!(
-        max_brick_bytes <= spec.device.vram_bytes,
-        "brick of {max_brick_bytes} bytes cannot fit device VRAM"
-    );
-
-    let in_core = volume.meta.bytes() <= spec.total_vram_bytes();
-    let from_disk = match cfg.residency {
-        Residency::HostResident => false,
-        Residency::Disk => true,
-        Residency::Auto => volume.meta.bytes() > HOST_BYTES_PER_NODE * spec.nodes() as u64,
-    };
-    let staging = if from_disk {
-        Staging::Disk
-    } else {
-        Staging::HostResident
-    };
-
-    let store = Arc::new(BrickStore::new(
-        volume.clone(),
-        grid.clone(),
-        ghost,
-        cfg.host_cache_bytes,
-    ));
-    let bricks: Vec<RenderBrick> = (0..grid.brick_count())
-        .map(|i| RenderBrick::new(Arc::clone(&store), i, staging))
-        .collect();
+    let volume = plan.store.volume();
+    let store_before = plan.store.snapshot();
 
     let mapper = VolumeMapper::new(
         scene.clone(),
@@ -158,7 +250,7 @@ pub fn render(
     };
 
     let output = run_job(
-        &bricks,
+        &plan.bricks,
         &mapper,
         &reducer,
         partitioner.as_ref(),
@@ -195,13 +287,13 @@ pub fn render(
         volume_label: volume.meta.label(),
         volume_voxels: volume.meta.voxel_count(),
         gpus,
-        bricks: grid.brick_count(),
-        grid_counts: grid.counts,
-        in_core,
-        from_disk,
+        bricks: plan.grid.brick_count(),
+        grid_counts: plan.grid.counts,
+        in_core: plan.in_core,
+        from_disk: plan.from_disk,
         accounting,
         job: output.stats,
-        store: store.snapshot(),
+        store: plan.store.snapshot().since(&store_before),
     };
 
     RenderOutcome { image, report }
@@ -282,6 +374,38 @@ mod tests {
         assert_eq!(r.breakdown().total(), r.accounting.makespan);
         assert!(r.in_core);
         assert!(!r.from_disk);
+    }
+
+    #[test]
+    fn shared_plan_matches_direct_render_and_stages_once() {
+        let volume = Dataset::Skull.volume(32);
+        let spec = ClusterSpec::accelerator_cluster(2);
+        let cfg = RenderConfig::test_size(64);
+        let plan = FramePlan::prepare(&spec, &volume, &cfg);
+        let scenes: Vec<Scene> = [10.0f32, 40.0, 70.0]
+            .iter()
+            .map(|az| Scene::orbit(&volume, *az, 20.0, TransferFunction::bone()))
+            .collect();
+        let mut planned_misses = 0;
+        for scene in &scenes {
+            let planned = render_planned(&spec, &plan, scene, &cfg);
+            let direct = render(&spec, &volume, scene, &cfg);
+            assert_eq!(planned.image, direct.image, "plan must not change pixels");
+            planned_misses += planned.report.store.misses;
+        }
+        // The shared store materializes each brick once across all frames;
+        // direct renders would pay `bricks` misses per frame.
+        assert_eq!(planned_misses as usize, plan.brick_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "FramePlan was prepared with")]
+    fn mismatched_plan_is_rejected() {
+        let volume = Dataset::Skull.volume(16);
+        let cfg = RenderConfig::test_size(32);
+        let scene = Scene::orbit(&volume, 30.0, 20.0, TransferFunction::bone());
+        let plan = FramePlan::prepare(&ClusterSpec::accelerator_cluster(2), &volume, &cfg);
+        render_planned(&ClusterSpec::accelerator_cluster(8), &plan, &scene, &cfg);
     }
 
     #[test]

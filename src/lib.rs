@@ -9,7 +9,9 @@
 //! * [`cluster`] — cluster topology, disks and the interconnect;
 //! * [`mapreduce`] — the paper's streaming multi-GPU MapReduce library;
 //! * [`voldata`] — procedural volume datasets and the out-of-core brick store;
-//! * [`volren`] — the ray-casting volume renderer built on all of the above.
+//! * [`volren`] — the ray-casting volume renderer built on all of the above;
+//! * [`serve`] — the multi-scene render service (job queue, frame batching,
+//!   frame cache) layered on the renderer.
 //!
 //! ## Quickstart
 //!
@@ -29,6 +31,7 @@
 pub use mgpu_cluster as cluster;
 pub use mgpu_gpu as gpu;
 pub use mgpu_mapreduce as mapreduce;
+pub use mgpu_serve as serve;
 pub use mgpu_sim as sim;
 pub use mgpu_voldata as voldata;
 pub use mgpu_volren as volren;
@@ -36,10 +39,14 @@ pub use mgpu_volren as volren;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use mgpu_cluster::topology::ClusterSpec;
+    pub use mgpu_serve::{
+        FrameTicket, Priority, RenderService, RenderedFrame, SceneRequest, SceneSession,
+        ServiceConfig, ServiceReport,
+    };
     pub use mgpu_sim::{Fig3Bucket, SimDuration};
     pub use mgpu_voldata::datasets::Dataset;
     pub use mgpu_volren::camera::Scene;
     pub use mgpu_volren::config::RenderConfig;
-    pub use mgpu_volren::renderer::{render, RenderOutcome};
+    pub use mgpu_volren::renderer::{render, render_planned, FramePlan, RenderOutcome};
     pub use mgpu_volren::transfer::TransferFunction;
 }

@@ -1,0 +1,28 @@
+//! Facade-level check of the render service: frames served through
+//! `gpumr::serve` are bit-identical to direct `render` calls, and the
+//! service report accounts for every frame.
+
+use gpumr::prelude::*;
+
+#[test]
+fn service_frames_equal_direct_renders_through_the_facade() {
+    let service = RenderService::start(ServiceConfig::default());
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let cfg = RenderConfig::test_size(24);
+    let volume = Dataset::Supernova.volume(16);
+    let session = service.session(spec.clone(), volume.clone(), cfg.clone());
+
+    let scenes: Vec<Scene> = (0..4)
+        .map(|i| Scene::orbit(&volume, i as f32 * 85.0, -10.0, TransferFunction::fire()))
+        .collect();
+    let tickets: Vec<FrameTicket> = scenes.iter().map(|s| session.request(s.clone())).collect();
+
+    for (scene, ticket) in scenes.iter().zip(tickets) {
+        let frame = ticket.wait();
+        let direct = render(&spec, &volume, scene, &cfg);
+        assert_eq!(*frame.image, direct.image);
+    }
+    let report: ServiceReport = service.shutdown();
+    assert_eq!(report.frames_completed, 4);
+    assert_eq!(report.frames_rendered + report.cache_hits, 4);
+}
