@@ -20,7 +20,7 @@ use crate::SceneRequest;
 /// The whole config participates (not only the bricking fields): equal keys
 /// must imply "one plan serves all", and config fields like the partition
 /// strategy also shape the per-frame job, so distinct configs never batch.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BatchKey(String);
 
 impl BatchKey {
@@ -35,6 +35,11 @@ impl BatchKey {
     /// An opaque key for tests and tools.
     pub fn synthetic(tag: impl std::fmt::Display) -> BatchKey {
         BatchKey(format!("synthetic-{tag}"))
+    }
+
+    /// Canonical byte encoding (the shard router hashes this).
+    pub(crate) fn bytes(&self) -> &[u8] {
+        self.0.as_bytes()
     }
 }
 
@@ -77,5 +82,19 @@ mod tests {
         let mut bigger = request(&v, 10.0, 32);
         bigger.spec = ClusterSpec::accelerator_cluster(4);
         assert_ne!(base, BatchKey::of(&bigger));
+    }
+
+    /// Two in-memory volumes with identical `(name, dims, seed)` but
+    /// different voxels must never share a plan: the `content` fingerprint
+    /// in `VolumeMeta` keeps their batch keys apart.
+    #[test]
+    fn same_meta_different_voxels_do_not_batch() {
+        let dims = [8u32, 8, 8];
+        let a = Volume::in_memory("twin", dims, vec![0.2; 512]);
+        let b = Volume::in_memory("twin", dims, vec![0.8; 512]);
+        assert_ne!(
+            BatchKey::of(&request(&a, 0.0, 16)),
+            BatchKey::of(&request(&b, 0.0, 16)),
+        );
     }
 }

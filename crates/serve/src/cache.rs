@@ -1,12 +1,20 @@
-//! The frame cache: a bounded LRU over fully rendered frames, keyed by a
-//! canonical fingerprint of `(cluster, volume, scene, config)`.
+//! Bounded LRU caches: the frame cache over rendered frames and the backing
+//! store for the cross-batch plan cache.
 //!
-//! Repeated views — the common case for interactive sessions orbiting a
-//! dataset — are answered without touching the queue or the renderer. The
-//! key is the exact `Debug` encoding of every input that can change pixels
-//! or timing, so lookups are equality matches, never hash-collision guesses.
+//! [`LruCache`] is the shared mechanism: a key→value map plus a recency
+//! index (a `BTreeSet` ordered by last-touch tick), so eviction pops the
+//! least-recently-used entry in O(log n) instead of scanning every entry
+//! under the lock — the service holds these locks on its hot submit path.
+//!
+//! [`FrameCache`] keys fully rendered frames by a canonical fingerprint of
+//! `(cluster, volume, scene, config)`: repeated views — the common case for
+//! interactive sessions orbiting a dataset — are answered without touching
+//! the queue or the renderer. The key is the exact `Debug` encoding of every
+//! input that can change pixels or timing, so lookups are equality matches,
+//! never hash-collision guesses.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
 
 use parking_lot::Mutex;
 
@@ -22,11 +30,11 @@ use mgpu_volren::config::RenderConfig;
 /// render config — every input that influences the output. Two keys are
 /// equal iff every rendering input is field-for-field identical.
 ///
-/// Volume *content* is identified by its metadata `(name, dims, seed)`;
-/// procedural and file volumes are fully determined by it. In-memory
-/// volumes with identical metadata but different voxels would alias — don't
-/// serve those through one cache.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Volume *content* participates through `VolumeMeta::content`, the cheap
+/// voxel fingerprint: two in-memory volumes with identical `(name, dims,
+/// seed)` but different voxels get different keys and never alias in the
+/// cache.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameKey(String);
 
 impl FrameKey {
@@ -41,8 +49,11 @@ impl FrameKey {
 }
 
 #[derive(Debug)]
-struct CacheInner<V> {
-    entries: HashMap<FrameKey, (V, u64)>,
+struct CacheInner<K, V> {
+    entries: HashMap<K, (V, u64)>,
+    /// Recency index: `(last-touch tick, key)`, so the first element is
+    /// always the LRU victim. Kept in lockstep with `entries`.
+    recency: BTreeSet<(u64, K)>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -51,28 +62,34 @@ struct CacheInner<V> {
 
 /// Point-in-time cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct FrameCacheSnapshot {
+pub struct CacheSnapshot {
     pub entries: usize,
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
 }
 
-/// A bounded LRU cache from [`FrameKey`] to `V` (the service stores
-/// [`crate::RenderedFrame`]s). `capacity` is in entries; zero disables
-/// caching entirely (every `get` misses, `insert` is a no-op).
+/// Frame-cache counters (alias kept from the original frame-only cache).
+pub type FrameCacheSnapshot = CacheSnapshot;
+
+/// A bounded LRU cache from `K` to `V`. `capacity` is in entries; zero
+/// disables caching entirely (every `get` misses, `insert` is a no-op).
 #[derive(Debug)]
-pub struct FrameCache<V> {
+pub struct LruCache<K, V> {
     capacity: usize,
-    inner: Mutex<CacheInner<V>>,
+    inner: Mutex<CacheInner<K, V>>,
 }
 
-impl<V: Clone> FrameCache<V> {
-    pub fn new(capacity: usize) -> FrameCache<V> {
-        FrameCache {
+/// The service's cache of rendered frames (stores [`crate::RenderedFrame`]).
+pub type FrameCache<V> = LruCache<FrameKey, V>;
+
+impl<K: Eq + Hash + Ord + Clone, V: Clone> LruCache<K, V> {
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
             capacity,
             inner: Mutex::new(CacheInner {
                 entries: HashMap::new(),
+                recency: BTreeSet::new(),
                 tick: 0,
                 hits: 0,
                 misses: 0,
@@ -86,68 +103,61 @@ impl<V: Clone> FrameCache<V> {
     }
 
     /// Look up an entry, refreshing its recency on hit.
-    pub fn get(&self, key: &FrameKey) -> Option<V> {
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.lookup(key, true)
+    }
+
+    /// Like [`LruCache::get`], but a lookup failure does not count as a
+    /// miss. This is the worker's in-flight coalescing *re-check* of a key
+    /// that already missed at submit time — counting it again would report
+    /// every rendered frame as two misses.
+    pub fn recheck(&self, key: &K) -> Option<V> {
+        self.lookup(key, false)
+    }
+
+    fn lookup(&self, key: &K, count_miss: bool) -> Option<V> {
         if self.capacity == 0 {
             return None;
         }
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
+        let inner = &mut *inner;
         match inner.entries.get_mut(key) {
             Some((value, last)) => {
+                inner.recency.remove(&(*last, key.clone()));
+                inner.recency.insert((tick, key.clone()));
                 *last = tick;
-                let value = value.clone();
                 inner.hits += 1;
-                Some(value)
+                Some(value.clone())
             }
             None => {
-                inner.misses += 1;
+                if count_miss {
+                    inner.misses += 1;
+                }
                 None
             }
         }
     }
 
-    /// Like [`FrameCache::get`], but a lookup failure does not count as a
-    /// miss. This is the worker's in-flight coalescing *re-check* of a key
-    /// that already missed at submit time — counting it again would report
-    /// every rendered frame as two misses.
-    pub fn recheck(&self, key: &FrameKey) -> Option<V> {
-        if self.capacity == 0 {
-            return None;
-        }
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.entries.get_mut(key) {
-            Some((value, last)) => {
-                *last = tick;
-                let value = value.clone();
-                inner.hits += 1;
-                Some(value)
-            }
-            None => None,
-        }
-    }
-
     /// Insert (or refresh) an entry, evicting least-recently-used entries
-    /// past capacity.
-    pub fn insert(&self, key: FrameKey, value: V) {
+    /// past capacity — O(log n) per eviction via the recency index.
+    pub fn insert(&self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        inner.entries.insert(key, (value, tick));
+        let inner = &mut *inner;
+        if let Some((_, old_tick)) = inner.entries.insert(key.clone(), (value, tick)) {
+            inner.recency.remove(&(old_tick, key.clone()));
+        }
+        inner.recency.insert((tick, key));
         while inner.entries.len() > self.capacity {
-            let victim = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, last))| *last)
-                .map(|(k, _)| k.clone());
-            match victim {
-                Some(k) => {
-                    inner.entries.remove(&k);
+            match inner.recency.pop_first() {
+                Some((_, victim)) => {
+                    inner.entries.remove(&victim);
                     inner.evictions += 1;
                 }
                 None => break,
@@ -155,9 +165,9 @@ impl<V: Clone> FrameCache<V> {
         }
     }
 
-    pub fn snapshot(&self) -> FrameCacheSnapshot {
+    pub fn snapshot(&self) -> CacheSnapshot {
         let inner = self.inner.lock();
-        FrameCacheSnapshot {
+        CacheSnapshot {
             entries: inner.entries.len(),
             hits: inner.hits,
             misses: inner.misses,
@@ -166,8 +176,21 @@ impl<V: Clone> FrameCache<V> {
     }
 
     #[cfg(test)]
-    fn contains(&self, key: &FrameKey) -> bool {
+    fn contains(&self, key: &K) -> bool {
         self.inner.lock().entries.contains_key(key)
+    }
+
+    /// Invariant check: the recency index mirrors the entry map exactly.
+    #[cfg(test)]
+    fn assert_consistent(&self) {
+        let inner = self.inner.lock();
+        assert_eq!(inner.entries.len(), inner.recency.len());
+        for (key, (_, last)) in &inner.entries {
+            assert!(
+                inner.recency.contains(&(*last, key.clone())),
+                "entry tick missing from recency index"
+            );
+        }
     }
 }
 
@@ -238,6 +261,35 @@ mod tests {
         assert_eq!(c.snapshot(), FrameCacheSnapshot::default());
     }
 
+    /// Guard for the O(log n) eviction refactor: a large churn of inserts,
+    /// touches and evictions keeps the recency index and the entry map in
+    /// lockstep, and evicts in exact LRU order throughout.
+    #[test]
+    fn recency_index_survives_churn() {
+        let c: LruCache<u32, u32> = LruCache::new(16);
+        for i in 0..2_000u32 {
+            c.insert(i, i);
+            // Touch a sliding window of survivors in a scrambled order.
+            if i >= 16 {
+                c.get(&(i - (i % 7) % 16));
+                c.recheck(&(i - (i % 13) % 16));
+            }
+            if i % 97 == 0 {
+                c.assert_consistent();
+            }
+        }
+        c.assert_consistent();
+        let snap = c.snapshot();
+        assert_eq!(snap.entries, 16);
+        assert_eq!(snap.evictions, 2_000 - 16);
+        // Touches only ever refresh keys already inside the sliding window,
+        // so every survivor comes from the most recent window of inserts.
+        assert!(c.contains(&1_999), "the newest key always survives");
+        for i in 0..1_968 {
+            assert!(!c.contains(&i), "stale key {i} must have been evicted");
+        }
+    }
+
     #[test]
     fn frame_key_separates_every_input() {
         use mgpu_voldata::Dataset;
@@ -258,5 +310,22 @@ mod tests {
         assert_ne!(base, FrameKey::new(&spec2, &volume, &scene, &cfg));
         let volume2 = Dataset::Supernova.volume(16);
         assert_ne!(base, FrameKey::new(&spec, &volume2, &scene, &cfg));
+    }
+
+    /// Same metadata, different voxels: the `content` fingerprint keeps the
+    /// keys apart (the frame-cache aliasing regression).
+    #[test]
+    fn frame_key_separates_same_meta_different_voxels() {
+        let spec = ClusterSpec::accelerator_cluster(1);
+        let cfg = RenderConfig::test_size(16);
+        let dims = [8u32, 8, 8];
+        let a = mgpu_voldata::Volume::in_memory("twin", dims, vec![0.25; 512]);
+        let b = mgpu_voldata::Volume::in_memory("twin", dims, vec![0.75; 512]);
+        let scene = Scene::orbit(&a, 0.0, 0.0, mgpu_volren::TransferFunction::bone());
+        assert_ne!(
+            FrameKey::new(&spec, &a, &scene, &cfg),
+            FrameKey::new(&spec, &b, &scene, &cfg),
+            "same-meta volumes with different voxels must not alias"
+        );
     }
 }

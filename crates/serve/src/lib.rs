@@ -9,29 +9,46 @@
 //! Architecture (one request's path):
 //!
 //! ```text
-//! submit(SceneRequest) ── frame cache? ──hit──► FrameTicket (immediate)
+//! submit / try_submit(SceneRequest)
+//!        │ (rendezvous-routed by ShardedService when sharded)
+//!        ├── frame cache? ──hit──► FrameTicket (immediate)
 //!        │ miss
+//!        ├── admission control: class at its queue bound? ──► AdmissionError
 //!        ▼
-//!   JobQueue (priority, FIFO within class)
+//!   JobQueue (priority, FIFO within class, per-priority depth bounds)
 //!        │ pop + drain_matching(batch key)
 //!        ▼
-//!   worker: shared FramePlan ──► render_planned per frame ──► cache ──► ticket
+//!   worker: plan cache (BatchKey → Arc<FramePlan>) ──► render_planned
+//!        │ per frame (panics caught: job fails, worker survives)
+//!        ▼
+//!   frame cache ──► ticket
 //! ```
 //!
 //! * **Queue** — [`queue::JobQueue`]: interactive requests overtake batch
 //!   sweeps, FIFO within a class (no starvation).
+//! * **Admission** — [`queue::QueueBounds`]: per-priority queue-depth
+//!   bounds; under overload [`RenderService::try_submit`] sheds `Batch`
+//!   first and `Interactive` last, while [`RenderService::submit`] blocks
+//!   for capacity.
 //! * **Batching** — [`batch::BatchKey`]: frames that agree on (cluster,
 //!   volume, config) share one [`mgpu_volren::FramePlan`], so the volume is
 //!   bricked and staged once per batch instead of once per frame.
+//! * **Plan cache** — [`plancache::PlanCache`]: plans survive *across*
+//!   batches, so sustained same-volume traffic keeps its brick store warm
+//!   instead of re-staging every batch.
 //! * **Cache** — [`cache::FrameCache`]: bounded LRU over rendered frames;
 //!   repeated views skip the renderer entirely.
+//! * **Sharding** — [`shard::ShardedService`]: rendezvous-hashes batch keys
+//!   over N independent services so distinct volumes stop contending on one
+//!   queue and always land where their plan cache is warm.
 //! * **Accounting** — [`report::ServiceReport`]: queue latency, batch
-//!   occupancy, cache hit rate, staging reuse, frames/sec — alongside the
-//!   per-frame [`mgpu_volren::RenderReport`] each ticket carries.
+//!   occupancy, cache and plan-cache hit rates, staging reuse, admission
+//!   rejections, failed frames, frames/sec — alongside the per-frame
+//!   [`mgpu_volren::RenderReport`] each ticket carries.
 //!
 //! Determinism: a frame rendered through the service is bit-identical to a
 //! direct [`mgpu_volren::render`] call with the same request, regardless of
-//! worker count, batching, caching or interleaving.
+//! worker count, batching, caching, plan reuse, sharding or interleaving.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -47,16 +64,20 @@ use mgpu_volren::{Image, RenderReport};
 
 pub mod batch;
 pub mod cache;
+pub mod plancache;
 pub mod queue;
 pub mod report;
 pub mod session;
+pub mod shard;
 mod worker;
 
 pub use batch::BatchKey;
 pub use cache::{FrameCache, FrameCacheSnapshot, FrameKey};
-pub use queue::Priority;
+pub use plancache::{PlanCache, PlanCacheSnapshot};
+pub use queue::{AdmissionError, Priority, QueueBounds};
 pub use report::ServiceReport;
 pub use session::SceneSession;
+pub use shard::ShardedService;
 
 use report::ServiceStats;
 
@@ -80,22 +101,79 @@ pub struct RenderedFrame {
     pub from_cache: bool,
 }
 
-/// Handle to one submitted frame; redeem with [`FrameTicket::wait`].
+/// Why a submitted frame could not be delivered: the render panicked (the
+/// worker caught the unwind and stayed alive) or the job was lost. The
+/// failure is explicit — [`FrameTicket::wait`] panics with this message,
+/// [`FrameTicket::wait_result`] returns it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    message: String,
+}
+
+impl FrameError {
+    pub(crate) fn from_panic(payload: &(dyn std::any::Any + Send)) -> FrameError {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "render panicked with a non-string payload".to_string()
+        };
+        FrameError {
+            message: format!("render panicked: {message}"),
+        }
+    }
+
+    pub(crate) fn lost() -> FrameError {
+        FrameError {
+            message: "render service dropped the job without completing it".to_string(),
+        }
+    }
+
+    /// Human-readable cause (the panic message for caught render panics).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// What travels down a ticket's channel: the frame, or the explicit failure.
+pub type FrameResult = Result<RenderedFrame, FrameError>;
+
+/// Handle to one submitted frame; redeem with [`FrameTicket::wait`] (panics
+/// on failure) or [`FrameTicket::wait_result`].
 #[derive(Debug)]
 pub struct FrameTicket {
-    rx: Receiver<RenderedFrame>,
+    rx: Receiver<FrameResult>,
     seq: Option<u64>,
 }
 
 impl FrameTicket {
     /// Block until the frame is rendered (or served from cache).
     ///
-    /// Panics if the service was torn down without completing the job —
-    /// that cannot happen through the public API: shutdown drains the queue.
+    /// Panics with the explicit failure message if the render panicked (see
+    /// [`FrameTicket::wait_result`] for the non-panicking form), or if the
+    /// service was torn down without completing the job — the latter cannot
+    /// happen through the public API: shutdown drains the queue.
     pub fn wait(self) -> RenderedFrame {
-        self.rx
-            .recv()
-            .expect("render service dropped a pending job")
+        match self.rx.recv() {
+            Ok(Ok(frame)) => frame,
+            Ok(Err(err)) => panic!("render service job failed: {err}"),
+            Err(_) => panic!("render service dropped a pending job"),
+        }
+    }
+
+    /// Block until the frame resolves, returning the failure instead of
+    /// panicking.
+    pub fn wait_result(self) -> FrameResult {
+        self.rx.recv().unwrap_or_else(|_| Err(FrameError::lost()))
     }
 
     /// Queue sequence number, if the request went through the queue
@@ -115,9 +193,16 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Frame-cache capacity in frames; 0 disables the cache.
     pub cache_frames: usize,
+    /// Cross-batch plan-cache capacity in plans; 0 disables cross-batch
+    /// reuse (every batch re-bricks and re-stages, PR 2 behaviour).
+    pub plan_cache_plans: usize,
+    /// Per-priority admission bounds on queue depth (default: unbounded).
+    /// Must shed lower priorities first: `batch ≤ normal ≤ interactive`.
+    pub queue_bounds: QueueBounds,
     /// Start with the queue paused: submissions accumulate until
     /// [`RenderService::resume`], which makes batch formation deterministic
-    /// (benchmarks, tests).
+    /// (benchmarks, tests). Use [`RenderService::try_submit`] when pausing a
+    /// *bounded* queue — the blocking submit would wait forever.
     pub start_paused: bool,
 }
 
@@ -127,6 +212,8 @@ impl Default for ServiceConfig {
             workers: 2,
             max_batch: 8,
             cache_frames: 64,
+            plan_cache_plans: 8,
+            queue_bounds: QueueBounds::default(),
             start_paused: false,
         }
     }
@@ -137,51 +224,86 @@ pub(crate) struct ServiceInner {
     pub(crate) config: ServiceConfig,
     pub(crate) queue: queue::JobQueue,
     pub(crate) cache: FrameCache<RenderedFrame>,
+    pub(crate) plans: PlanCache,
     pub(crate) stats: ServiceStats,
     pub(crate) started: Instant,
 }
 
 impl ServiceInner {
-    pub(crate) fn submit(self: &Arc<Self>, request: SceneRequest) -> FrameTicket {
-        // Uniform behaviour for handles (sessions) that outlive the service:
-        // every submit after shutdown panics, cached or not.
-        assert!(
-            !self.queue.is_closed(),
-            "cannot submit to a shut-down render service"
-        );
-        ServiceStats::bump(&self.stats.frames_submitted);
+    /// Fast path: a cached frame resolves the ticket immediately, without
+    /// queueing. (Workers re-check the cache, so duplicates in flight still
+    /// coalesce once the first render lands.)
+    fn cached_ticket(&self, request: &SceneRequest) -> Option<FrameTicket> {
         let key = FrameKey::new(
             &request.spec,
             &request.volume,
             &request.scene,
             &request.config,
         );
-        // Fast path: a cached frame resolves the ticket immediately, without
-        // queueing. (Workers re-check the cache, so duplicates in flight
-        // still coalesce once the first render lands.)
-        if let Some(mut frame) = self.cache.get(&key) {
+        self.cache.get(&key).map(|mut frame| {
             frame.from_cache = true;
+            ServiceStats::bump(&self.stats.frames_submitted);
             ServiceStats::bump(&self.stats.cache_hits);
             ServiceStats::bump(&self.stats.frames_completed);
             let (tx, rx) = bounded(1);
-            tx.send(frame).expect("fresh ticket channel");
-            return FrameTicket { rx, seq: None };
+            tx.send(Ok(frame)).expect("fresh ticket channel");
+            FrameTicket { rx, seq: None }
+        })
+    }
+
+    fn assert_open(&self) {
+        // Uniform behaviour for handles (sessions) that outlive the service:
+        // every submit after shutdown panics, cached or not.
+        assert!(
+            !self.queue.is_closed(),
+            "cannot submit to a shut-down render service"
+        );
+    }
+
+    pub(crate) fn submit(self: &Arc<Self>, request: SceneRequest) -> FrameTicket {
+        self.assert_open();
+        if let Some(ticket) = self.cached_ticket(&request) {
+            return ticket;
         }
         let batch_key = BatchKey::of(&request);
         let (tx, rx) = bounded(1);
         let seq = self.queue.push(request, batch_key, tx);
+        ServiceStats::bump(&self.stats.frames_submitted);
         FrameTicket { rx, seq: Some(seq) }
     }
 
+    pub(crate) fn try_submit(
+        self: &Arc<Self>,
+        request: SceneRequest,
+    ) -> Result<FrameTicket, AdmissionError> {
+        self.assert_open();
+        if let Some(ticket) = self.cached_ticket(&request) {
+            return Ok(ticket);
+        }
+        let batch_key = BatchKey::of(&request);
+        let (tx, rx) = bounded(1);
+        match self.queue.try_push(request, batch_key, tx) {
+            Ok(seq) => {
+                ServiceStats::bump(&self.stats.frames_submitted);
+                Ok(FrameTicket { rx, seq: Some(seq) })
+            }
+            Err(err) => {
+                ServiceStats::bump(&self.stats.admission_rejected);
+                Err(err)
+            }
+        }
+    }
+
     pub(crate) fn report(&self) -> ServiceReport {
-        ServiceReport::from_stats(&self.stats, self.started.elapsed())
+        ServiceReport::from_stats(&self.stats, self.plans.snapshot(), self.started.elapsed())
     }
 }
 
-/// The render service: a worker pool over a prioritized job queue with frame
-/// batching and a frame cache. See the crate docs for the architecture.
+/// The render service: a worker pool over a prioritized, bounded job queue
+/// with frame batching, a cross-batch plan cache and a frame cache. See the
+/// crate docs for the architecture.
 pub struct RenderService {
-    inner: Arc<ServiceInner>,
+    pub(crate) inner: Arc<ServiceInner>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -190,9 +312,11 @@ impl RenderService {
     pub fn start(config: ServiceConfig) -> RenderService {
         assert!(config.workers >= 1, "service needs at least one worker");
         assert!(config.max_batch >= 1, "max_batch of 0 would render nothing");
+        config.queue_bounds.validate();
         let inner = Arc::new(ServiceInner {
-            queue: queue::JobQueue::new(config.start_paused),
+            queue: queue::JobQueue::new(config.start_paused, config.queue_bounds),
             cache: FrameCache::new(config.cache_frames),
+            plans: PlanCache::new(config.plan_cache_plans),
             stats: ServiceStats::default(),
             started: Instant::now(),
             config,
@@ -209,12 +333,21 @@ impl RenderService {
         RenderService { inner, workers }
     }
 
-    /// Submit one frame request; returns immediately with a ticket.
+    /// Submit one frame request; blocks while this priority class is at its
+    /// admission bound, then returns a ticket. With the default unbounded
+    /// [`QueueBounds`] it never blocks.
     ///
     /// Panics if called (from this handle or an outliving [`SceneSession`])
     /// after [`RenderService::shutdown`].
     pub fn submit(&self, request: SceneRequest) -> FrameTicket {
         self.inner.submit(request)
+    }
+
+    /// Submit one frame request without blocking: if the request's priority
+    /// class is at its queue bound the frame is shed with [`AdmissionError`]
+    /// (`Batch` sheds first, `Interactive` last — see [`QueueBounds`]).
+    pub fn try_submit(&self, request: SceneRequest) -> Result<FrameTicket, AdmissionError> {
+        self.inner.try_submit(request)
     }
 
     /// Open a client session bound to one (cluster, volume, config) — the
@@ -238,6 +371,11 @@ impl RenderService {
         self.inner.queue.len()
     }
 
+    /// Queued jobs per class, `[batch, normal, interactive]`.
+    pub fn queue_depths(&self) -> [usize; 3] {
+        self.inner.queue.depths()
+    }
+
     /// Point-in-time service accounting.
     pub fn report(&self) -> ServiceReport {
         self.inner.report()
@@ -246,6 +384,11 @@ impl RenderService {
     /// Frame-cache counters.
     pub fn cache_snapshot(&self) -> FrameCacheSnapshot {
         self.inner.cache.snapshot()
+    }
+
+    /// Cross-batch plan-cache counters.
+    pub fn plan_snapshot(&self) -> PlanCacheSnapshot {
+        self.inner.plans.snapshot()
     }
 
     /// Drain the queue, stop the workers and return the final report. Every

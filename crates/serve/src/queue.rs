@@ -1,15 +1,24 @@
-//! The prioritized job queue feeding the worker pool.
+//! The prioritized, admission-controlled job queue feeding the worker pool.
 //!
 //! Jobs carry a [`Priority`] and a monotonic sequence number; workers always
 //! pop the highest-priority job, FIFO within a priority level — interactive
 //! view changes overtake queued batch sweeps without starving them
 //! (everything at one level drains in submission order).
 //!
+//! **Admission control**: the queue enforces per-priority depth bounds
+//! ([`QueueBounds`]). A class's bound caps the *total* queue depth that
+//! class may push into, and the bounds are ordered `batch ≤ normal ≤
+//! interactive` — so as the queue fills under sustained overload, `Batch`
+//! submissions are shed first, `Normal` next, and `Interactive` last.
+//! [`JobQueue::try_push`] rejects with [`AdmissionError`];
+//! [`JobQueue::push`] blocks until a worker frees capacity.
+//!
 //! The queue also supports *selective* draining: after popping a job, a
 //! worker pulls further queued jobs with the same batch key so same-volume
 //! frames render as one batch over a shared brick store (see
-//! [`crate::batch`]). A linear scan under the lock keeps the structure
-//! trivially correct; service queues are short-lived and small.
+//! [`crate::batch`]). The job list is kept in submission (sequence) order,
+//! so draining is a single order-preserving pass — no quadratic rescans
+//! under the lock.
 
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -17,7 +26,7 @@ use std::time::Instant;
 use crossbeam::channel::Sender;
 
 use crate::batch::BatchKey;
-use crate::{RenderedFrame, SceneRequest};
+use crate::{FrameResult, SceneRequest};
 
 /// Scheduling class of a job. Higher pops first; FIFO within a class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -31,6 +40,90 @@ pub enum Priority {
     Interactive,
 }
 
+impl Priority {
+    /// All classes, lowest first.
+    pub const ALL: [Priority; 3] = [Priority::Batch, Priority::Normal, Priority::Interactive];
+
+    /// Dense index (Batch = 0, Normal = 1, Interactive = 2).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-priority admission bounds: the maximum total queue depth a class may
+/// still submit into. `usize::MAX` (the default) means unbounded.
+///
+/// Bounds must satisfy `batch ≤ normal ≤ interactive`: under load the queue
+/// then sheds the least urgent work first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueBounds {
+    pub batch: usize,
+    pub normal: usize,
+    pub interactive: usize,
+}
+
+impl Default for QueueBounds {
+    fn default() -> QueueBounds {
+        QueueBounds {
+            batch: usize::MAX,
+            normal: usize::MAX,
+            interactive: usize::MAX,
+        }
+    }
+}
+
+impl QueueBounds {
+    /// The same bound for every class (no priority shedding, just a cap).
+    pub fn uniform(depth: usize) -> QueueBounds {
+        QueueBounds {
+            batch: depth,
+            normal: depth,
+            interactive: depth,
+        }
+    }
+
+    /// The queue depth this class may still push into.
+    pub fn limit(&self, priority: Priority) -> usize {
+        match priority {
+            Priority::Batch => self.batch,
+            Priority::Normal => self.normal,
+            Priority::Interactive => self.interactive,
+        }
+    }
+
+    /// Panics unless `batch ≤ normal ≤ interactive`.
+    pub fn validate(&self) {
+        assert!(
+            self.batch <= self.normal && self.normal <= self.interactive,
+            "queue bounds must shed lower priorities first \
+             (batch ≤ normal ≤ interactive), got {self:?}"
+        );
+    }
+}
+
+/// A submission the queue refused because the caller's priority class is at
+/// its depth bound. Retry later, drop the frame, or use the blocking submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionError {
+    pub priority: Priority,
+    /// Queue depth observed at rejection time.
+    pub queued: usize,
+    /// The depth bound for this priority class.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue full for {:?} submissions: {} jobs queued, limit {}",
+            self.priority, self.queued, self.limit
+        )
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// One queued frame request with its reply channel and bookkeeping.
 #[derive(Debug)]
 pub struct QueuedJob {
@@ -39,60 +132,131 @@ pub struct QueuedJob {
     pub enqueued: Instant,
     pub request: SceneRequest,
     pub batch_key: BatchKey,
-    pub reply: Sender<RenderedFrame>,
+    pub reply: Sender<FrameResult>,
 }
 
 #[derive(Debug, Default)]
 struct QueueState {
+    /// Always in ascending `seq` (= submission) order: pops and drains use
+    /// order-preserving removal, so FIFO scans never need sorting.
     jobs: Vec<QueuedJob>,
+    /// Queued jobs per priority class (indexed by [`Priority::index`]).
+    depths: [usize; 3],
     next_seq: u64,
     closed: bool,
     paused: bool,
 }
 
 impl QueueState {
-    /// Index of the next job to pop: max priority, min seq.
+    /// Index of the next job to pop: first (= min seq) job of the highest
+    /// priority class present. One forward pass over the seq-ordered list.
     fn best(&self) -> Option<usize> {
-        self.jobs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, j)| (j.priority, std::cmp::Reverse(j.seq)))
-            .map(|(i, _)| i)
+        let mut best: Option<(Priority, usize)> = None;
+        for (i, job) in self.jobs.iter().enumerate() {
+            if best.is_none_or(|(p, _)| job.priority > p) {
+                best = Some((job.priority, i));
+                if job.priority == Priority::Interactive {
+                    break; // nothing outranks it
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn remove(&mut self, index: usize) -> QueuedJob {
+        let job = self.jobs.remove(index); // preserves seq order
+        self.depths[job.priority.index()] -= 1;
+        job
     }
 }
 
-/// A blocking, prioritized MPMC queue (mutex + condvar; submissions never
-/// block, workers block in [`JobQueue::pop`]).
-#[derive(Debug, Default)]
+/// A blocking, prioritized, bounded MPMC queue (mutex + condvars; workers
+/// block in [`JobQueue::pop`], submitters in [`JobQueue::push`] when their
+/// class is at its bound).
+#[derive(Debug)]
 pub struct JobQueue {
     state: Mutex<QueueState>,
+    /// Signalled when a job arrives (or the queue closes/resumes).
     ready: Condvar,
+    /// Signalled when capacity frees up (pop/drain) or the queue closes.
+    space: Condvar,
+    bounds: QueueBounds,
 }
 
 impl JobQueue {
-    pub fn new(paused: bool) -> JobQueue {
+    pub fn new(paused: bool, bounds: QueueBounds) -> JobQueue {
+        bounds.validate();
         JobQueue {
             state: Mutex::new(QueueState {
                 paused,
                 ..QueueState::default()
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            bounds,
         }
     }
 
-    /// Enqueue a request; returns its sequence number.
+    pub fn bounds(&self) -> QueueBounds {
+        self.bounds
+    }
+
+    /// Enqueue a request, blocking while this priority class is at its
+    /// admission bound; returns the job's sequence number.
     ///
-    /// Panics if the queue is closed (the service is shutting down).
+    /// Panics if the queue is closed (the service is shutting down) — before
+    /// or while blocked. Note that a *paused* queue never frees capacity, so
+    /// a bounded, paused queue should be fed through [`JobQueue::try_push`].
     pub fn push(
         &self,
         request: SceneRequest,
         batch_key: BatchKey,
-        reply: Sender<RenderedFrame>,
+        reply: Sender<FrameResult>,
     ) -> u64 {
+        let limit = self.bounds.limit(request.priority);
+        let mut state = self.state.lock().unwrap();
+        loop {
+            assert!(!state.closed, "cannot submit to a shut-down render service");
+            if state.jobs.len() < limit {
+                return self.enqueue(&mut state, request, batch_key, reply);
+            }
+            state = self.space.wait(state).unwrap();
+        }
+    }
+
+    /// Enqueue a request, rejecting immediately with [`AdmissionError`] if
+    /// this priority class is at its admission bound.
+    ///
+    /// Panics if the queue is closed (the service is shutting down).
+    pub fn try_push(
+        &self,
+        request: SceneRequest,
+        batch_key: BatchKey,
+        reply: Sender<FrameResult>,
+    ) -> Result<u64, AdmissionError> {
+        let limit = self.bounds.limit(request.priority);
         let mut state = self.state.lock().unwrap();
         assert!(!state.closed, "cannot submit to a shut-down render service");
+        if state.jobs.len() >= limit {
+            return Err(AdmissionError {
+                priority: request.priority,
+                queued: state.jobs.len(),
+                limit,
+            });
+        }
+        Ok(self.enqueue(&mut state, request, batch_key, reply))
+    }
+
+    fn enqueue(
+        &self,
+        state: &mut QueueState,
+        request: SceneRequest,
+        batch_key: BatchKey,
+        reply: Sender<FrameResult>,
+    ) -> u64 {
         let seq = state.next_seq;
         state.next_seq += 1;
+        state.depths[request.priority.index()] += 1;
         state.jobs.push(QueuedJob {
             seq,
             priority: request.priority,
@@ -101,7 +265,6 @@ impl JobQueue {
             batch_key,
             reply,
         });
-        drop(state);
         self.ready.notify_one();
         seq
     }
@@ -117,7 +280,9 @@ impl JobQueue {
             let runnable = !state.paused || state.closed;
             if runnable {
                 if let Some(i) = state.best() {
-                    return Some(state.jobs.swap_remove(i));
+                    let job = state.remove(i);
+                    self.space.notify_all();
+                    return Some(job);
                 }
                 if state.closed {
                     return None;
@@ -129,21 +294,27 @@ impl JobQueue {
 
     /// Remove up to `max` further queued jobs with the given batch key, in
     /// submission order (the batch a worker co-renders with a popped job).
+    /// Single order-preserving pass over the queue.
     pub fn drain_matching(&self, key: &BatchKey, max: usize) -> Vec<QueuedJob> {
         let mut state = self.state.lock().unwrap();
         let mut picked: Vec<QueuedJob> = Vec::new();
-        while picked.len() < max {
-            let next = state
-                .jobs
-                .iter()
-                .enumerate()
-                .filter(|(_, j)| j.batch_key == *key)
-                .min_by_key(|(_, j)| j.seq)
-                .map(|(i, _)| i);
-            match next {
-                Some(i) => picked.push(state.jobs.swap_remove(i)),
-                None => break,
+        if max == 0 {
+            return picked;
+        }
+        let mut kept: Vec<QueuedJob> = Vec::with_capacity(state.jobs.len());
+        for job in state.jobs.drain(..) {
+            if picked.len() < max && job.batch_key == *key {
+                picked.push(job);
+            } else {
+                kept.push(job);
             }
+        }
+        state.jobs = kept;
+        for job in &picked {
+            state.depths[job.priority.index()] -= 1;
+        }
+        if !picked.is_empty() {
+            self.space.notify_all();
         }
         picked
     }
@@ -156,11 +327,12 @@ impl JobQueue {
         }
     }
 
-    /// Close the queue: no further pushes; pops drain what is left, then
-    /// return `None`.
+    /// Close the queue: no further pushes (blocked pushers panic); pops
+    /// drain what is left, then return `None`.
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.ready.notify_all();
+        self.space.notify_all();
     }
 
     pub fn is_closed(&self) -> bool {
@@ -169,6 +341,11 @@ impl JobQueue {
 
     pub fn len(&self) -> usize {
         self.state.lock().unwrap().jobs.len()
+    }
+
+    /// Queued jobs per class, `[batch, normal, interactive]`.
+    pub fn depths(&self) -> [usize; 3] {
+        self.state.lock().unwrap().depths
     }
 
     pub fn is_empty(&self) -> bool {
@@ -202,9 +379,18 @@ mod tests {
         q.push(request(priority), BatchKey::synthetic(key), tx)
     }
 
+    fn try_push(q: &JobQueue, priority: Priority, key: &str) -> Result<u64, AdmissionError> {
+        let (tx, _rx) = crossbeam::channel::bounded(1);
+        q.try_push(request(priority), BatchKey::synthetic(key), tx)
+    }
+
+    fn unbounded(paused: bool) -> JobQueue {
+        JobQueue::new(paused, QueueBounds::default())
+    }
+
     #[test]
     fn fifo_within_priority_and_priority_wins() {
-        let q = JobQueue::new(false);
+        let q = unbounded(false);
         let a = push(&q, Priority::Normal, "k");
         let b = push(&q, Priority::Normal, "k");
         let c = push(&q, Priority::Interactive, "k");
@@ -218,7 +404,7 @@ mod tests {
 
     #[test]
     fn drain_matching_picks_only_the_key_in_seq_order() {
-        let q = JobQueue::new(false);
+        let q = unbounded(false);
         let a = push(&q, Priority::Normal, "x");
         let _b = push(&q, Priority::Normal, "y");
         let c = push(&q, Priority::Interactive, "x");
@@ -233,9 +419,33 @@ mod tests {
         assert_eq!(rest[0].seq, d);
     }
 
+    /// Pops in the middle of the queue must not scramble submission order
+    /// for later drains (the old swap-remove implementation did).
+    #[test]
+    fn drain_stays_fifo_after_interleaved_pops() {
+        let q = unbounded(false);
+        let mut x_seqs = Vec::new();
+        for i in 0..12u64 {
+            // Interleave an interactive "y" job among normal "x" jobs so the
+            // pops below remove from the middle of the list.
+            if i % 3 == 1 {
+                push(&q, Priority::Interactive, "y");
+            } else {
+                x_seqs.push(push(&q, Priority::Normal, "x"));
+            }
+        }
+        // Pop the interactive jobs out of the middle.
+        for _ in 0..4 {
+            assert_eq!(q.pop().unwrap().priority, Priority::Interactive);
+        }
+        let drained = q.drain_matching(&BatchKey::synthetic("x"), 64);
+        let seqs: Vec<u64> = drained.iter().map(|j| j.seq).collect();
+        assert_eq!(seqs, x_seqs, "drain must deliver x jobs in submit order");
+    }
+
     #[test]
     fn close_drains_then_ends() {
-        let q = JobQueue::new(false);
+        let q = unbounded(false);
         push(&q, Priority::Normal, "k");
         q.close();
         assert!(q.pop().is_some());
@@ -244,7 +454,7 @@ mod tests {
 
     #[test]
     fn paused_queue_blocks_until_resumed() {
-        let q = std::sync::Arc::new(JobQueue::new(true));
+        let q = std::sync::Arc::new(unbounded(true));
         push(&q, Priority::Normal, "k");
         let q2 = std::sync::Arc::clone(&q);
         let handle = std::thread::spawn(move || q2.pop().map(|j| j.seq));
@@ -258,8 +468,60 @@ mod tests {
     #[test]
     #[should_panic(expected = "shut-down render service")]
     fn push_after_close_panics() {
-        let q = JobQueue::new(false);
+        let q = unbounded(false);
         q.close();
         push(&q, Priority::Normal, "k");
+    }
+
+    #[test]
+    fn bounded_queue_sheds_batch_before_normal_before_interactive() {
+        let q = JobQueue::new(
+            true, // paused: depth only grows
+            QueueBounds {
+                batch: 1,
+                normal: 2,
+                interactive: 3,
+            },
+        );
+        assert!(try_push(&q, Priority::Batch, "k").is_ok());
+        // Depth 1: batch is at its bound, the others still admit.
+        let err = try_push(&q, Priority::Batch, "k").unwrap_err();
+        assert_eq!((err.queued, err.limit), (1, 1));
+        assert_eq!(err.priority, Priority::Batch);
+        assert!(try_push(&q, Priority::Normal, "k").is_ok());
+        // Depth 2: normal now sheds too; interactive still admits.
+        assert!(try_push(&q, Priority::Normal, "k").is_err());
+        assert!(try_push(&q, Priority::Interactive, "k").is_ok());
+        // Depth 3: everything sheds.
+        let err = try_push(&q, Priority::Interactive, "k").unwrap_err();
+        assert_eq!((err.queued, err.limit), (3, 3));
+        assert_eq!(q.depths(), [1, 1, 1]);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_capacity() {
+        let q = std::sync::Arc::new(JobQueue::new(false, QueueBounds::uniform(1)));
+        push(&q, Priority::Normal, "k");
+        let q2 = std::sync::Arc::clone(&q);
+        let handle = std::thread::spawn(move || push(&q2, Priority::Normal, "k2"));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished(), "push must block at the bound");
+        // A pop frees capacity and admits the blocked push.
+        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(handle.join().unwrap(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shed lower priorities first")]
+    fn inverted_bounds_are_rejected() {
+        JobQueue::new(
+            false,
+            QueueBounds {
+                batch: 4,
+                normal: 2,
+                interactive: 3,
+            },
+        );
     }
 }

@@ -4,24 +4,36 @@
 //! This sits *above* the per-frame [`mgpu_volren::RenderReport`]: the frame
 //! report times one frame on the modeled cluster; the service report
 //! measures how the front-end behaves under load — queue latency, batch
-//! occupancy, cache hit rate, brick staging reuse, wall-clock throughput.
+//! occupancy, cache and plan-cache hit rates, brick staging reuse, admission
+//! shedding, failures, wall-clock throughput.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use crate::plancache::PlanCacheSnapshot;
 
 /// Monotonic service counters (all relaxed: they are statistics, not
 /// synchronization).
 #[derive(Debug, Default)]
 pub(crate) struct ServiceStats {
+    /// Frames accepted into the service (cache fast-path included; admission
+    /// rejections excluded).
     pub frames_submitted: AtomicU64,
     pub frames_completed: AtomicU64,
     /// Frames that went through the full render pipeline.
     pub frames_rendered: AtomicU64,
+    /// Frames that failed with a caught render panic.
+    pub frames_failed: AtomicU64,
     /// Frames answered from the frame cache (submit-side or worker-side).
     pub cache_hits: AtomicU64,
+    /// Submissions shed by admission control.
+    pub admission_rejected: AtomicU64,
     pub batches: AtomicU64,
     /// Frames rendered as part of some batch (= occupancy numerator).
     pub batched_frames: AtomicU64,
+    /// Jobs workers pulled out of the queue (popped or batch-drained) —
+    /// the denominator for `mean_queue_wait`.
+    pub jobs_popped: AtomicU64,
     /// Total time jobs spent queued before a worker picked them up.
     pub queue_wait_nanos: AtomicU64,
     /// Bricks materialized by the shared stores (staging work actually paid).
@@ -49,12 +61,23 @@ pub struct ServiceReport {
     pub frames_submitted: u64,
     pub frames_completed: u64,
     pub frames_rendered: u64,
+    /// Frames that resolved to an explicit [`crate::FrameError`] after a
+    /// caught render panic (the worker survived).
+    pub frames_failed: u64,
     pub cache_hits: u64,
+    /// Submissions shed by admission control (never queued).
+    pub admission_rejected: u64,
     pub batches: u64,
     pub batched_frames: u64,
+    /// Jobs that actually left the queue (rendered or coalesced).
+    pub jobs_popped: u64,
     pub brick_stagings: u64,
     pub brick_reuses: u64,
-    /// Mean time a job waited in the queue before a worker picked it up.
+    /// Cross-batch plan cache counters (hits = batches that skipped
+    /// re-bricking and reused a warm store).
+    pub plan_cache: PlanCacheSnapshot,
+    /// Mean time a job waited in the queue before a worker picked it up —
+    /// averaged over every popped job, coalesced cache hits included.
     pub mean_queue_wait: Duration,
     /// Real elapsed time since the service started.
     pub wall_elapsed: Duration,
@@ -63,26 +86,83 @@ pub struct ServiceReport {
 }
 
 impl ServiceReport {
-    pub(crate) fn from_stats(stats: &ServiceStats, wall_elapsed: Duration) -> ServiceReport {
+    pub(crate) fn from_stats(
+        stats: &ServiceStats,
+        plan_cache: PlanCacheSnapshot,
+        wall_elapsed: Duration,
+    ) -> ServiceReport {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        let completed = ld(&stats.frames_completed);
         let waited = ld(&stats.queue_wait_nanos);
-        // Queue wait is recorded per *popped* job; cache fast-path frames
-        // never enter the queue, so the mean is over rendered frames.
-        let rendered = ld(&stats.frames_rendered);
+        // Queue wait is recorded per *popped* job (rendered or coalesced);
+        // cache fast-path frames never enter the queue and are excluded.
+        let popped = ld(&stats.jobs_popped);
         ServiceReport {
             frames_submitted: ld(&stats.frames_submitted),
-            frames_completed: completed,
-            frames_rendered: rendered,
+            frames_completed: ld(&stats.frames_completed),
+            frames_rendered: ld(&stats.frames_rendered),
+            frames_failed: ld(&stats.frames_failed),
             cache_hits: ld(&stats.cache_hits),
+            admission_rejected: ld(&stats.admission_rejected),
             batches: ld(&stats.batches),
             batched_frames: ld(&stats.batched_frames),
+            jobs_popped: popped,
             brick_stagings: ld(&stats.brick_stagings),
             brick_reuses: ld(&stats.brick_reuses),
-            mean_queue_wait: Duration::from_nanos(if rendered > 0 { waited / rendered } else { 0 }),
+            plan_cache,
+            mean_queue_wait: Duration::from_nanos(if popped > 0 { waited / popped } else { 0 }),
             wall_elapsed,
             sim_frame_total: Duration::from_nanos(ld(&stats.sim_frame_nanos)),
         }
+    }
+
+    /// Combine reports from independent service instances (the shards of a
+    /// [`crate::ShardedService`]): counters add, the queue-wait mean is
+    /// re-weighted by popped jobs, wall time is the maximum (shards run
+    /// concurrently).
+    pub fn merged<'a>(reports: impl IntoIterator<Item = &'a ServiceReport>) -> ServiceReport {
+        let mut out = ServiceReport {
+            frames_submitted: 0,
+            frames_completed: 0,
+            frames_rendered: 0,
+            frames_failed: 0,
+            cache_hits: 0,
+            admission_rejected: 0,
+            batches: 0,
+            batched_frames: 0,
+            jobs_popped: 0,
+            brick_stagings: 0,
+            brick_reuses: 0,
+            plan_cache: PlanCacheSnapshot::default(),
+            mean_queue_wait: Duration::ZERO,
+            wall_elapsed: Duration::ZERO,
+            sim_frame_total: Duration::ZERO,
+        };
+        let mut waited_nanos: u128 = 0;
+        for r in reports {
+            out.frames_submitted += r.frames_submitted;
+            out.frames_completed += r.frames_completed;
+            out.frames_rendered += r.frames_rendered;
+            out.frames_failed += r.frames_failed;
+            out.cache_hits += r.cache_hits;
+            out.admission_rejected += r.admission_rejected;
+            out.batches += r.batches;
+            out.batched_frames += r.batched_frames;
+            out.jobs_popped += r.jobs_popped;
+            out.brick_stagings += r.brick_stagings;
+            out.brick_reuses += r.brick_reuses;
+            out.plan_cache.entries += r.plan_cache.entries;
+            out.plan_cache.hits += r.plan_cache.hits;
+            out.plan_cache.misses += r.plan_cache.misses;
+            out.plan_cache.evictions += r.plan_cache.evictions;
+            waited_nanos += r.mean_queue_wait.as_nanos() * r.jobs_popped as u128;
+            out.wall_elapsed = out.wall_elapsed.max(r.wall_elapsed);
+            out.sim_frame_total += r.sim_frame_total;
+        }
+        if out.jobs_popped > 0 {
+            out.mean_queue_wait =
+                Duration::from_nanos((waited_nanos / out.jobs_popped as u128) as u64);
+        }
+        out
     }
 
     /// Fraction of completed frames answered from the frame cache.
@@ -91,6 +171,16 @@ impl ServiceReport {
             0.0
         } else {
             self.cache_hits as f64 / self.frames_completed as f64
+        }
+    }
+
+    /// Fraction of plan lookups answered by the cross-batch plan cache.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache.hits + self.plan_cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache.hits as f64 / total as f64
         }
     }
 
@@ -134,11 +224,26 @@ impl std::fmt::Display for ServiceReport {
             self.cache_hits,
             self.cache_hit_rate() * 100.0
         )?;
+        if self.frames_failed > 0 || self.admission_rejected > 0 {
+            writeln!(
+                f,
+                "shed/failed: {} rejected at admission, {} frames failed (caught panics)",
+                self.admission_rejected, self.frames_failed
+            )?;
+        }
         writeln!(
             f,
             "batching: {} batches, mean occupancy {:.2} frames/batch",
             self.batches,
             self.batch_occupancy()
+        )?;
+        writeln!(
+            f,
+            "plan cache: {} hits, {} misses ({:.1}% hit rate), {} evictions",
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache_hit_rate() * 100.0,
+            self.plan_cache.evictions
         )?;
         writeln!(
             f,
@@ -170,23 +275,62 @@ mod tests {
         ServiceStats::add(&stats.cache_hits, 2);
         ServiceStats::add(&stats.batches, 2);
         ServiceStats::add(&stats.batched_frames, 8);
-        ServiceStats::add(&stats.queue_wait_nanos, 8_000_000);
-        let r = ServiceReport::from_stats(&stats, Duration::from_secs(2));
+        // 8 rendered + 2 worker-side coalesced pops: the wait mean divides
+        // by popped jobs, not rendered frames.
+        ServiceStats::add(&stats.jobs_popped, 10);
+        ServiceStats::add(&stats.queue_wait_nanos, 10_000_000);
+        let plan = PlanCacheSnapshot {
+            entries: 1,
+            hits: 1,
+            misses: 1,
+            evictions: 0,
+        };
+        let r = ServiceReport::from_stats(&stats, plan, Duration::from_secs(2));
         assert_eq!(r.cache_hit_rate(), 0.2);
         assert_eq!(r.batch_occupancy(), 4.0);
         assert_eq!(r.frames_per_sec(), 5.0);
         assert_eq!(r.mean_queue_wait, Duration::from_nanos(1_000_000));
+        assert_eq!(r.plan_cache_hit_rate(), 0.5);
     }
 
     #[test]
     fn empty_report_has_no_nans() {
         let stats = ServiceStats::default();
-        let r = ServiceReport::from_stats(&stats, Duration::ZERO);
+        let r = ServiceReport::from_stats(&stats, PlanCacheSnapshot::default(), Duration::ZERO);
         assert_eq!(r.cache_hit_rate(), 0.0);
         assert_eq!(r.batch_occupancy(), 0.0);
         assert_eq!(r.frames_per_sec(), 0.0);
+        assert_eq!(r.plan_cache_hit_rate(), 0.0);
         assert_eq!(r.mean_sim_frame(), Duration::ZERO);
         let text = r.to_string();
         assert!(text.contains("0 submitted"));
+    }
+
+    #[test]
+    fn merged_sums_and_reweights() {
+        let mk = |rendered: u64, popped: u64, wait_ms: u64, wall: u64| {
+            let stats = ServiceStats::default();
+            ServiceStats::add(&stats.frames_rendered, rendered);
+            ServiceStats::add(&stats.frames_completed, rendered);
+            ServiceStats::add(&stats.jobs_popped, popped);
+            ServiceStats::add(&stats.queue_wait_nanos, wait_ms * 1_000_000 * popped);
+            let plan = PlanCacheSnapshot {
+                entries: 1,
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+            };
+            ServiceReport::from_stats(&stats, plan, Duration::from_secs(wall))
+        };
+        let a = mk(4, 4, 2, 3);
+        let b = mk(8, 12, 6, 5);
+        let m = ServiceReport::merged([&a, &b]);
+        assert_eq!(m.frames_rendered, 12);
+        assert_eq!(m.jobs_popped, 16);
+        assert_eq!(m.plan_cache.hits, 4);
+        assert_eq!(m.wall_elapsed, Duration::from_secs(5), "shards overlap");
+        // Weighted mean: (4·2ms + 12·6ms) / 16 = 5ms.
+        assert_eq!(m.mean_queue_wait, Duration::from_millis(5));
+        assert_eq!(ServiceReport::merged([]).jobs_popped, 0);
     }
 }

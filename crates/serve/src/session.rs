@@ -13,7 +13,7 @@ use mgpu_volren::config::RenderConfig;
 use mgpu_volren::TransferFunction;
 
 use crate::queue::Priority;
-use crate::{FrameTicket, SceneRequest, ServiceInner};
+use crate::{AdmissionError, FrameTicket, SceneRequest, ServiceInner};
 
 /// A client's view of the service, pre-bound to cluster + volume + config.
 pub struct SceneSession {
@@ -48,20 +48,41 @@ impl SceneSession {
         self
     }
 
-    /// Submit one frame of this session's volume under the given scene.
+    /// Submit one frame of this session's volume under the given scene
+    /// (blocking at the admission bound — see [`crate::RenderService::submit`]).
     pub fn request(&self, scene: Scene) -> FrameTicket {
         self.request_with_priority(scene, self.priority)
     }
 
     pub fn request_with_priority(&self, scene: Scene, priority: Priority) -> FrameTicket {
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.submit(SceneRequest {
+        self.inner.submit(self.request_for(scene, priority))
+    }
+
+    /// Non-blocking submit: sheds with [`AdmissionError`] when this
+    /// priority's class is at its queue bound.
+    pub fn try_request(&self, scene: Scene) -> Result<FrameTicket, AdmissionError> {
+        self.try_request_with_priority(scene, self.priority)
+    }
+
+    pub fn try_request_with_priority(
+        &self,
+        scene: Scene,
+        priority: Priority,
+    ) -> Result<FrameTicket, AdmissionError> {
+        let ticket = self.inner.try_submit(self.request_for(scene, priority))?;
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ticket)
+    }
+
+    fn request_for(&self, scene: Scene, priority: Priority) -> SceneRequest {
+        SceneRequest {
             spec: self.spec.clone(),
             volume: self.volume.clone(),
             scene,
             config: self.config.clone(),
             priority,
-        })
+        }
     }
 
     /// Convenience: orbit this session's volume (see [`Scene::orbit`]).

@@ -1,0 +1,186 @@
+//! The shard router: rendezvous-hash batch keys over N independent
+//! [`RenderService`] instances.
+//!
+//! One service instance serializes every volume behind one queue and one
+//! plan cache; under many-volume traffic the volumes contend. A
+//! [`ShardedService`] runs N full services side by side and routes each
+//! request by its [`BatchKey`] — the same (cluster, volume, config) always
+//! lands on the same shard, so a volume's frames keep hitting the shard
+//! whose plan cache (and brick store) is warm, while distinct volumes
+//! spread across shards and stop contending.
+//!
+//! Routing uses rendezvous (highest-random-weight) hashing: every shard
+//! gets a deterministic per-key score and the max wins. Growing the fleet
+//! from N to N+1 shards only moves the keys whose max moved to the new
+//! shard (~1/(N+1) of them) — no global reshuffle that would cold-start
+//! every plan cache at once.
+
+use mgpu_cluster::ClusterSpec;
+use mgpu_voldata::volume::{fnv1a, FNV_OFFSET};
+use mgpu_voldata::Volume;
+use mgpu_volren::config::RenderConfig;
+
+use crate::batch::BatchKey;
+use crate::session::SceneSession;
+use crate::{
+    AdmissionError, FrameTicket, RenderService, SceneRequest, ServiceConfig, ServiceReport,
+};
+
+/// FNV-1a over the key bytes, salted with the shard index — the rendezvous
+/// score of (key, shard). Stable across runs and platforms (the same hash
+/// voldata uses for content fingerprints).
+fn rendezvous_score(key: &BatchKey, shard: u64) -> u64 {
+    fnv1a(&shard.to_le_bytes(), fnv1a(key.bytes(), FNV_OFFSET))
+}
+
+fn rendezvous(key: &BatchKey, shards: usize) -> usize {
+    (0..shards as u64)
+        .max_by_key(|i| rendezvous_score(key, *i))
+        .expect("at least one shard") as usize
+}
+
+/// N independent render services behind one handle, with rendezvous routing
+/// by batch key. Each shard has its own queue, workers, frame cache and
+/// plan cache; admission control applies per shard.
+pub struct ShardedService {
+    shards: Vec<RenderService>,
+}
+
+impl ShardedService {
+    /// Start `shards` identical services (each with `config.workers`
+    /// workers — total worker threads are `shards × workers`).
+    pub fn start(shards: usize, config: ServiceConfig) -> ShardedService {
+        assert!(shards >= 1, "sharded service needs at least one shard");
+        ShardedService {
+            shards: (0..shards)
+                .map(|_| RenderService::start(config.clone()))
+                .collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns this batch key (deterministic).
+    pub fn shard_for(&self, key: &BatchKey) -> usize {
+        rendezvous(key, self.shards.len())
+    }
+
+    /// Direct access to one shard (reports, cache snapshots).
+    pub fn shard(&self, index: usize) -> &RenderService {
+        &self.shards[index]
+    }
+
+    /// Submit one frame request to its owning shard (blocking form — see
+    /// [`RenderService::submit`]).
+    pub fn submit(&self, request: SceneRequest) -> FrameTicket {
+        let key = BatchKey::of(&request);
+        self.shards[self.shard_for(&key)].submit(request)
+    }
+
+    /// Submit without blocking; sheds with [`AdmissionError`] when the
+    /// owning shard's queue is at this priority's bound.
+    pub fn try_submit(&self, request: SceneRequest) -> Result<FrameTicket, AdmissionError> {
+        let key = BatchKey::of(&request);
+        self.shards[self.shard_for(&key)].try_submit(request)
+    }
+
+    /// Open a session on the shard that owns this (cluster, volume, config)
+    /// — every frame the session submits lands where its plan is warm.
+    pub fn session(&self, spec: ClusterSpec, volume: Volume, config: RenderConfig) -> SceneSession {
+        let key = BatchKey::new(&spec, &volume, &config);
+        self.shards[self.shard_for(&key)].session(spec, volume, config)
+    }
+
+    pub fn pause(&self) {
+        for s in &self.shards {
+            s.pause();
+        }
+    }
+
+    pub fn resume(&self) {
+        for s in &self.shards {
+            s.resume();
+        }
+    }
+
+    /// Jobs waiting across all shard queues.
+    pub fn queue_len(&self) -> usize {
+        self.shards.iter().map(RenderService::queue_len).sum()
+    }
+
+    /// Merged accounting across shards (see [`ServiceReport::merged`]).
+    pub fn report(&self) -> ServiceReport {
+        let reports: Vec<ServiceReport> = self.shards.iter().map(RenderService::report).collect();
+        ServiceReport::merged(&reports)
+    }
+
+    /// Per-shard accounting, indexed like [`ShardedService::shard`].
+    pub fn shard_reports(&self) -> Vec<ServiceReport> {
+        self.shards.iter().map(RenderService::report).collect()
+    }
+
+    /// Shut every shard down (draining their queues) and merge the final
+    /// reports. Every ticket submitted before the call still resolves.
+    pub fn shutdown(self) -> ServiceReport {
+        let reports: Vec<ServiceReport> = self
+            .shards
+            .into_iter()
+            .map(RenderService::shutdown)
+            .collect();
+        ServiceReport::merged(&reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<BatchKey> {
+        (0..n).map(BatchKey::synthetic).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for key in keys(64) {
+            let a = rendezvous(&key, 4);
+            assert!(a < 4);
+            assert_eq!(a, rendezvous(&key, 4), "same key, same shard");
+        }
+        // Single shard: everything routes to it.
+        for key in keys(8) {
+            assert_eq!(rendezvous(&key, 1), 0);
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let mut used = [false; 4];
+        for key in keys(256) {
+            used[rendezvous(&key, 4)] = true;
+        }
+        assert!(used.iter().all(|u| *u), "256 keys must touch all 4 shards");
+    }
+
+    /// The rendezvous property: growing the fleet moves a key only if its
+    /// new-max score belongs to the added shard — nothing shuffles between
+    /// pre-existing shards (their plan caches stay warm).
+    #[test]
+    fn adding_a_shard_only_moves_keys_to_the_new_shard() {
+        let mut moved = 0;
+        for key in keys(512) {
+            let before = rendezvous(&key, 4);
+            let after = rendezvous(&key, 5);
+            if after != before {
+                assert_eq!(after, 4, "a moved key may only land on the new shard");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "some keys should adopt the new shard");
+        assert!(
+            moved < 512 / 2,
+            "rendezvous must not reshuffle wholesale ({moved}/512 moved)"
+        );
+    }
+}

@@ -1,12 +1,22 @@
 //! The worker pool: each worker pops the best queued job, opportunistically
 //! drains compatible jobs into a batch, then renders the batch against one
-//! shared [`FramePlan`].
+//! shared [`FramePlan`] — taken from the cross-batch plan cache when warm,
+//! prepared (and published) on a cache miss.
 //!
 //! Per-frame determinism: pixels depend only on the request itself (volume,
-//! scene, config, GPU count), never on batch composition, worker identity or
-//! interleaving — `render_planned` is bit-identical to a direct `render`
-//! call. Only the *timing and staging statistics* benefit from sharing.
+//! scene, config, GPU count), never on batch composition, worker identity,
+//! plan-cache state or interleaving — `render_planned` is bit-identical to a
+//! direct `render` call. Only the *timing and staging statistics* benefit
+//! from sharing.
+//!
+//! Fault containment: a panic inside plan preparation or `render_planned`
+//! is caught per job. The affected job resolves to an explicit
+//! [`FrameError`] (its ticket reports the panic message instead of a
+//! misleading disconnect), the remaining jobs of the batch still render, and
+//! the worker thread survives — the pool never shrinks under poison-pill
+//! requests.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use mgpu_volren::renderer::{render_planned, FramePlan};
@@ -14,7 +24,7 @@ use mgpu_volren::renderer::{render_planned, FramePlan};
 use crate::cache::FrameKey;
 use crate::queue::QueuedJob;
 use crate::report::ServiceStats;
-use crate::{RenderedFrame, ServiceInner};
+use crate::{FrameError, RenderedFrame, ServiceInner};
 
 pub(crate) fn worker_loop(inner: Arc<ServiceInner>) {
     while let Some(first) = inner.queue.pop() {
@@ -23,16 +33,29 @@ pub(crate) fn worker_loop(inner: Arc<ServiceInner>) {
         if extra > 0 {
             jobs.extend(inner.queue.drain_matching(&jobs[0].batch_key, extra));
         }
+        // Every batch member leaves the queue NOW: stamp queue wait here —
+        // for rendered *and* coalesced jobs — before any render time
+        // accrues, so `mean_queue_wait` measures time queued, not time
+        // waiting behind earlier frames of the same batch.
+        for job in &jobs {
+            ServiceStats::add(
+                &inner.stats.queue_wait_nanos,
+                job.enqueued.elapsed().as_nanos() as u64,
+            );
+            ServiceStats::bump(&inner.stats.jobs_popped);
+        }
         render_batch(&inner, jobs);
     }
 }
 
 /// Render a batch of same-key jobs over one shared plan. Jobs whose frame
 /// landed in the cache since submission are answered without rendering; the
-/// plan is built lazily on the first actual render.
+/// plan comes from the plan cache (or is built and published) lazily on the
+/// first actual render.
 fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
     let stats = &inner.stats;
-    let mut plan: Option<FramePlan> = None;
+    let mut plan: Option<Arc<FramePlan>> = None;
+    let mut batch_counted = false;
     for job in jobs {
         let req = &job.request;
         let key = FrameKey::new(&req.spec, &req.volume, &req.scene, &req.config);
@@ -43,19 +66,48 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
             frame.from_cache = true;
             ServiceStats::bump(&stats.cache_hits);
             ServiceStats::bump(&stats.frames_completed);
-            let _ = job.reply.send(frame);
+            let _ = job.reply.send(Ok(frame));
             continue;
         }
 
-        ServiceStats::add(
-            &stats.queue_wait_nanos,
-            job.enqueued.elapsed().as_nanos() as u64,
-        );
-        let plan = plan.get_or_insert_with(|| {
-            ServiceStats::bump(&stats.batches);
-            FramePlan::prepare(&req.spec, &req.volume, &req.config)
+        // Acquire the shared plan: once per batch, served from the
+        // cross-batch cache when a previous batch of this key already
+        // bricked the volume (its warm store then answers stagings).
+        let acquired = match &plan {
+            Some(shared) => Ok(Arc::clone(shared)),
+            None => catch_unwind(AssertUnwindSafe(|| match inner.plans.get(&job.batch_key) {
+                Some(shared) => shared,
+                None => {
+                    let fresh = Arc::new(FramePlan::prepare(&req.spec, &req.volume, &req.config));
+                    inner
+                        .plans
+                        .insert(job.batch_key.clone(), Arc::clone(&fresh));
+                    fresh
+                }
+            })),
+        };
+        let outcome = acquired.and_then(|shared| {
+            plan = Some(Arc::clone(&shared));
+            catch_unwind(AssertUnwindSafe(|| {
+                render_planned(&req.spec, &shared, &req.scene, &req.config)
+            }))
         });
-        let outcome = render_planned(&req.spec, plan, &req.scene, &req.config);
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // Contain the panic: fail this job explicitly, keep the
+                // worker (and the rest of the batch) alive.
+                ServiceStats::bump(&stats.frames_failed);
+                let _ = job
+                    .reply
+                    .send(Err(FrameError::from_panic(payload.as_ref())));
+                continue;
+            }
+        };
+        if !batch_counted {
+            ServiceStats::bump(&stats.batches);
+            batch_counted = true;
+        }
         ServiceStats::add(&stats.brick_stagings, outcome.report.store.misses);
         ServiceStats::add(&stats.brick_reuses, outcome.report.store.hits);
         ServiceStats::add(&stats.sim_frame_nanos, outcome.report.runtime().nanos());
@@ -70,6 +122,6 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
         };
         inner.cache.insert(key, frame.clone());
         // A dropped ticket is fine: the frame is already cached.
-        let _ = job.reply.send(frame);
+        let _ = job.reply.send(Ok(frame));
     }
 }

@@ -1,12 +1,13 @@
-//! Property: for ANY mix of scenes, worker counts, batch limits and cache
-//! sizes — i.e. any concurrent interleaving the service can produce — every
-//! frame delivered by the service is bit-identical to a sequential direct
-//! `render` call with the same request.
+//! Property: for ANY mix of scenes, worker counts, batch limits, cache
+//! sizes, plan-cache sizes and admission bounds — i.e. any concurrent
+//! interleaving the service can produce — every frame delivered by the
+//! service is bit-identical to a sequential direct `render` call with the
+//! same request.
 
 use proptest::prelude::*;
 
 use mgpu_cluster::ClusterSpec;
-use mgpu_serve::{Priority, RenderService, ServiceConfig};
+use mgpu_serve::{Priority, QueueBounds, RenderService, ServiceConfig};
 use mgpu_voldata::Dataset;
 use mgpu_volren::camera::Scene;
 use mgpu_volren::renderer::render;
@@ -21,6 +22,8 @@ proptest! {
         workers in 1usize..4,
         max_batch in 1usize..5,
         cache_frames in 0usize..3,
+        plan_cache_plans in 0usize..3,
+        queue_bound in 1usize..6,
         priority_bits in prop::collection::vec(0u32..3, 3..9),
     ) {
         let spec = ClusterSpec::accelerator_cluster(2);
@@ -42,6 +45,14 @@ proptest! {
             workers,
             max_batch,
             cache_frames,
+            plan_cache_plans,
+            // A tight bound exercises the blocking submit path: the test
+            // thread stalls at the bound until the workers free capacity.
+            queue_bounds: QueueBounds {
+                batch: queue_bound,
+                normal: queue_bound + 1,
+                interactive: queue_bound + 2,
+            },
             start_paused: false,
         });
         let session = service.session(spec.clone(), volume.clone(), cfg.clone());
@@ -63,11 +74,13 @@ proptest! {
             prop_assert_eq!(
                 &*frame.image,
                 &direct[i],
-                "frame {} (azimuth step {}) diverged under workers={} max_batch={} cache={}",
-                i, azimuth_steps[i], workers, max_batch, cache_frames
+                "frame {} (azimuth step {}) diverged under workers={} max_batch={} cache={} plans={} bound={}",
+                i, azimuth_steps[i], workers, max_batch, cache_frames, plan_cache_plans, queue_bound
             );
         }
         let report = service.shutdown();
         prop_assert_eq!(report.frames_completed, azimuth_steps.len() as u64);
+        prop_assert_eq!(report.frames_failed, 0);
+        prop_assert_eq!(report.admission_rejected, 0, "blocking submit never sheds");
     }
 }

@@ -1,9 +1,12 @@
 //! End-to-end tests of the render service: per-frame bit-equivalence with
-//! direct renders, staging savings from batching, cache behaviour, and
-//! clean shutdown semantics.
+//! direct renders, staging savings from batching and cross-batch plan reuse,
+//! cache behaviour, admission control, worker fault containment, sharding,
+//! and clean shutdown semantics.
 
 use mgpu_cluster::ClusterSpec;
-use mgpu_serve::{Priority, RenderService, SceneRequest, ServiceConfig};
+use mgpu_serve::{
+    Priority, QueueBounds, RenderService, SceneRequest, ServiceConfig, ShardedService,
+};
 use mgpu_voldata::Dataset;
 use mgpu_volren::camera::Scene;
 use mgpu_volren::renderer::render;
@@ -21,7 +24,7 @@ fn two_sessions_eight_frames_each_match_direct_renders() {
         workers: 2,
         max_batch: 4,
         cache_frames: 32,
-        start_paused: false,
+        ..ServiceConfig::default()
     });
     let spec = ClusterSpec::accelerator_cluster(2);
     let cfg = RenderConfig::test_size(32);
@@ -58,10 +61,12 @@ fn two_sessions_eight_frames_each_match_direct_renders() {
     assert_eq!(report.frames_submitted, 16);
     assert_eq!(report.frames_completed, 16);
     assert_eq!(report.frames_rendered + report.cache_hits, 16);
+    assert_eq!(report.frames_failed, 0);
 }
 
 /// Batched same-volume requests stage each brick once; unbatched requests
-/// pay the full staging cost per frame.
+/// pay the full staging cost per frame. (Plan cache off: this isolates
+/// within-batch sharing from cross-batch reuse.)
 #[test]
 fn batching_cuts_brick_stagings() {
     let frames = 6;
@@ -69,8 +74,10 @@ fn batching_cuts_brick_stagings() {
         let service = RenderService::start(ServiceConfig {
             workers: 1,
             max_batch,
-            cache_frames: 0, // isolate batching from caching
+            cache_frames: 0,     // isolate batching from caching
+            plan_cache_plans: 0, // and from cross-batch plan reuse
             start_paused: true,
+            ..ServiceConfig::default()
         });
         let spec = ClusterSpec::accelerator_cluster(2);
         let cfg = RenderConfig::test_size(32);
@@ -106,6 +113,91 @@ fn batching_cuts_brick_stagings() {
         "batching must reduce stagings: {} vs {}",
         batched.brick_stagings,
         unbatched.brick_stagings
+    );
+}
+
+/// The tentpole effect: with the plan cache on, *separate* batches of the
+/// same (cluster, volume, config) reuse one plan and its warm brick store —
+/// every brick is staged exactly once across all batches, not once per
+/// batch. With the cache off, every batch re-stages (PR 2 behaviour).
+#[test]
+fn plan_cache_reuses_staging_across_batches() {
+    let waves = 3;
+    let frames_per_wave = 2;
+    let run = |plan_cache_plans: usize| {
+        let service = RenderService::start(ServiceConfig {
+            workers: 1,
+            max_batch: frames_per_wave,
+            cache_frames: 0, // isolate plan reuse from frame caching
+            plan_cache_plans,
+            ..ServiceConfig::default()
+        });
+        let spec = ClusterSpec::accelerator_cluster(2);
+        let cfg = RenderConfig::test_size(32);
+        let volume = Dataset::Skull.volume(16);
+        let session = service.session(spec.clone(), volume.clone(), cfg.clone());
+        let mut bricks = 0u64;
+        let mut az = 0.0f32;
+        // Waiting out each wave forces wave boundaries = batch boundaries:
+        // the queue is empty before the next wave starts.
+        for _ in 0..waves {
+            let tickets: Vec<_> = (0..frames_per_wave)
+                .map(|_| {
+                    az += 25.0;
+                    session.request(scene_for(&volume, az))
+                })
+                .collect();
+            for (t, a) in tickets.into_iter().zip([az - 50.0, az - 25.0]) {
+                let frame = t.wait();
+                bricks = bricks.max(frame.report.bricks as u64);
+                let direct = render(&spec, &volume, &scene_for(&volume, a + 25.0), &cfg);
+                assert_eq!(
+                    *frame.image, direct.image,
+                    "plan reuse must not change pixels"
+                );
+            }
+        }
+        (service.shutdown(), bricks)
+    };
+
+    let (warm, bricks) = run(8);
+    let (cold, _) = run(0);
+
+    assert!(warm.batches >= waves as u64, "waves force separate batches");
+    // Warm: only the first batch stages bricks; all later batches reuse the
+    // warm store, so total stagings never exceed the brick count.
+    assert!(
+        warm.brick_stagings <= bricks,
+        "warm stagings {} must not exceed the brick count {bricks}",
+        warm.brick_stagings
+    );
+    assert_eq!(warm.plan_cache.misses, 1, "one cold plan build");
+    assert!(
+        warm.plan_cache.hits >= warm.batches - 1,
+        "later batches must hit the plan cache ({} hits, {} batches)",
+        warm.plan_cache.hits,
+        warm.batches
+    );
+    assert!(warm.plan_cache_hit_rate() > 0.0);
+
+    // Cold: every batch rebuilds the plan and re-stages its bricks.
+    assert_eq!(cold.plan_cache.hits, 0);
+    assert!(
+        cold.brick_stagings > bricks,
+        "every cold batch re-stages: {} stagings for {bricks} bricks",
+        cold.brick_stagings
+    );
+    assert!(
+        warm.brick_stagings < cold.brick_stagings,
+        "cross-batch reuse must cut stagings: {} vs {}",
+        warm.brick_stagings,
+        cold.brick_stagings
+    );
+    assert!(
+        warm.brick_reuses > cold.brick_reuses,
+        "warm stores must answer more brick fetches: {} vs {}",
+        warm.brick_reuses,
+        cold.brick_reuses
     );
 }
 
@@ -149,6 +241,7 @@ fn interactive_requests_overtake_batch_work() {
         max_batch: 1, // isolate priority order from batch grouping
         cache_frames: 4,
         start_paused: true,
+        ..ServiceConfig::default()
     });
     let spec = ClusterSpec::accelerator_cluster(1);
     let cfg = RenderConfig::test_size(16);
@@ -175,6 +268,174 @@ fn interactive_requests_overtake_batch_work() {
     let report = service.shutdown();
     assert_eq!(report.frames_completed, 2);
     assert_eq!(report.frames_rendered, 1);
+    // The coalesced batch job still counts toward queue-wait accounting.
+    assert_eq!(report.jobs_popped, 2);
+}
+
+/// A panic inside the render (here: a degenerate 0×0 image config) fails
+/// only the affected job — with an explicit error, not a dropped channel —
+/// and the worker thread survives to render subsequent frames.
+#[test]
+fn render_panic_fails_the_job_but_not_the_worker() {
+    let service = RenderService::start(ServiceConfig {
+        workers: 1, // a single worker: if it died, nothing would render
+        cache_frames: 8,
+        ..ServiceConfig::default()
+    });
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let volume = Dataset::Skull.volume(8);
+
+    let poisoned = service
+        .submit(SceneRequest {
+            spec: spec.clone(),
+            volume: volume.clone(),
+            scene: scene_for(&volume, 0.0),
+            config: RenderConfig::test_size(0), // 0×0 image: render panics
+            priority: Priority::Normal,
+        })
+        .wait_result();
+    let err = poisoned.expect_err("degenerate config must fail the job");
+    assert!(
+        err.message().contains("degenerate image"),
+        "error must carry the panic message, got: {err}"
+    );
+
+    // The same worker must still be alive and rendering.
+    let cfg = RenderConfig::test_size(16);
+    let frame = service
+        .submit(SceneRequest {
+            spec: spec.clone(),
+            volume: volume.clone(),
+            scene: scene_for(&volume, 30.0),
+            config: cfg.clone(),
+            priority: Priority::Normal,
+        })
+        .wait_result()
+        .expect("worker survived the poisoned job");
+    let direct = render(&spec, &volume, &scene_for(&volume, 30.0), &cfg);
+    assert_eq!(*frame.image, direct.image);
+
+    let report = service.shutdown();
+    assert_eq!(report.frames_failed, 1);
+    assert_eq!(report.frames_rendered, 1);
+}
+
+/// `FrameTicket::wait` (the panicking form) reports the explicit render
+/// failure, not a misleading channel disconnect.
+#[test]
+#[should_panic(expected = "render service job failed")]
+fn wait_panics_with_the_explicit_failure() {
+    let service = RenderService::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let volume = Dataset::Skull.volume(8);
+    let ticket = service.submit(SceneRequest {
+        spec,
+        scene: scene_for(&volume, 0.0),
+        volume,
+        config: RenderConfig::test_size(0),
+        priority: Priority::Normal,
+    });
+    let _ = ticket.wait();
+}
+
+/// Two in-memory volumes with identical metadata but different voxels must
+/// not alias in the frame cache or batch together (the `content`
+/// fingerprint regression).
+#[test]
+fn same_meta_volumes_with_different_voxels_do_not_alias() {
+    let service = RenderService::start(ServiceConfig {
+        workers: 1,
+        cache_frames: 16,
+        ..ServiceConfig::default()
+    });
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let cfg = RenderConfig::test_size(24);
+    let dims = [8u32, 8, 8];
+    let lo = mgpu_voldata::Volume::in_memory("twin", dims, vec![0.1; 512]);
+    let hi = mgpu_voldata::Volume::in_memory("twin", dims, vec![0.9; 512]);
+    assert_eq!(lo.meta.name, hi.meta.name);
+    assert_eq!(lo.meta.dims, hi.meta.dims);
+
+    let submit = |volume: &mgpu_voldata::Volume| {
+        service
+            .submit(SceneRequest {
+                spec: spec.clone(),
+                volume: volume.clone(),
+                scene: Scene::orbit(volume, 15.0, 10.0, TransferFunction::bone()),
+                config: cfg.clone(),
+                priority: Priority::Normal,
+            })
+            .wait()
+    };
+    let first = submit(&lo);
+    let second = submit(&hi);
+    assert!(
+        !second.from_cache,
+        "same-meta volume with different voxels must not hit the cache"
+    );
+    // Each frame matches ITS OWN volume's direct render.
+    for (volume, frame) in [(&lo, &first), (&hi, &second)] {
+        let scene = Scene::orbit(volume, 15.0, 10.0, TransferFunction::bone());
+        let direct = render(&spec, volume, &scene, &cfg);
+        assert_eq!(*frame.image, direct.image);
+    }
+    let report = service.shutdown();
+    assert_eq!(report.frames_rendered, 2);
+    assert_eq!(report.cache_hits, 0);
+}
+
+/// Under a full queue, `try_submit` sheds `Batch` first, `Normal` next and
+/// `Interactive` last, with descriptive errors; accepted work still renders.
+#[test]
+fn admission_control_sheds_lowest_priority_first() {
+    let service = RenderService::start(ServiceConfig {
+        workers: 1,
+        cache_frames: 0,
+        queue_bounds: QueueBounds {
+            batch: 1,
+            normal: 2,
+            interactive: 3,
+        },
+        start_paused: true, // depth only grows until we resume
+        ..ServiceConfig::default()
+    });
+    let spec = ClusterSpec::accelerator_cluster(1);
+    let cfg = RenderConfig::test_size(16);
+    let volume = Dataset::Skull.volume(8);
+    let session = service.session(spec, volume.clone(), cfg);
+
+    let mut az = 0.0f32;
+    let mut req = |priority| {
+        az += 20.0;
+        session.try_request_with_priority(scene_for(&volume, az), priority)
+    };
+
+    let t_batch = req(Priority::Batch).expect("first batch job admitted");
+    let shed = req(Priority::Batch).expect_err("batch bound reached");
+    assert_eq!((shed.queued, shed.limit), (1, 1));
+    assert_eq!(shed.priority, Priority::Batch);
+    assert!(shed.to_string().contains("queue full"));
+
+    let t_normal = req(Priority::Normal).expect("normal still admitted");
+    assert!(req(Priority::Normal).is_err(), "normal bound reached");
+    let t_inter = req(Priority::Interactive).expect("interactive admitted last");
+    assert!(req(Priority::Interactive).is_err(), "queue entirely full");
+
+    assert_eq!(service.queue_depths(), [1, 1, 1]);
+    service.resume();
+    for t in [t_batch, t_normal, t_inter] {
+        t.wait();
+    }
+    let report = service.shutdown();
+    assert_eq!(report.admission_rejected, 3);
+    assert_eq!(report.frames_rendered, 3);
+    assert_eq!(
+        report.frames_submitted, 3,
+        "shed frames are not submissions"
+    );
 }
 
 /// A session that outlives the service fails loudly and uniformly —
@@ -202,6 +463,7 @@ fn shutdown_resolves_all_pending_tickets() {
         max_batch: 2,
         cache_frames: 4,
         start_paused: true, // jobs pile up before any worker runs
+        ..ServiceConfig::default()
     });
     let spec = ClusterSpec::accelerator_cluster(1);
     let cfg = RenderConfig::test_size(16);
@@ -239,4 +501,56 @@ fn raw_submit_roundtrip() {
     let direct = render(&spec, &volume, &scene, &cfg);
     assert_eq!(*frame.image, direct.image);
     assert_eq!(frame.report.job, direct.report.job);
+}
+
+/// The shard router: sessions for distinct volumes land on their rendezvous
+/// shard, frames stay bit-identical to direct renders, and one volume's
+/// frames never spread across shards (its plan cache stays warm).
+#[test]
+fn sharded_service_routes_by_volume_and_stays_bit_identical() {
+    let sharded = ShardedService::start(
+        2,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let cfg = RenderConfig::test_size(24);
+    // A handful of distinct volumes: with rendezvous routing some land on
+    // each shard (16 keys on 2 shards — all on one side is 2^-15).
+    let volumes: Vec<_> = (0..16)
+        .map(|i| {
+            mgpu_voldata::Volume::in_memory(
+                format!("shard-vol-{i}"),
+                [8, 8, 8],
+                vec![0.05 * (i + 1) as f32; 512],
+            )
+        })
+        .collect();
+
+    let mut tickets = Vec::new();
+    for volume in &volumes {
+        let session = sharded.session(spec.clone(), volume.clone(), cfg.clone());
+        tickets.push((volume, session.request(scene_for(volume, 40.0))));
+    }
+    for (volume, ticket) in tickets {
+        let frame = ticket.wait();
+        let direct = render(&spec, volume, &scene_for(volume, 40.0), &cfg);
+        assert_eq!(*frame.image, direct.image, "{}", volume.meta.name);
+    }
+
+    let per_shard = sharded.shard_reports();
+    assert_eq!(per_shard.len(), 2);
+    assert!(
+        per_shard.iter().all(|r| r.frames_rendered > 0),
+        "16 volumes must spread over both shards: {:?}",
+        per_shard
+            .iter()
+            .map(|r| r.frames_rendered)
+            .collect::<Vec<_>>()
+    );
+    let merged = sharded.shutdown();
+    assert_eq!(merged.frames_completed, 16);
+    assert_eq!(merged.frames_rendered, 16);
 }

@@ -56,6 +56,7 @@ pub fn downsample(volume: &Volume) -> Volume {
             name: format!("{}-mip", volume.meta.name),
             dims: nd,
             seed: volume.meta.seed,
+            content: crate::volume::data_fingerprint(&out),
         },
         source: VolumeSource::InMemory(std::sync::Arc::new(out)),
     }

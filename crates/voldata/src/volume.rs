@@ -15,6 +15,13 @@ pub struct VolumeMeta {
     pub dims: [u32; 3],
     /// Seed used for procedural generation (recorded for provenance).
     pub seed: u64,
+    /// Cheap content fingerprint: hashes the voxel data (in-memory sources)
+    /// or a deterministic probe of the field (procedural sources), so two
+    /// volumes that agree on `(name, dims, seed)` but hold different voxels
+    /// still compare (and hash) unequal. Callers that wrap the same content
+    /// in a different source (e.g. baking a procedural volume to a file)
+    /// clone the meta, keeping the fingerprint.
+    pub content: u64,
 }
 
 impl VolumeMeta {
@@ -59,6 +66,53 @@ impl std::fmt::Debug for VolumeSource {
     }
 }
 
+/// The FNV-1a offset basis: seed [`fnv1a`] chains with this.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over arbitrary bytes, seeded with a running hash — stable across
+/// runs and platforms. This is the one hash used wherever stability
+/// matters: content fingerprints here, rendezvous shard routing in
+/// `mgpu-serve`. Chain calls by feeding one call's result as the next
+/// call's `hash`.
+pub fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Content fingerprint of fully resident voxel data.
+pub(crate) fn data_fingerprint(data: &[f32]) -> u64 {
+    let mut h = fnv1a(&(data.len() as u64).to_le_bytes(), FNV_OFFSET);
+    for v in data {
+        h = fnv1a(&v.to_bits().to_le_bytes(), h);
+    }
+    h
+}
+
+/// Content fingerprint of a procedural field: probe it at a fixed set of
+/// seed-derived quasi-random points. Cheap (32 samples) yet sensitive to the
+/// field itself, so two fields registered under the same `(name, dims,
+/// seed)` still fingerprint apart with overwhelming probability.
+fn field_fingerprint(field: &dyn ScalarField, seed: u64) -> u64 {
+    let mut h = fnv1a(&seed.to_le_bytes(), FNV_OFFSET);
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next_unit = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f32 / (1u64 << 53) as f32
+    };
+    for _ in 0..32 {
+        let (x, y, z) = (next_unit(), next_unit(), next_unit());
+        h = fnv1a(&field.sample(x, y, z).to_bits().to_le_bytes(), h);
+    }
+    h
+}
+
 /// A scalar volume: metadata + voxel source.
 #[derive(Debug, Clone)]
 pub struct Volume {
@@ -73,11 +127,13 @@ impl Volume {
         seed: u64,
         field: Arc<dyn ScalarField>,
     ) -> Volume {
+        let content = field_fingerprint(field.as_ref(), seed);
         Volume {
             meta: VolumeMeta {
                 name: name.into(),
                 dims,
                 seed,
+                content,
             },
             source: VolumeSource::Procedural(field),
         }
@@ -88,6 +144,7 @@ impl Volume {
             name: name.into(),
             dims,
             seed: 0,
+            content: data_fingerprint(&data),
         };
         assert_eq!(
             data.len() as u64,
@@ -257,6 +314,7 @@ mod tests {
             name: "v".into(),
             dims: [64, 64, 64],
             seed: 0,
+            content: 0,
         };
         assert_eq!(m.voxel_count(), 262_144);
         assert_eq!(m.bytes(), 1_048_576); // the paper's 1 MiB 64³ brick
@@ -334,6 +392,34 @@ mod tests {
         // Clamped outside.
         assert_eq!(v.voxel(-5, 0, 0), 0.0);
         assert_eq!(v.voxel(9, 3, 3), 63.0);
+    }
+
+    #[test]
+    fn content_fingerprint_separates_same_meta_volumes() {
+        let dims = [4u32, 4, 4];
+        let a: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut b = a.clone();
+        b[40] += 1.0; // one differing voxel
+        let va = Volume::in_memory("twin", dims, a.clone());
+        let vb = Volume::in_memory("twin", dims, b);
+        assert_eq!(va.meta.name, vb.meta.name);
+        assert_eq!(va.meta.dims, vb.meta.dims);
+        assert_eq!(va.meta.seed, vb.meta.seed);
+        assert_ne!(va.meta.content, vb.meta.content, "voxels differ");
+        assert_ne!(va.meta, vb.meta);
+        // Identical content reproduces the identical fingerprint.
+        let va2 = Volume::in_memory("twin", dims, a);
+        assert_eq!(va.meta, va2.meta);
+    }
+
+    #[test]
+    fn content_fingerprint_separates_procedural_fields() {
+        let x = Volume::procedural("f", [8, 8, 8], 7, Arc::new(AxisRamp { axis: 0 }));
+        let y = Volume::procedural("f", [8, 8, 8], 7, Arc::new(AxisRamp { axis: 1 }));
+        assert_ne!(x.meta.content, y.meta.content, "fields differ");
+        // Deterministic: the same field + seed always fingerprints the same.
+        let x2 = Volume::procedural("f", [8, 8, 8], 7, Arc::new(AxisRamp { axis: 0 }));
+        assert_eq!(x.meta.content, x2.meta.content);
     }
 
     #[test]

@@ -79,8 +79,17 @@ pub struct RenderOutcome {
 /// Per-(cluster, volume, config) render state that is scene-independent and
 /// can be shared across frames: the brick grid, the staging decision, the
 /// brick store and the chunk handles. [`render`] builds one per call; the
-/// render service builds one per *batch* so same-volume frames stage bricks
-/// once instead of once per frame.
+/// render service shares one across a *batch* — and, through its plan
+/// cache, across consecutive batches — so same-volume frames stage bricks
+/// once for the plan's lifetime instead of once per frame.
+///
+/// A plan is immutable apart from the brick store's interior-mutable cache
+/// and atomic statistics, so it is `Send + Sync`: an `Arc<FramePlan>` may be
+/// rendered from any thread (or several at once). Per-frame staging
+/// attribution goes through [`StoreSnapshot::since`] deltas; when two
+/// threads render against the same plan *concurrently*, each frame's
+/// `store` delta may attribute the other's stagings to itself — the pixels
+/// are unaffected, only the staging statistics interleave.
 pub struct FramePlan {
     pub grid: BrickGrid,
     pub staging: Staging,

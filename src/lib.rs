@@ -10,8 +10,9 @@
 //! * [`mapreduce`] — the paper's streaming multi-GPU MapReduce library;
 //! * [`voldata`] — procedural volume datasets and the out-of-core brick store;
 //! * [`volren`] — the ray-casting volume renderer built on all of the above;
-//! * [`serve`] — the multi-scene render service (job queue, frame batching,
-//!   frame cache) layered on the renderer.
+//! * [`serve`] — the multi-scene render service (job queue with admission
+//!   control, frame batching, cross-batch plan cache, frame cache, shard
+//!   router) layered on the renderer.
 //!
 //! ## Quickstart
 //!
@@ -40,8 +41,8 @@ pub use mgpu_volren as volren;
 pub mod prelude {
     pub use mgpu_cluster::topology::ClusterSpec;
     pub use mgpu_serve::{
-        FrameTicket, Priority, RenderService, RenderedFrame, SceneRequest, SceneSession,
-        ServiceConfig, ServiceReport,
+        AdmissionError, FrameError, FrameTicket, Priority, QueueBounds, RenderService,
+        RenderedFrame, SceneRequest, SceneSession, ServiceConfig, ServiceReport, ShardedService,
     };
     pub use mgpu_sim::{Fig3Bucket, SimDuration};
     pub use mgpu_voldata::datasets::Dataset;

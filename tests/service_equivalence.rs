@@ -1,6 +1,7 @@
 //! Facade-level check of the render service: frames served through
-//! `gpumr::serve` are bit-identical to direct `render` calls, and the
-//! service report accounts for every frame.
+//! `gpumr::serve` — plain, plan-cache-warmed or sharded — are bit-identical
+//! to direct `render` calls, and the service report accounts for every
+//! frame.
 
 use gpumr::prelude::*;
 
@@ -25,4 +26,65 @@ fn service_frames_equal_direct_renders_through_the_facade() {
     let report: ServiceReport = service.shutdown();
     assert_eq!(report.frames_completed, 4);
     assert_eq!(report.frames_rendered + report.cache_hits, 4);
+    assert_eq!(report.frames_failed, 0);
+}
+
+/// Plan-cache reuse across separate waves must not change a single pixel,
+/// and the sharded front-end must agree with both.
+#[test]
+fn sharded_and_plan_cached_frames_equal_direct_renders() {
+    let sharded = ShardedService::start(
+        2,
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let cfg = RenderConfig::test_size(24);
+    let skull = Dataset::Skull.volume(16);
+    let plume = Dataset::Plume.volume(8);
+
+    let s1 = sharded.session(spec.clone(), skull.clone(), cfg.clone());
+    let s2 = sharded.session(spec.clone(), plume.clone(), cfg.clone());
+
+    // Two waves: the second reuses whatever plans the first warmed.
+    for wave in 0..2 {
+        let scenes: Vec<(Scene, &gpumr::voldata::Volume)> = (0..3)
+            .flat_map(|i| {
+                let az = (wave * 3 + i) as f32 * 40.0;
+                [
+                    (
+                        Scene::orbit(&skull, az, 20.0, TransferFunction::bone()),
+                        &skull,
+                    ),
+                    (
+                        Scene::orbit(&plume, az, 5.0, TransferFunction::smoke()),
+                        &plume,
+                    ),
+                ]
+            })
+            .collect();
+        let tickets: Vec<_> = scenes
+            .iter()
+            .map(|(scene, volume)| {
+                if std::ptr::eq(*volume, &skull) {
+                    s1.request(scene.clone())
+                } else {
+                    s2.request(scene.clone())
+                }
+            })
+            .collect();
+        for ((scene, volume), ticket) in scenes.iter().zip(tickets) {
+            let frame = ticket.wait();
+            let direct = render(&spec, volume, scene, &cfg);
+            assert_eq!(
+                *frame.image, direct.image,
+                "wave {wave}: sharded + plan-cached frame must stay bit-identical"
+            );
+        }
+    }
+    let report = sharded.shutdown();
+    assert_eq!(report.frames_completed, 12);
+    assert_eq!(report.frames_failed, 0);
 }
