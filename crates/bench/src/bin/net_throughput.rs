@@ -1,0 +1,212 @@
+//! Network front-end throughput: clients × connections over a loopback
+//! [`RenderServer`], with client-side round-trip accounting.
+//!
+//! Each *client* is a thread standing for one user; it opens `connections`
+//! TCP connections and round-robins its frame requests across them (the
+//! fan-out a connection pool would give a real front-end). Every request is
+//! timed individually, so the table reports wall frames/sec next to p50/p90
+//! round-trip latency — the loopback protocol overhead on top of the render
+//! itself. Repeated views per client exercise the frame cache across the
+//! wire; distinct (dataset, cluster) pairs give the shard router keys to
+//! spread.
+//!
+//! `--smoke` shrinks the sweep for CI and writes `BENCH_net.json`
+//! (frames/sec, cache hit rate, p50 queue wait, p50/p90 round trip) for the
+//! per-PR perf-trend artifact.
+//!
+//!     cargo run --release -p mgpu-bench --bin net_throughput -- [--smoke] [--shards N]
+
+use std::time::{Duration, Instant};
+
+use mgpu_bench::JsonObject;
+use mgpu_net::{NetSceneRequest, RenderClient, RenderServer, ServerConfig};
+use mgpu_serve::ServiceConfig;
+use mgpu_voldata::Dataset;
+use mgpu_volren::{RenderConfig, TransferFunction};
+
+struct SweepPoint {
+    clients: usize,
+    connections: usize,
+    frames_per_client: usize,
+}
+
+struct SweepResult {
+    wall: Duration,
+    rtts: Vec<Duration>,
+    server_frames: u64,
+    cache_hit_rate: f64,
+    p50_queue_wait: Duration,
+    frames_per_sec: f64,
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_point(point: &SweepPoint, shards: usize, volume_size: u32, image: u32) -> SweepResult {
+    let server = RenderServer::start(ServerConfig {
+        shards,
+        service: ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.addr();
+    let datasets = [Dataset::Skull, Dataset::Supernova, Dataset::Plume];
+    let started = Instant::now();
+
+    let rtts: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..point.clients)
+            .map(|c| {
+                let datasets = &datasets;
+                scope.spawn(move || {
+                    let mut pool: Vec<RenderClient> = (0..point.connections)
+                        .map(|_| RenderClient::connect(addr).expect("connect"))
+                        .collect();
+                    let dataset = datasets[c % datasets.len()];
+                    let gpus = 1 + (c % 2) as u32;
+                    let transfer = TransferFunction::for_dataset(dataset.name());
+                    let mut rtts = Vec::with_capacity(point.frames_per_client);
+                    for f in 0..point.frames_per_client {
+                        // Two repeated views per client → cache traffic.
+                        let view = f % point.frames_per_client.saturating_sub(2).max(1);
+                        let request = NetSceneRequest::orbit_dataset(
+                            dataset,
+                            volume_size,
+                            gpus,
+                            view as f32 * 29.0,
+                            15.0,
+                            &transfer,
+                        )
+                        .with_config(RenderConfig::test_size(image));
+                        let client = &mut pool[f % point.connections];
+                        let sent = Instant::now();
+                        let frame = client.render(&request).expect("render over socket");
+                        rtts.push(sent.elapsed());
+                        assert_eq!(frame.image.width(), image);
+                    }
+                    rtts
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    let wall = started.elapsed();
+    let report = server.shutdown();
+    let total = (point.clients * point.frames_per_client) as u64;
+    assert_eq!(report.frames_completed, total, "every frame accounted for");
+    let mut sorted = rtts.clone();
+    sorted.sort_unstable();
+    SweepResult {
+        wall,
+        rtts: sorted,
+        server_frames: report.frames_completed,
+        cache_hit_rate: report.cache_hit_rate(),
+        p50_queue_wait: report.queue_wait_p50(),
+        frames_per_sec: total as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(2);
+    let (volume_size, image, frames): (u32, u32, usize) =
+        if smoke { (16, 48, 6) } else { (32, 96, 8) };
+    let sweep: Vec<(usize, usize)> = if smoke {
+        vec![(2, 1), (2, 2)]
+    } else {
+        vec![(1, 1), (2, 1), (2, 2), (4, 1), (4, 2)]
+    };
+
+    println!(
+        "net throughput — {shards}-shard server on loopback, {volume_size}^3 volumes, \
+         {image}^2 frames, {frames} frames/client\n"
+    );
+    println!(
+        "{:>7} {:>5} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "clients", "conns", "frames/s", "p50 rtt", "p90 rtt", "max rtt", "hit rate", "p50 wait"
+    );
+
+    let mut smoke_summary: Option<SweepResult> = None;
+    let mut smoke_point = (0usize, 0usize);
+    for (clients, connections) in sweep {
+        let point = SweepPoint {
+            clients,
+            connections,
+            frames_per_client: frames,
+        };
+        let result = run_point(&point, shards, volume_size, image);
+        println!(
+            "{:>7} {:>5} {:>9.2} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.1}% {:>7.2}ms",
+            clients,
+            connections,
+            result.frames_per_sec,
+            quantile(&result.rtts, 0.5).as_secs_f64() * 1e3,
+            quantile(&result.rtts, 0.9).as_secs_f64() * 1e3,
+            result
+                .rtts
+                .last()
+                .copied()
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e3,
+            result.cache_hit_rate * 100.0,
+            result.p50_queue_wait.as_secs_f64() * 1e3,
+        );
+        assert!(
+            result.cache_hit_rate > 0.0,
+            "repeated views must produce cache hits over the wire"
+        );
+        // The trend artifact tracks the widest smoke point.
+        if smoke && (clients, connections) >= smoke_point {
+            smoke_point = (clients, connections);
+            smoke_summary = Some(result);
+        }
+    }
+    println!(
+        "\nround-trip = encode + loopback TCP + queue + render + frame download; \
+         the gap between p50 rtt and p50 queue wait is protocol + pixel transfer"
+    );
+
+    if let Some(result) = smoke_summary {
+        JsonObject::new()
+            .str("bench", "net_throughput")
+            .int("shards", shards as u64)
+            .int("clients", smoke_point.0 as u64)
+            .int("connections", smoke_point.1 as u64)
+            .int("frames", result.server_frames)
+            .num("frames_per_sec", result.frames_per_sec)
+            .num("cache_hit_rate", result.cache_hit_rate)
+            .num(
+                "p50_queue_wait_ms",
+                result.p50_queue_wait.as_secs_f64() * 1e3,
+            )
+            .num(
+                "p50_rtt_ms",
+                quantile(&result.rtts, 0.5).as_secs_f64() * 1e3,
+            )
+            .num(
+                "p90_rtt_ms",
+                quantile(&result.rtts, 0.9).as_secs_f64() * 1e3,
+            )
+            .num("wall_secs", result.wall.as_secs_f64())
+            .write("BENCH_net.json")
+            .expect("write BENCH_net.json");
+    }
+}

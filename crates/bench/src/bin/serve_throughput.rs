@@ -14,6 +14,7 @@
 //!
 //!     cargo run --release -p mgpu-bench --bin serve_throughput [-- --smoke] [--shards N]
 
+use mgpu_bench::JsonObject;
 use mgpu_cluster::ClusterSpec;
 use mgpu_serve::{RenderService, ServiceConfig, ServiceReport, ShardedService};
 use mgpu_voldata::Dataset;
@@ -237,6 +238,7 @@ fn main() {
         "clients", "mode", "frames/s", "occ", "hit rate", "plan", "stagings", "reuses", "frames"
     );
 
+    let mut smoke_summary: Option<(usize, ServiceReport)> = None;
     for &clients in client_sweep {
         let w = Workload {
             clients,
@@ -280,6 +282,32 @@ fn main() {
             full.brick_stagings,
             no_plans.brick_stagings
         );
+        if smoke {
+            // The trend artifact tracks the full-featured mode at the
+            // widest client count.
+            smoke_summary = Some((clients, full));
+        }
+    }
+    if let Some((clients, report)) = &smoke_summary {
+        JsonObject::new()
+            .str("bench", "serve_throughput")
+            .int("clients", *clients as u64)
+            .int("frames", report.frames_completed)
+            .num("frames_per_sec", report.frames_per_sec())
+            .num("cache_hit_rate", report.cache_hit_rate())
+            .num("plan_cache_hit_rate", report.plan_cache_hit_rate())
+            .num("batch_occupancy", report.batch_occupancy())
+            .num(
+                "p50_queue_wait_ms",
+                report.queue_wait_p50().as_secs_f64() * 1e3,
+            )
+            .num(
+                "mean_queue_wait_ms",
+                report.mean_queue_wait.as_secs_f64() * 1e3,
+            )
+            .int("brick_stagings", report.brick_stagings)
+            .write("BENCH_serve.json")
+            .expect("write BENCH_serve.json");
     }
     println!(
         "\nbatched mode stages each brick once per batch (shared store); the plan \

@@ -32,7 +32,7 @@ use mgpu_volren::{RenderConfig, TransferFunction};
 pub mod figures;
 pub mod report;
 
-pub use report::{ascii_bar, print_table, write_csv, Table};
+pub use report::{ascii_bar, print_table, write_csv, JsonObject, Table};
 
 /// Global bench scale, read from `MGPU_BENCH_SCALE`.
 #[derive(Debug, Clone, Copy)]

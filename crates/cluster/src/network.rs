@@ -117,7 +117,7 @@ mod tests {
     fn network_time_dominated_by_overhead_for_small_messages() {
         let n = NetworkModel::qdr_infiniband_2010();
         let small = n.send_time(1024).as_millis_f64();
-        assert!(small >= 4.0 && small < 4.1, "small send {small} ms");
+        assert!((4.0..4.1).contains(&small), "small send {small} ms");
         // The paper's observation: network ≫ PCIe for the same bytes.
         let pcie = mgpu_gpu::DeviceProps::tesla_c1060().d2h_time(1024);
         assert!(n.send_time(1024).nanos() > 20 * pcie.nanos());

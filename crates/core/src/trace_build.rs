@@ -24,22 +24,13 @@ use crate::cost::CostBook;
 use crate::record::JobRecord;
 
 /// Trace-level options (ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TraceOptions {
     /// Model asynchronous texture uploads (paper future work §7): uploads
     /// stop serializing against kernels on the GPU queue.
     pub async_upload: bool,
     /// Run the reduce phase on the GPU instead of the CPU (§3.1.2 ablation).
     pub reduce_on_gpu: bool,
-}
-
-impl Default for TraceOptions {
-    fn default() -> Self {
-        TraceOptions {
-            async_upload: false,
-            reduce_on_gpu: false,
-        }
-    }
 }
 
 /// Build the complete trace for `record` on `spec` hardware.

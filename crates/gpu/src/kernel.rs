@@ -270,7 +270,7 @@ mod tests {
         impl Kernel for Spike {
             type Out = u8;
             fn thread(&self, ctx: &mut ThreadCtx) -> u8 {
-                if ctx.global.0 % 32 == 0 {
+                if ctx.global.0.is_multiple_of(32) {
                     ctx.tally(100);
                 }
                 0

@@ -1,0 +1,223 @@
+//! The client side of the wire: a blocking [`RenderClient`] mirroring the
+//! in-process service API — `render` blocks like `RenderService::submit`
+//! (waiting out admission bounds *and* the render), `submit` is the
+//! fire-and-forget `try_submit` analogue returning a [`NetTicket`] to
+//! redeem later, and every in-process error type crosses the socket intact:
+//! admission shedding comes back as the same [`AdmissionError`], a caught
+//! render panic as the same [`FrameError`] message.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mgpu_serve::{AdmissionError, FrameError};
+
+use crate::heat::{decode_stats, NetStats};
+use crate::wire::{
+    decode_frame, decode_message, decode_pong, decode_rejected, decode_throttled, decode_ticket,
+    decode_tickets_full, encode_ping, encode_request, encode_ticket, opcode, read_frame,
+    write_frame, NetFrame, NetSceneRequest, WireError, DEFAULT_MAX_PAYLOAD,
+};
+
+/// Why a client call failed, with the server-side error types restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Transport or framing problem (includes the server's `BAD_REQUEST`
+    /// echo of a [`WireError`] we caused).
+    Wire(WireError),
+    /// The server's admission control shed this submission (fire-and-forget
+    /// path only; blocking renders wait instead).
+    Admission(AdmissionError),
+    /// The per-session rate limiter refused the request; retry no sooner
+    /// than `retry_after`.
+    Throttled { retry_after: Duration },
+    /// The session holds too many un-redeemed tickets; redeem some, then
+    /// retry (fire-and-forget path only).
+    TicketsFull { outstanding: u64, limit: u64 },
+    /// The render itself failed server-side (e.g. a caught render panic).
+    Render(FrameError),
+    /// The server answered something this client cannot interpret.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(err) => write!(f, "wire error: {err}"),
+            ClientError::Admission(err) => write!(f, "admission rejected: {err}"),
+            ClientError::Throttled { retry_after } => {
+                write!(
+                    f,
+                    "rate limited: retry in {:.3} s",
+                    retry_after.as_secs_f64()
+                )
+            }
+            ClientError::TicketsFull { outstanding, limit } => {
+                write!(
+                    f,
+                    "session holds {outstanding} un-redeemed tickets (limit {limit}): \
+                     redeem before submitting more"
+                )
+            }
+            ClientError::Render(err) => write!(f, "render failed: {err}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(err: WireError) -> ClientError {
+        ClientError::Wire(err)
+    }
+}
+
+/// A redeemable handle from [`RenderClient::submit`] — the wire analogue of
+/// an in-process `FrameTicket`. Tickets are connection-scoped: redeem them
+/// on the client that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetTicket {
+    id: u64,
+}
+
+impl NetTicket {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A blocking render-service client over one TCP connection. One session =
+/// one connection: the server's rate limiter and ticket table live per
+/// connection, and requests are strictly request/response.
+pub struct RenderClient {
+    stream: TcpStream,
+    shards: u32,
+    max_payload: u64,
+}
+
+impl RenderClient {
+    /// Connect and handshake (a `PING` round-trip that also verifies the
+    /// protocol version and learns the server's shard count).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RenderClient, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = RenderClient {
+            stream,
+            shards: 0,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        };
+        client.shards = client.ping()?;
+        Ok(client)
+    }
+
+    /// Shards behind the server (learned during the handshake).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Raise (or lower) the cap this client accepts on one response frame.
+    /// A 1024² float-RGBA frame is 16 MiB; request images larger than
+    /// ~2048² exceed the 64 MiB default and need a higher bound *before*
+    /// the render call — once an oversized response header is rejected,
+    /// the unread payload poisons the connection for further requests.
+    pub fn set_max_payload(&mut self, max_payload: u64) {
+        self.max_payload = max_payload;
+    }
+
+    /// Round-trip a `PING`; returns the server's shard count.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        let token = 0x6D67_7075; // arbitrary echo payload
+        let (op, payload) = self.round_trip(opcode::PING, &encode_ping(token))?;
+        match op {
+            opcode::PONG => {
+                let (echoed, shards) = decode_pong(&payload)?;
+                if echoed != token {
+                    return Err(ClientError::Protocol(format!(
+                        "pong echoed {echoed:#x}, expected {token:#x}"
+                    )));
+                }
+                Ok(shards)
+            }
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
+    /// Render one frame, blocking until it is delivered — the wire analogue
+    /// of `ShardedService::submit(...).wait()`, including blocking at the
+    /// admission bound. Distinguishes throttling and render failures as
+    /// typed errors.
+    pub fn render(&mut self, request: &NetSceneRequest) -> Result<NetFrame, ClientError> {
+        let (op, payload) = self.round_trip(opcode::RENDER, &encode_request(request))?;
+        self.frame_response(op, &payload)
+    }
+
+    /// Fire-and-forget submit — the wire analogue of `try_submit`: sheds
+    /// with [`ClientError::Admission`] under overload instead of blocking,
+    /// and returns a ticket immediately while the server renders. Redeem
+    /// with [`RenderClient::redeem`], or drop the ticket (the frame still
+    /// lands in the server's cache).
+    pub fn submit(&mut self, request: &NetSceneRequest) -> Result<NetTicket, ClientError> {
+        let (op, payload) = self.round_trip(opcode::SUBMIT, &encode_request(request))?;
+        match op {
+            opcode::SUBMITTED => Ok(NetTicket {
+                id: decode_ticket(&payload)?,
+            }),
+            opcode::REJECTED => Err(ClientError::Admission(decode_rejected(&payload)?)),
+            opcode::THROTTLED => Err(ClientError::Throttled {
+                retry_after: decode_throttled(&payload)?,
+            }),
+            opcode::TICKETS_FULL => {
+                let (outstanding, limit) = decode_tickets_full(&payload)?;
+                Err(ClientError::TicketsFull { outstanding, limit })
+            }
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
+    /// Block until a submitted frame is ready. A ticket redeems once.
+    pub fn redeem(&mut self, ticket: NetTicket) -> Result<NetFrame, ClientError> {
+        let (op, payload) = self.round_trip(opcode::REDEEM, &encode_ticket(ticket.id))?;
+        self.frame_response(op, &payload)
+    }
+
+    /// Fetch the merged service report and per-shard heat metrics.
+    pub fn stats(&mut self) -> Result<NetStats, ClientError> {
+        let (op, payload) = self.round_trip(opcode::STATS, &[])?;
+        match op {
+            opcode::STATS_REPORT => Ok(decode_stats(&payload)?),
+            other => Err(self.unexpected(other, &payload)),
+        }
+    }
+
+    fn round_trip(&mut self, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
+        write_frame(&mut self.stream, op, payload)?;
+        Ok(read_frame(&mut self.stream, self.max_payload)?)
+    }
+
+    fn frame_response(&mut self, op: u8, payload: &[u8]) -> Result<NetFrame, ClientError> {
+        match op {
+            opcode::FRAME => Ok(decode_frame(payload)?),
+            opcode::FAILED => Err(ClientError::Render(FrameError::new(decode_message(
+                payload,
+            )?))),
+            opcode::THROTTLED => Err(ClientError::Throttled {
+                retry_after: decode_throttled(payload)?,
+            }),
+            opcode::REJECTED => Err(ClientError::Admission(decode_rejected(payload)?)),
+            other => Err(self.unexpected(other, payload)),
+        }
+    }
+
+    /// Interpret an out-of-protocol reply: `BAD_REQUEST` echoes the typed
+    /// error the server saw; anything else is a protocol violation.
+    fn unexpected(&self, op: u8, payload: &[u8]) -> ClientError {
+        if op == opcode::BAD_REQUEST {
+            match decode_message(payload) {
+                Ok(echo) => ClientError::Protocol(format!("server rejected request: {echo}")),
+                Err(err) => ClientError::Wire(err),
+            }
+        } else {
+            ClientError::Protocol(format!("unexpected response opcode {op:#04x}"))
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Shard heat over the wire: the `STATS` request's payload — the merged
+//! [`ServiceReport`] plus one [`ShardHeat`] per shard — and a client-side
+//! view with the imbalance arithmetic a rebalancer (or an operator reading
+//! a dashboard) starts from.
+
+use std::time::Duration;
+
+use mgpu_serve::{CacheSnapshot, ServiceReport, ShardHeat, WAIT_BUCKETS};
+
+use crate::wire::{Reader, WireError, Writer};
+
+/// What `STATS` returns: cluster-wide accounting plus per-shard heat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetStats {
+    /// All shards folded together (see [`ServiceReport::merged`]).
+    pub merged: ServiceReport,
+    /// Per-shard heat, indexed by shard.
+    pub shards: Vec<ShardHeat>,
+}
+
+impl NetStats {
+    /// The busiest shard by completed frames (`None` with zero shards —
+    /// never the case for a live server).
+    pub fn hottest(&self) -> Option<&ShardHeat> {
+        self.shards.iter().max_by_key(|h| h.frames_completed)
+    }
+
+    /// Max-over-mean completed frames across shards: 1.0 is a perfectly
+    /// even spread; large values say rendezvous routing is fighting a
+    /// skewed key distribution and a rebalancer would help.
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .shards
+            .iter()
+            .map(|h| h.frames_completed)
+            .max()
+            .unwrap_or(0);
+        let total: u64 = self.shards.iter().map(|h| h.frames_completed).sum();
+        if total == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.shards.len() as f64;
+        max as f64 / mean
+    }
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.merged)?;
+        writeln!(
+            f,
+            "{:>5} {:>7} {:>9} {:>9} {:>11} {:>11} {:>9}",
+            "shard", "queued", "frames", "frames/s", "cache", "plans", "p90 wait"
+        )?;
+        for h in &self.shards {
+            writeln!(
+                f,
+                "{:>5} {:>7} {:>9} {:>9.2} {:>6}/{:<4} {:>6}/{:<4} {:>7.2}ms",
+                h.shard,
+                h.queue_depth(),
+                h.frames_completed,
+                h.frames_per_sec,
+                h.frame_cache.entries,
+                h.frame_cache.capacity,
+                h.plan_cache.entries,
+                h.plan_cache.capacity,
+                h.queue_wait_p90.as_secs_f64() * 1e3,
+            )?;
+        }
+        write!(f, "imbalance (max/mean frames): {:.2}", self.imbalance())
+    }
+}
+
+fn put_cache(w: &mut Writer, snap: &CacheSnapshot) {
+    w.u64(snap.entries as u64);
+    w.u64(snap.capacity as u64);
+    w.u64(snap.hits);
+    w.u64(snap.misses);
+    w.u64(snap.evictions);
+}
+
+fn get_cache(r: &mut Reader) -> Result<CacheSnapshot, WireError> {
+    Ok(CacheSnapshot {
+        entries: r.u64()? as usize,
+        capacity: r.u64()? as usize,
+        hits: r.u64()?,
+        misses: r.u64()?,
+        evictions: r.u64()?,
+    })
+}
+
+fn put_duration(w: &mut Writer, d: Duration) {
+    w.u64(d.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+fn get_duration(r: &mut Reader) -> Result<Duration, WireError> {
+    Ok(Duration::from_nanos(r.u64()?))
+}
+
+fn put_report(w: &mut Writer, r: &ServiceReport) {
+    w.u64(r.frames_submitted);
+    w.u64(r.frames_completed);
+    w.u64(r.frames_rendered);
+    w.u64(r.frames_failed);
+    w.u64(r.cache_hits);
+    w.u64(r.admission_rejected);
+    w.u64(r.batches);
+    w.u64(r.batched_frames);
+    w.u64(r.jobs_popped);
+    w.u64(r.brick_stagings);
+    w.u64(r.brick_reuses);
+    put_cache(w, &r.plan_cache);
+    put_cache(w, &r.frame_cache);
+    put_duration(w, r.mean_queue_wait);
+    for bucket in r.queue_wait_hist {
+        w.u64(bucket);
+    }
+    put_duration(w, r.wall_elapsed);
+    put_duration(w, r.sim_frame_total);
+}
+
+fn get_report(r: &mut Reader) -> Result<ServiceReport, WireError> {
+    let frames_submitted = r.u64()?;
+    let frames_completed = r.u64()?;
+    let frames_rendered = r.u64()?;
+    let frames_failed = r.u64()?;
+    let cache_hits = r.u64()?;
+    let admission_rejected = r.u64()?;
+    let batches = r.u64()?;
+    let batched_frames = r.u64()?;
+    let jobs_popped = r.u64()?;
+    let brick_stagings = r.u64()?;
+    let brick_reuses = r.u64()?;
+    let plan_cache = get_cache(r)?;
+    let frame_cache = get_cache(r)?;
+    let mean_queue_wait = get_duration(r)?;
+    let mut queue_wait_hist = [0u64; WAIT_BUCKETS];
+    for bucket in &mut queue_wait_hist {
+        *bucket = r.u64()?;
+    }
+    let wall_elapsed = get_duration(r)?;
+    let sim_frame_total = get_duration(r)?;
+    Ok(ServiceReport {
+        frames_submitted,
+        frames_completed,
+        frames_rendered,
+        frames_failed,
+        cache_hits,
+        admission_rejected,
+        batches,
+        batched_frames,
+        jobs_popped,
+        brick_stagings,
+        brick_reuses,
+        plan_cache,
+        frame_cache,
+        mean_queue_wait,
+        queue_wait_hist,
+        wall_elapsed,
+        sim_frame_total,
+    })
+}
+
+fn put_heat(w: &mut Writer, h: &ShardHeat) {
+    w.u32(h.shard as u32);
+    for d in h.queue_depths {
+        w.u64(d as u64);
+    }
+    w.u64(h.frames_completed);
+    w.f64(h.frames_per_sec);
+    put_cache(w, &h.frame_cache);
+    put_cache(w, &h.plan_cache);
+    put_duration(w, h.mean_queue_wait);
+    put_duration(w, h.queue_wait_p90);
+}
+
+fn get_heat(r: &mut Reader) -> Result<ShardHeat, WireError> {
+    Ok(ShardHeat {
+        shard: r.u32()? as usize,
+        queue_depths: [r.u64()? as usize, r.u64()? as usize, r.u64()? as usize],
+        frames_completed: r.u64()?,
+        frames_per_sec: r.f64()?,
+        frame_cache: get_cache(r)?,
+        plan_cache: get_cache(r)?,
+        mean_queue_wait: get_duration(r)?,
+        queue_wait_p90: get_duration(r)?,
+    })
+}
+
+/// Encode a `STATS_REPORT` payload.
+pub fn encode_stats(stats: &NetStats) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_report(&mut w, &stats.merged);
+    w.u32(stats.shards.len() as u32);
+    for h in &stats.shards {
+        put_heat(&mut w, h);
+    }
+    w.into_bytes()
+}
+
+/// Decode a `STATS_REPORT` payload; consumes the whole payload.
+pub fn decode_stats(payload: &[u8]) -> Result<NetStats, WireError> {
+    let mut r = Reader::new(payload);
+    let merged = get_report(&mut r)?;
+    let n = r.count(1)?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(get_heat(&mut r)?);
+    }
+    r.finish()?;
+    Ok(NetStats { merged, shards })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_heat(shard: usize, frames: u64) -> ShardHeat {
+        ShardHeat {
+            shard,
+            queue_depths: [1, 2, 0],
+            frames_completed: frames,
+            frames_per_sec: frames as f64 * 1.5,
+            frame_cache: CacheSnapshot {
+                entries: 3,
+                capacity: 64,
+                hits: 5,
+                misses: 9,
+                evictions: 0,
+            },
+            plan_cache: CacheSnapshot {
+                entries: 1,
+                capacity: 8,
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+            },
+            mean_queue_wait: Duration::from_micros(840),
+            queue_wait_p90: Duration::from_millis(3),
+        }
+    }
+
+    fn sample_stats() -> NetStats {
+        let mut merged = ServiceReport::merged([]);
+        merged.frames_submitted = 24;
+        merged.frames_completed = 24;
+        merged.frames_rendered = 20;
+        merged.cache_hits = 4;
+        merged.jobs_popped = 20;
+        merged.queue_wait_hist[12] = 20;
+        merged.mean_queue_wait = Duration::from_micros(900);
+        merged.wall_elapsed = Duration::from_secs(2);
+        NetStats {
+            merged,
+            shards: vec![sample_heat(0, 18), sample_heat(1, 6)],
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_bit_exact() {
+        let stats = sample_stats();
+        let decoded = decode_stats(&encode_stats(&stats)).unwrap();
+        assert_eq!(decoded, stats);
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let bytes = encode_stats(&sample_stats());
+        for cut in 0..bytes.len() {
+            assert!(decode_stats(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn imbalance_and_hottest() {
+        let stats = sample_stats();
+        assert_eq!(stats.hottest().unwrap().shard, 0);
+        // max 18, mean 12 → 1.5
+        assert!((stats.imbalance() - 1.5).abs() < 1e-12);
+        let empty = NetStats {
+            merged: ServiceReport::merged([]),
+            shards: vec![],
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+        assert!(empty.hottest().is_none());
+        // The display table renders without panicking.
+        assert!(format!("{stats}").contains("imbalance"));
+    }
+}

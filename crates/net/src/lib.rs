@@ -1,0 +1,52 @@
+//! # mgpu-net — the render service on the wire
+//!
+//! Everything below `mgpu-serve` assumes the caller shares an address
+//! space with the service. This crate removes that assumption — the
+//! cross-*process* sharding rung of the ROADMAP, after the cross-batch and
+//! cross-shard rungs of the previous PRs, and the shape of the distributed
+//! GPU render frameworks the paper's cluster implies (Hassan et al.,
+//! arXiv:1205.0282): render nodes behind a network front-end.
+//!
+//! ```text
+//! RenderClient ──TCP──► RenderServer ──► per-session TokenBucket
+//!   render/submit/redeem/stats              │ (before admission)
+//!                                           ▼
+//!                                    ShardedService (N shards)
+//!                                           │ rendezvous by BatchKey
+//!                                           ▼
+//!                             queue → workers → plan/frame caches
+//! ```
+//!
+//! * **Wire format** — [`wire`]: versioned, length-prefixed frames over
+//!   `std::net` TCP; hand-rolled little-endian encoding (no external
+//!   dependencies); every decode failure is a typed [`WireError`], never a
+//!   panic. Floats travel by bit pattern, so a frame fetched through the
+//!   socket is **bit-identical** to a direct `mgpu_volren::render` call —
+//!   the service's determinism guarantee survives the network hop.
+//! * **Server** — [`server`]: a [`RenderServer`] owning a
+//!   [`mgpu_serve::ShardedService`]; thread-per-connection, strict
+//!   request/response, poisoned connections contained per session.
+//! * **Client** — [`client`]: blocking [`RenderClient::render`] mirroring
+//!   `submit`, fire-and-forget [`RenderClient::submit`] mirroring
+//!   `try_submit` with [`NetTicket`] redemption, and typed errors that
+//!   round-trip [`mgpu_serve::AdmissionError`] / [`mgpu_serve::FrameError`]
+//!   across the socket.
+//! * **Rate limiting** — [`ratelimit`]: a per-session token bucket at the
+//!   server door, ahead of admission control; throttled requests carry an
+//!   exact retry-after.
+//! * **Heat** — [`heat`]: the `STATS` request returns the merged
+//!   [`mgpu_serve::ServiceReport`] plus per-shard
+//!   [`mgpu_serve::ShardHeat`] (queue depth, frames/sec, cache occupancy)
+//!   — the observability a shard rebalancer builds on.
+
+pub mod client;
+pub mod heat;
+pub mod ratelimit;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientError, NetTicket, RenderClient};
+pub use heat::NetStats;
+pub use ratelimit::{RateLimitConfig, TokenBucket};
+pub use server::{RenderServer, ServerConfig};
+pub use wire::{NetFrame, NetSceneRequest, TransferSpec, VolumeSpec, WireError};

@@ -1,0 +1,445 @@
+//! The network front-end: a [`RenderServer`] owning a [`ShardedService`],
+//! serving the wire protocol over plain `std::net` TCP.
+//!
+//! One thread accepts connections; each connection gets its own handler
+//! thread, its own rate-limit bucket (a session *is* a connection) and its
+//! own ticket table, and speaks strict request/response — so a slow or
+//! hostile client can only ever hurt itself. Requests flow:
+//!
+//! ```text
+//! read_frame ──► rate limiter ──► admission control ──► ShardedService
+//!    │ framing error                │ THROTTLED           │ REJECTED
+//!    ▼                              ▼                     ▼
+//!  BAD_REQUEST + close            reply, keep conn      reply, keep conn
+//! ```
+//!
+//! Fault containment mirrors the in-process service: a client that sends
+//! garbage gets a typed [`WireError`] echoed in a `BAD_REQUEST` frame and
+//! its connection closed; a client that vanishes mid-request is reaped on
+//! the next read or write. Other connections never notice either.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mgpu_serve::{FrameTicket, SceneRequest, ServiceConfig, ServiceReport, ShardedService};
+
+use crate::heat::{encode_stats, NetStats};
+use crate::ratelimit::{RateLimitConfig, TokenBucket};
+use crate::wire::{
+    self, decode_ping, decode_request, decode_ticket, encode_frame, encode_message, encode_pong,
+    encode_rejected, encode_throttled, encode_ticket, opcode, write_frame, WireError,
+    DEFAULT_MAX_PAYLOAD, HEADER_BYTES,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Shards of the backing [`ShardedService`] (≥ 1; each shard runs
+    /// `service.workers` worker threads).
+    pub shards: usize,
+    /// Per-shard service configuration.
+    pub service: ServiceConfig,
+    /// Per-session (= per-connection) rate limiting at the server door;
+    /// `None` disables throttling.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Upper bound on one *request* frame's payload. Response frames are as
+    /// large as the requested image; clients reading bigger responses raise
+    /// their own bound with [`crate::RenderClient::set_max_payload`].
+    pub max_payload: u64,
+    /// Outstanding (submitted, un-redeemed) tickets one session may hold.
+    /// Each parked ticket eventually holds a rendered frame, so this bounds
+    /// per-connection server memory; submits past the bound get a typed
+    /// `TICKETS_FULL` reply until the client redeems.
+    pub max_tickets_per_session: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            shards: 2,
+            service: ServiceConfig::default(),
+            rate_limit: None,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            max_tickets_per_session: 64,
+        }
+    }
+}
+
+struct Shared {
+    sharded: ShardedService,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+}
+
+/// The TCP render server. Dropping it (or calling
+/// [`RenderServer::shutdown`]) stops accepting, drains every connection
+/// handler, then shuts the backing service down — every frame admitted
+/// before shutdown still renders.
+pub struct RenderServer {
+    addr: SocketAddr,
+    shared: Option<Arc<Shared>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RenderServer {
+    /// Bind an ephemeral loopback port (tests, benches, examples). See
+    /// [`RenderServer::bind`] to choose the address.
+    pub fn start(config: ServerConfig) -> std::io::Result<RenderServer> {
+        RenderServer::bind("127.0.0.1:0", config)
+    }
+
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<RenderServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept so the loop can observe the shutdown flag.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            sharded: ShardedService::start(config.shards, config.service.clone()),
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mgpu-net-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept thread")
+        };
+        Ok(RenderServer {
+            addr,
+            shared: Some(shared),
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-side stats without a socket round-trip (the `STATS` request
+    /// returns exactly this).
+    pub fn stats(&self) -> NetStats {
+        let shared = self.shared.as_ref().expect("server is running");
+        net_stats(&shared.sharded)
+    }
+
+    fn stop_accepting(&mut self) {
+        if let Some(shared) = &self.shared {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // A handler blocked on a ticket of a *paused* service would
+            // never resolve and the joins below would deadlock: resume so
+            // already-admitted work drains (shutdown always drains — same
+            // contract as the in-process service).
+            shared.sharded.resume();
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stop accepting, drain the connection handlers, shut the render
+    /// service down and return its final merged report.
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.stop_accepting();
+        let shared = self.shared.take().expect("shutdown runs once");
+        let shared =
+            Arc::into_inner(shared).expect("connection handlers joined before service shutdown");
+        shared.sharded.shutdown()
+    }
+}
+
+impl Drop for RenderServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        // Dropping `shared` drops the ShardedService, whose own Drop joins
+        // the render workers.
+    }
+}
+
+/// One coherent stats snapshot (heat and merged report derive from the
+/// same per-shard reports, so shard counters sum to the merged counters
+/// even under live traffic).
+fn net_stats(sharded: &ShardedService) -> NetStats {
+    let (shards, merged) = sharded.heat_and_merged();
+    NetStats { merged, shards }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Reap finished connections as we go: keeping every JoinHandle
+        // until shutdown would pin each dead handler's thread resources
+        // for the server's whole lifetime.
+        handlers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("mgpu-net-conn".into())
+                    .spawn(move || handle_connection(&shared, stream))
+                    .expect("spawn connection handler");
+                handlers.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// `read_exact` that keeps servicing read timeouts until the shutdown flag
+/// flips — the connection handler's only blocking point, so a 50 ms read
+/// timeout bounds shutdown latency without tearing frames apart.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &Shared,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(WireError::ConnectionClosed);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(WireError::ConnectionClosed),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> Result<(u8, Vec<u8>), WireError> {
+    let mut header = [0u8; HEADER_BYTES];
+    read_exact_interruptible(stream, &mut header, shared)?;
+    let (op, len) = wire::parse_header(&header, shared.config.max_payload)?;
+    let mut payload = vec![0u8; len];
+    read_exact_interruptible(stream, &mut payload, shared)?;
+    Ok((op, payload))
+}
+
+/// Per-connection session state: the rate-limit bucket and outstanding
+/// tickets from fire-and-forget submits.
+struct Session {
+    bucket: Option<TokenBucket>,
+    tickets: HashMap<u64, FrameTicket>,
+    next_ticket: u64,
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut session = Session {
+        bucket: shared
+            .config
+            .rate_limit
+            .map(|cfg| TokenBucket::new(cfg, Instant::now())),
+        tickets: HashMap::new(),
+        next_ticket: 1,
+    };
+    loop {
+        match read_frame_interruptible(&mut stream, shared) {
+            Ok((op, payload)) => {
+                match handle_request(shared, &mut stream, &mut session, op, &payload) {
+                    Ok(true) => {}
+                    // Reply failed or the request demanded a close.
+                    Ok(false) | Err(_) => break,
+                }
+            }
+            // Peer gone (cleanly or mid-frame): nothing to answer.
+            Err(WireError::ConnectionClosed) | Err(WireError::Io(_)) => break,
+            // Framing is poisoned (bad magic/version, oversized length):
+            // echo the typed error, then abandon the stream — resyncing an
+            // unframed byte stream is guesswork.
+            Err(err) => {
+                let _ = write_frame(
+                    &mut stream,
+                    opcode::BAD_REQUEST,
+                    &encode_message(&err.to_string()),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Serve one request. `Ok(true)` keeps the connection, `Ok(false)` ends it
+/// (unknown opcode), `Err` means the reply itself could not be written.
+fn handle_request(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut Session,
+    op: u8,
+    payload: &[u8],
+) -> Result<bool, WireError> {
+    match op {
+        opcode::PING => match decode_ping(payload) {
+            Ok(token) => {
+                let shards = shared.sharded.shard_count() as u32;
+                write_frame(stream, opcode::PONG, &encode_pong(token, shards))?;
+                Ok(true)
+            }
+            Err(err) => bad_request(stream, &err),
+        },
+        opcode::RENDER => {
+            let ticket = match admit(shared, stream, session, payload, Submit::Blocking)? {
+                Admitted::Ticket(ticket) => ticket,
+                Admitted::Answered(keep) => return Ok(keep),
+            };
+            reply_with_frame(stream, ticket)?;
+            Ok(true)
+        }
+        opcode::SUBMIT => {
+            // Bound the ticket table BEFORE admitting: every parked ticket
+            // eventually holds a rendered frame, so an un-redeeming client
+            // must not grow server memory without limit. The reply is
+            // typed (like THROTTLED/REJECTED): redeem, then retry.
+            if session.tickets.len() >= shared.config.max_tickets_per_session {
+                write_frame(
+                    stream,
+                    opcode::TICKETS_FULL,
+                    &wire::encode_tickets_full(
+                        session.tickets.len() as u64,
+                        shared.config.max_tickets_per_session as u64,
+                    ),
+                )?;
+                return Ok(true);
+            }
+            let ticket = match admit(shared, stream, session, payload, Submit::Try)? {
+                Admitted::Ticket(ticket) => ticket,
+                Admitted::Answered(keep) => return Ok(keep),
+            };
+            let id = session.next_ticket;
+            session.next_ticket += 1;
+            session.tickets.insert(id, ticket);
+            write_frame(stream, opcode::SUBMITTED, &encode_ticket(id))?;
+            Ok(true)
+        }
+        opcode::REDEEM => match decode_ticket(payload) {
+            Ok(id) => match session.tickets.remove(&id) {
+                Some(ticket) => {
+                    reply_with_frame(stream, ticket)?;
+                    Ok(true)
+                }
+                None => {
+                    let err = WireError::Malformed(format!("unknown ticket {id}"));
+                    bad_request(stream, &err)
+                }
+            },
+            Err(err) => bad_request(stream, &err),
+        },
+        opcode::STATS => {
+            let stats = net_stats(&shared.sharded);
+            write_frame(stream, opcode::STATS_REPORT, &encode_stats(&stats))?;
+            Ok(true)
+        }
+        other => {
+            let _ = bad_request(stream, &WireError::UnknownOpcode(other));
+            Ok(false)
+        }
+    }
+}
+
+enum Admitted {
+    /// The request cleared the rate limiter and admission control.
+    Ticket(FrameTicket),
+    /// Already answered (throttled / rejected / malformed); the payload
+    /// says whether to keep the connection.
+    Answered(bool),
+}
+
+/// Which in-process submit the request mirrors: `RENDER` blocks at the
+/// admission bound like [`ShardedService::submit`], `SUBMIT` sheds with a
+/// `REJECTED` reply like `try_submit`.
+enum Submit {
+    Blocking,
+    Try,
+}
+
+/// The server door: decode, rate-limit, then hand to the sharded service.
+/// `RENDER` and `SUBMIT` both pass through here, so the rate limiter sits
+/// before admission control for both submit flavours.
+fn admit(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut Session,
+    payload: &[u8],
+    mode: Submit,
+) -> Result<Admitted, WireError> {
+    let request = match decode_request(payload) {
+        Ok(request) => request,
+        Err(err) => return bad_request(stream, &err).map(Admitted::Answered),
+    };
+    // Validate fully BEFORE spending a rate-limit token: a malformed
+    // request never renders, so it must not burn the session's budget —
+    // whether it fails at decode or at semantic validation.
+    let (spec, volume, scene, config, priority) = match request.to_parts() {
+        Ok(parts) => parts,
+        Err(err) => return bad_request(stream, &err).map(Admitted::Answered),
+    };
+    if let Some(bucket) = &mut session.bucket {
+        if let Err(retry_after) = bucket.try_take() {
+            write_frame(stream, opcode::THROTTLED, &encode_throttled(retry_after))?;
+            return Ok(Admitted::Answered(true));
+        }
+    }
+    let scene_request = SceneRequest {
+        spec,
+        volume,
+        scene,
+        config,
+        priority,
+    };
+    match mode {
+        Submit::Blocking => Ok(Admitted::Ticket(shared.sharded.submit(scene_request))),
+        Submit::Try => match shared.sharded.try_submit(scene_request) {
+            Ok(ticket) => Ok(Admitted::Ticket(ticket)),
+            Err(admission) => {
+                write_frame(stream, opcode::REJECTED, &encode_rejected(&admission))?;
+                Ok(Admitted::Answered(true))
+            }
+        },
+    }
+}
+
+/// Redeem a ticket into a `FRAME` or `FAILED` reply.
+fn reply_with_frame(stream: &mut TcpStream, ticket: FrameTicket) -> Result<(), WireError> {
+    match ticket.wait_result() {
+        Ok(frame) => {
+            let sim_nanos = frame.report.runtime().nanos();
+            let payload = encode_frame(&frame.image, frame.from_cache, sim_nanos);
+            write_frame(stream, opcode::FRAME, &payload)
+        }
+        Err(err) => write_frame(stream, opcode::FAILED, &encode_message(err.message())),
+    }
+}
+
+/// Echo a payload-level error; the connection survives (`Ok(true)`).
+fn bad_request(stream: &mut TcpStream, err: &WireError) -> Result<bool, WireError> {
+    write_frame(
+        stream,
+        opcode::BAD_REQUEST,
+        &encode_message(&err.to_string()),
+    )?;
+    Ok(true)
+}

@@ -1,0 +1,181 @@
+//! Properties of the wire layer and the rate limiter:
+//!
+//! * decoding NEVER panics — arbitrary bytes, corrupted headers and every
+//!   truncation of a valid frame produce typed [`WireError`]s;
+//! * valid requests survive an encode→corrupt-free→decode round trip;
+//! * the per-session token bucket is fair: one session draining its bucket
+//!   at an arbitrary schedule never affects another session's tokens, and
+//!   admissions never exceed burst + rate × elapsed.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use mgpu_net::heat::decode_stats;
+use mgpu_net::ratelimit::{RateLimitConfig, TokenBucket};
+use mgpu_net::wire::{
+    decode_frame, decode_request, encode_request, parse_header, NetSceneRequest, WireError,
+    HEADER_BYTES,
+};
+use mgpu_serve::Priority;
+use mgpu_voldata::Dataset;
+use mgpu_volren::{RenderConfig, TransferFunction};
+
+fn arbitrary_request(
+    dataset_idx: usize,
+    gpus: u32,
+    azimuth: f32,
+    image: u32,
+    priority_bit: u32,
+) -> NetSceneRequest {
+    let dataset = Dataset::ALL[dataset_idx % Dataset::ALL.len()];
+    let mut req = NetSceneRequest::orbit_dataset(
+        dataset,
+        8,
+        gpus.max(1),
+        azimuth,
+        15.0,
+        &TransferFunction::for_dataset(dataset.name()),
+    )
+    .with_config(RenderConfig::test_size(image.max(1)));
+    req.priority = match priority_bit % 3 {
+        0 => Priority::Batch,
+        1 => Priority::Normal,
+        _ => Priority::Interactive,
+    };
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytes fed to the request decoder: typed error or a valid
+    /// request, never a panic — and whatever decodes must re-encode to the
+    /// exact same bytes (the format is canonical).
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        if let Ok(request) = decode_request(&bytes) {
+            prop_assert_eq!(encode_request(&request), bytes);
+        }
+        // Frame and stats decoders share the never-panic property.
+        let _ = decode_frame(&bytes);
+        let _ = decode_stats(&bytes);
+    }
+
+    /// Every prefix and every single-byte corruption of a valid encoding
+    /// yields a typed error or decodes to *some* request — never a panic,
+    /// never trailing garbage silently accepted.
+    #[test]
+    fn corrupted_requests_fail_cleanly(
+        dataset_idx in 0usize..3,
+        gpus in 1u32..5,
+        azimuth in 0f32..360.0,
+        image in 1u32..64,
+        priority_bit in 0u32..3,
+        cut_at in 0f64..1.0,
+        flip_at in 0f64..1.0,
+        flip_mask in 1u8..=255,
+    ) {
+        let req = arbitrary_request(dataset_idx, gpus, azimuth, image, priority_bit);
+        let bytes = encode_request(&req);
+        let decoded = decode_request(&bytes);
+        prop_assert_eq!(decoded.as_ref(), Ok(&req));
+
+        // Truncation at an arbitrary point is always a typed error.
+        let cut = (cut_at * bytes.len() as f64) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode_request(&bytes[..cut]).is_err());
+        }
+
+        // A bit flip either still decodes (it hit a value byte) or fails
+        // cleanly (it hit a tag/length byte) — it never panics.
+        let mut flipped = bytes.clone();
+        let at = ((flip_at * flipped.len() as f64) as usize).min(flipped.len() - 1);
+        flipped[at] ^= flip_mask;
+        let _ = decode_request(&flipped);
+    }
+
+    /// Corrupted frame headers parse to typed errors, never panic, and a
+    /// valid header round-trips.
+    #[test]
+    fn corrupted_headers_fail_cleanly(header in prop::collection::vec(0u8..=255, HEADER_BYTES)) {
+        let header: [u8; HEADER_BYTES] = header.try_into().unwrap();
+        match parse_header(&header, 1 << 20) {
+            Ok((_, len)) => prop_assert!(len <= 1 << 20),
+            Err(
+                WireError::BadMagic(_)
+                | WireError::UnsupportedVersion { .. }
+                | WireError::TooLarge { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected header error {other:?}"),
+        }
+    }
+
+    /// Rate-limit fairness: session B's admissions are byte-for-byte the
+    /// same whether or not session A hammers its own bucket in between —
+    /// buckets are fully isolated per session.
+    #[test]
+    fn rate_limit_is_fair_across_sessions(
+        rate in 1.0f64..100.0,
+        burst in 1u32..8,
+        a_schedule in prop::collection::vec(0u64..2_000, 1..64),
+        b_schedule in prop::collection::vec(0u64..2_000, 1..32),
+    ) {
+        let config = RateLimitConfig::new(rate, burst);
+        let t0 = Instant::now();
+        // B alone.
+        let mut b_alone = TokenBucket::new(config, t0);
+        let mut b_times: Vec<u64> = b_schedule.clone();
+        b_times.sort_unstable();
+        let alone: Vec<bool> = b_times
+            .iter()
+            .map(|ms| b_alone.try_take_at(t0 + Duration::from_millis(*ms)).is_ok())
+            .collect();
+
+        // B next to a hammering A (separate buckets, interleaved calls).
+        let mut a = TokenBucket::new(config, t0);
+        let mut b = TokenBucket::new(config, t0);
+        let mut a_times: Vec<u64> = a_schedule.clone();
+        a_times.sort_unstable();
+        let mut a_iter = a_times.iter().peekable();
+        let contended: Vec<bool> = b_times
+            .iter()
+            .map(|ms| {
+                while let Some(at) = a_iter.peek() {
+                    if **at <= *ms {
+                        let _ = a.try_take_at(t0 + Duration::from_millis(**at));
+                        a_iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                b.try_take_at(t0 + Duration::from_millis(*ms)).is_ok()
+            })
+            .collect();
+        prop_assert_eq!(alone, contended, "a noisy neighbour changed session B's admissions");
+    }
+
+    /// Admission count is bounded by burst + rate·elapsed (+1 for boundary
+    /// rounding): the limiter actually limits.
+    #[test]
+    fn rate_limit_bounds_throughput(
+        rate in 1.0f64..50.0,
+        burst in 1u32..6,
+        attempts in prop::collection::vec(0u64..5_000, 1..128),
+    ) {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(RateLimitConfig::new(rate, burst), t0);
+        let mut times = attempts.clone();
+        times.sort_unstable();
+        let horizon_ms = *times.last().unwrap();
+        let admitted = times
+            .iter()
+            .filter(|ms| bucket.try_take_at(t0 + Duration::from_millis(**ms)).is_ok())
+            .count() as f64;
+        let bound = burst as f64 + rate * (horizon_ms as f64 / 1_000.0) + 1.0;
+        prop_assert!(
+            admitted <= bound,
+            "admitted {admitted} > bound {bound} (rate {rate}, burst {burst})"
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! Batch compatibility: which queued frames can share one [`FramePlan`].
+//! Batch compatibility: which queued frames can share one
+//! [`mgpu_volren::FramePlan`].
 //!
 //! Bricking, the staging decision and the brick store depend on the cluster
 //! spec, the volume and the scene-independent parts of the render config —

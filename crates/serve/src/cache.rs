@@ -60,13 +60,37 @@ struct CacheInner<K, V> {
     evictions: u64,
 }
 
-/// Point-in-time cache counters.
+/// Point-in-time cache counters. `entries`/`capacity` give the occupancy
+/// the shard heat metrics report; the counters are monotonic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheSnapshot {
     pub entries: usize,
+    /// Configured bound in entries (0 = cache disabled).
+    pub capacity: usize,
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+}
+
+impl CacheSnapshot {
+    /// Occupied fraction of the configured capacity (0.0 when disabled).
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.capacity as f64
+        }
+    }
+
+    /// Fraction of counted lookups that hit (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Frame-cache counters (alias kept from the original frame-only cache).
@@ -100,6 +124,21 @@ impl<K: Eq + Hash + Ord + Clone, V: Clone> LruCache<K, V> {
 
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Entries currently cached. Cheap (one lock, no scan): the heat
+    /// metrics poll this per shard on every stats request.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Monotonic hit counter (lookups answered from the cache).
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().hits
     }
 
     /// Look up an entry, refreshing its recency on hit.
@@ -169,6 +208,7 @@ impl<K: Eq + Hash + Ord + Clone, V: Clone> LruCache<K, V> {
         let inner = self.inner.lock();
         CacheSnapshot {
             entries: inner.entries.len(),
+            capacity: self.capacity,
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
@@ -288,6 +328,35 @@ mod tests {
         for i in 0..1_968 {
             assert!(!c.contains(&i), "stale key {i} must have been evicted");
         }
+    }
+
+    /// The cheap accessors the heat metrics poll: `len`, `capacity` and the
+    /// hit counter must track the cache without needing a full snapshot.
+    #[test]
+    fn occupancy_accessors_track_the_cache() {
+        let c: FrameCache<u32> = FrameCache::new(2);
+        assert_eq!((c.len(), c.capacity(), c.hits()), (0, 2, 0));
+        assert!(c.is_empty());
+        c.insert(key(1), 1);
+        c.insert(key(2), 2);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        c.insert(key(3), 3); // evicts: len stays at capacity
+        assert_eq!(c.len(), 2);
+        c.get(&key(3)).unwrap();
+        c.recheck(&key(3)).unwrap();
+        assert_eq!(c.hits(), 2, "get and recheck both count hits");
+        let snap = c.snapshot();
+        assert_eq!((snap.entries, snap.capacity), (2, 2));
+        assert_eq!(snap.occupancy(), 1.0);
+        assert_eq!(snap.hit_rate(), 1.0, "recheck misses are not counted");
+    }
+
+    #[test]
+    fn snapshot_rates_have_no_nans() {
+        let empty = CacheSnapshot::default();
+        assert_eq!(empty.occupancy(), 0.0);
+        assert_eq!(empty.hit_rate(), 0.0);
     }
 
     #[test]

@@ -72,12 +72,12 @@ pub mod shard;
 mod worker;
 
 pub use batch::BatchKey;
-pub use cache::{FrameCache, FrameCacheSnapshot, FrameKey};
+pub use cache::{CacheSnapshot, FrameCache, FrameCacheSnapshot, FrameKey};
 pub use plancache::{PlanCache, PlanCacheSnapshot};
 pub use queue::{AdmissionError, Priority, QueueBounds};
-pub use report::ServiceReport;
+pub use report::{ServiceReport, WAIT_BUCKETS};
 pub use session::SceneSession;
-pub use shard::ShardedService;
+pub use shard::{ShardHeat, ShardedService};
 
 use report::ServiceStats;
 
@@ -111,6 +111,15 @@ pub struct FrameError {
 }
 
 impl FrameError {
+    /// Build a frame error from its message — the form a network front-end
+    /// uses to reconstruct a failure that crossed the wire (the message is
+    /// the whole state, so round-tripping preserves equality).
+    pub fn new(message: impl Into<String>) -> FrameError {
+        FrameError {
+            message: message.into(),
+        }
+    }
+
     pub(crate) fn from_panic(payload: &(dyn std::any::Any + Send)) -> FrameError {
         let message = if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
@@ -295,7 +304,12 @@ impl ServiceInner {
     }
 
     pub(crate) fn report(&self) -> ServiceReport {
-        ServiceReport::from_stats(&self.stats, self.plans.snapshot(), self.started.elapsed())
+        ServiceReport::from_stats(
+            &self.stats,
+            self.plans.snapshot(),
+            self.cache.snapshot(),
+            self.started.elapsed(),
+        )
     }
 }
 

@@ -10,7 +10,62 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::cache::CacheSnapshot;
 use crate::plancache::PlanCacheSnapshot;
+
+/// Number of log₂ buckets in the queue-wait histogram: bucket `i` counts
+/// waits in `[2^i, 2^(i+1))` nanoseconds. 64 buckets span the whole `u64`
+/// nanosecond range, so even pathological multi-minute overload waits land
+/// in a bucket whose edge reflects them instead of saturating early.
+pub const WAIT_BUCKETS: usize = 64;
+
+/// A lock-free log₂ histogram of queue-wait times. The mean hides overload
+/// tails; percentiles (p50/p90 per shard) are what the heat metrics and the
+/// bench-trend JSON need, and summing buckets merges exactly across shards.
+#[derive(Debug)]
+pub(crate) struct WaitHistogram {
+    buckets: [AtomicU64; WAIT_BUCKETS],
+}
+
+impl Default for WaitHistogram {
+    fn default() -> WaitHistogram {
+        WaitHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl WaitHistogram {
+    fn bucket_of(nanos: u64) -> usize {
+        (nanos.max(1).ilog2() as usize).min(WAIT_BUCKETS - 1)
+    }
+
+    pub fn record(&self, nanos: u64) {
+        self.buckets[WaitHistogram::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn load(&self) -> [u64; WAIT_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Quantile over a loaded histogram: the inclusive upper edge of the bucket
+/// holding the q-th sample (conservative: never under-reports a wait).
+pub(crate) fn histogram_quantile(buckets: &[u64; WAIT_BUCKETS], q: f64) -> Duration {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+    let mut seen = 0;
+    for (i, count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return Duration::from_nanos(1u64 << (i + 1).min(63));
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
 
 /// Monotonic service counters (all relaxed: they are statistics, not
 /// synchronization).
@@ -36,6 +91,8 @@ pub(crate) struct ServiceStats {
     pub jobs_popped: AtomicU64,
     /// Total time jobs spent queued before a worker picked them up.
     pub queue_wait_nanos: AtomicU64,
+    /// Per-job queue-wait distribution (log₂ buckets, see [`WaitHistogram`]).
+    pub wait_hist: WaitHistogram,
     /// Bricks materialized by the shared stores (staging work actually paid).
     pub brick_stagings: AtomicU64,
     /// Brick fetches answered by a warm shared store (staging work avoided).
@@ -51,6 +108,13 @@ impl ServiceStats {
 
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one job's queue wait: the running total (for the mean) and the
+    /// histogram bucket (for the percentiles) stay in lockstep.
+    pub fn record_wait(&self, nanos: u64) {
+        ServiceStats::add(&self.queue_wait_nanos, nanos);
+        self.wait_hist.record(nanos);
     }
 }
 
@@ -76,9 +140,15 @@ pub struct ServiceReport {
     /// Cross-batch plan cache counters (hits = batches that skipped
     /// re-bricking and reused a warm store).
     pub plan_cache: PlanCacheSnapshot,
+    /// Frame-cache occupancy and counters (per shard before merging;
+    /// merged reports sum entries and capacities across shards).
+    pub frame_cache: CacheSnapshot,
     /// Mean time a job waited in the queue before a worker picked it up —
     /// averaged over every popped job, coalesced cache hits included.
     pub mean_queue_wait: Duration,
+    /// Queue-wait distribution (log₂-bucket counts); see
+    /// [`ServiceReport::queue_wait_quantile`].
+    pub queue_wait_hist: [u64; WAIT_BUCKETS],
     /// Real elapsed time since the service started.
     pub wall_elapsed: Duration,
     /// Sum of simulated per-frame runtimes.
@@ -89,6 +159,7 @@ impl ServiceReport {
     pub(crate) fn from_stats(
         stats: &ServiceStats,
         plan_cache: PlanCacheSnapshot,
+        frame_cache: CacheSnapshot,
         wall_elapsed: Duration,
     ) -> ServiceReport {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -109,7 +180,9 @@ impl ServiceReport {
             brick_stagings: ld(&stats.brick_stagings),
             brick_reuses: ld(&stats.brick_reuses),
             plan_cache,
-            mean_queue_wait: Duration::from_nanos(if popped > 0 { waited / popped } else { 0 }),
+            frame_cache,
+            mean_queue_wait: Duration::from_nanos(waited.checked_div(popped).unwrap_or(0)),
+            queue_wait_hist: stats.wait_hist.load(),
             wall_elapsed,
             sim_frame_total: Duration::from_nanos(ld(&stats.sim_frame_nanos)),
         }
@@ -133,7 +206,9 @@ impl ServiceReport {
             brick_stagings: 0,
             brick_reuses: 0,
             plan_cache: PlanCacheSnapshot::default(),
+            frame_cache: CacheSnapshot::default(),
             mean_queue_wait: Duration::ZERO,
+            queue_wait_hist: [0; WAIT_BUCKETS],
             wall_elapsed: Duration::ZERO,
             sim_frame_total: Duration::ZERO,
         };
@@ -151,9 +226,18 @@ impl ServiceReport {
             out.brick_stagings += r.brick_stagings;
             out.brick_reuses += r.brick_reuses;
             out.plan_cache.entries += r.plan_cache.entries;
+            out.plan_cache.capacity += r.plan_cache.capacity;
             out.plan_cache.hits += r.plan_cache.hits;
             out.plan_cache.misses += r.plan_cache.misses;
             out.plan_cache.evictions += r.plan_cache.evictions;
+            out.frame_cache.entries += r.frame_cache.entries;
+            out.frame_cache.capacity += r.frame_cache.capacity;
+            out.frame_cache.hits += r.frame_cache.hits;
+            out.frame_cache.misses += r.frame_cache.misses;
+            out.frame_cache.evictions += r.frame_cache.evictions;
+            for (sum, bucket) in out.queue_wait_hist.iter_mut().zip(r.queue_wait_hist) {
+                *sum += bucket;
+            }
             waited_nanos += r.mean_queue_wait.as_nanos() * r.jobs_popped as u128;
             out.wall_elapsed = out.wall_elapsed.max(r.wall_elapsed);
             out.sim_frame_total += r.sim_frame_total;
@@ -203,6 +287,24 @@ impl ServiceReport {
         }
     }
 
+    /// Queue-wait quantile from the log₂ histogram: the upper edge of the
+    /// bucket holding the q-th popped job, so it never under-reports. Zero
+    /// while nothing has been popped.
+    pub fn queue_wait_quantile(&self, q: f64) -> Duration {
+        histogram_quantile(&self.queue_wait_hist, q)
+    }
+
+    /// Median queue wait (see [`ServiceReport::queue_wait_quantile`]).
+    pub fn queue_wait_p50(&self) -> Duration {
+        self.queue_wait_quantile(0.5)
+    }
+
+    /// 90th-percentile queue wait — the overload-tail number the heat
+    /// metrics watch per shard.
+    pub fn queue_wait_p90(&self) -> Duration {
+        self.queue_wait_quantile(0.9)
+    }
+
     /// Mean simulated frame time across rendered frames.
     pub fn mean_sim_frame(&self) -> Duration {
         if self.frames_rendered == 0 {
@@ -250,13 +352,24 @@ impl std::fmt::Display for ServiceReport {
             "bricks: {} staged, {} reused from shared stores",
             self.brick_stagings, self.brick_reuses
         )?;
+        writeln!(
+            f,
+            "frame cache: {}/{} entries, {} hits, {} misses, {} evictions",
+            self.frame_cache.entries,
+            self.frame_cache.capacity,
+            self.frame_cache.hits,
+            self.frame_cache.misses,
+            self.frame_cache.evictions
+        )?;
         write!(
             f,
-            "throughput: {:.1} frames/s wall ({:.3} s elapsed), mean queue wait {:.2} ms, \
-             mean sim frame {:.2} ms",
+            "throughput: {:.1} frames/s wall ({:.3} s elapsed), queue wait mean {:.2} ms \
+             / p50 {:.2} ms / p90 {:.2} ms, mean sim frame {:.2} ms",
             self.frames_per_sec(),
             self.wall_elapsed.as_secs_f64(),
             self.mean_queue_wait.as_secs_f64() * 1e3,
+            self.queue_wait_p50().as_secs_f64() * 1e3,
+            self.queue_wait_p90().as_secs_f64() * 1e3,
             self.mean_sim_frame().as_secs_f64() * 1e3
         )
     }
@@ -281,27 +394,42 @@ mod tests {
         ServiceStats::add(&stats.queue_wait_nanos, 10_000_000);
         let plan = PlanCacheSnapshot {
             entries: 1,
+            capacity: 8,
             hits: 1,
             misses: 1,
             evictions: 0,
         };
-        let r = ServiceReport::from_stats(&stats, plan, Duration::from_secs(2));
+        let frames = CacheSnapshot {
+            entries: 2,
+            capacity: 4,
+            hits: 2,
+            misses: 8,
+            evictions: 0,
+        };
+        let r = ServiceReport::from_stats(&stats, plan, frames, Duration::from_secs(2));
         assert_eq!(r.cache_hit_rate(), 0.2);
         assert_eq!(r.batch_occupancy(), 4.0);
         assert_eq!(r.frames_per_sec(), 5.0);
         assert_eq!(r.mean_queue_wait, Duration::from_nanos(1_000_000));
         assert_eq!(r.plan_cache_hit_rate(), 0.5);
+        assert_eq!(r.frame_cache.occupancy(), 0.5);
     }
 
     #[test]
     fn empty_report_has_no_nans() {
         let stats = ServiceStats::default();
-        let r = ServiceReport::from_stats(&stats, PlanCacheSnapshot::default(), Duration::ZERO);
+        let r = ServiceReport::from_stats(
+            &stats,
+            PlanCacheSnapshot::default(),
+            CacheSnapshot::default(),
+            Duration::ZERO,
+        );
         assert_eq!(r.cache_hit_rate(), 0.0);
         assert_eq!(r.batch_occupancy(), 0.0);
         assert_eq!(r.frames_per_sec(), 0.0);
         assert_eq!(r.plan_cache_hit_rate(), 0.0);
         assert_eq!(r.mean_sim_frame(), Duration::ZERO);
+        assert_eq!(r.queue_wait_p50(), Duration::ZERO);
         let text = r.to_string();
         assert!(text.contains("0 submitted"));
     }
@@ -313,14 +441,24 @@ mod tests {
             ServiceStats::add(&stats.frames_rendered, rendered);
             ServiceStats::add(&stats.frames_completed, rendered);
             ServiceStats::add(&stats.jobs_popped, popped);
-            ServiceStats::add(&stats.queue_wait_nanos, wait_ms * 1_000_000 * popped);
+            for _ in 0..popped {
+                stats.record_wait(wait_ms * 1_000_000);
+            }
             let plan = PlanCacheSnapshot {
                 entries: 1,
+                capacity: 8,
                 hits: 2,
                 misses: 1,
                 evictions: 0,
             };
-            ServiceReport::from_stats(&stats, plan, Duration::from_secs(wall))
+            let frames = CacheSnapshot {
+                entries: 3,
+                capacity: 16,
+                hits: 1,
+                misses: 2,
+                evictions: 1,
+            };
+            ServiceReport::from_stats(&stats, plan, frames, Duration::from_secs(wall))
         };
         let a = mk(4, 4, 2, 3);
         let b = mk(8, 12, 6, 5);
@@ -328,9 +466,41 @@ mod tests {
         assert_eq!(m.frames_rendered, 12);
         assert_eq!(m.jobs_popped, 16);
         assert_eq!(m.plan_cache.hits, 4);
+        assert_eq!(m.plan_cache.capacity, 16);
+        assert_eq!(m.frame_cache.entries, 6);
+        assert_eq!(m.frame_cache.capacity, 32);
         assert_eq!(m.wall_elapsed, Duration::from_secs(5), "shards overlap");
         // Weighted mean: (4·2ms + 12·6ms) / 16 = 5ms.
         assert_eq!(m.mean_queue_wait, Duration::from_millis(5));
+        // Histogram buckets add: 16 samples total, p50 falls in the 6 ms
+        // bucket's range because 12 of 16 samples sit there.
+        assert_eq!(m.queue_wait_hist.iter().sum::<u64>(), 16);
+        assert!(m.queue_wait_p50() >= Duration::from_millis(4));
         assert_eq!(ServiceReport::merged([]).jobs_popped, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let hist = WaitHistogram::default();
+        // 0 clamps into bucket 0; huge waits clamp into the last bucket.
+        hist.record(0);
+        hist.record(1);
+        hist.record(u64::MAX);
+        let loaded = hist.load();
+        assert_eq!(loaded[0], 2);
+        assert_eq!(loaded[WAIT_BUCKETS - 1], 1);
+
+        let hist = WaitHistogram::default();
+        for _ in 0..9 {
+            hist.record(1_000); // bucket 9 (512..1024ns): wait ≈ 1 µs
+        }
+        hist.record(1_000_000_000); // one 1 s outlier
+        let loaded = hist.load();
+        let p50 = histogram_quantile(&loaded, 0.5);
+        let p99 = histogram_quantile(&loaded, 0.99);
+        assert!(p50 <= Duration::from_nanos(2048), "median ignores outlier");
+        assert!(p99 >= Duration::from_millis(500), "tail sees the outlier");
+        // q = 0 clamps to the first recorded sample's bucket.
+        assert_eq!(histogram_quantile(&loaded, 0.0), p50);
     }
 }

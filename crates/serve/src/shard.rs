@@ -15,16 +15,66 @@
 //! shard (~1/(N+1) of them) — no global reshuffle that would cold-start
 //! every plan cache at once.
 
+use std::time::Duration;
+
 use mgpu_cluster::ClusterSpec;
 use mgpu_voldata::volume::{fnv1a, FNV_OFFSET};
 use mgpu_voldata::Volume;
 use mgpu_volren::config::RenderConfig;
 
 use crate::batch::BatchKey;
+use crate::cache::CacheSnapshot;
 use crate::session::SceneSession;
 use crate::{
     AdmissionError, FrameTicket, RenderService, SceneRequest, ServiceConfig, ServiceReport,
 };
+
+/// Point-in-time load ("heat") of one shard — what a rebalancer or an
+/// operator dashboard watches per shard: queue pressure, throughput, and
+/// whether the shard's caches are actually warm for the keys it owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHeat {
+    /// Index into [`ShardedService::shard`].
+    pub shard: usize,
+    /// Queued jobs per class, `[batch, normal, interactive]`.
+    pub queue_depths: [usize; 3],
+    pub frames_completed: u64,
+    pub frames_per_sec: f64,
+    /// Frame-cache occupancy and hit counters for this shard.
+    pub frame_cache: CacheSnapshot,
+    /// Plan-cache occupancy and hit counters for this shard.
+    pub plan_cache: CacheSnapshot,
+    pub mean_queue_wait: Duration,
+    /// Tail queue wait (p90) — rises first when a shard runs hot.
+    pub queue_wait_p90: Duration,
+}
+
+impl ShardHeat {
+    /// Build from a shard's already-taken report, so one snapshot can feed
+    /// both the heat view and [`ServiceReport::merged`] — see
+    /// [`ShardedService::heat_and_merged`].
+    pub fn from_report(
+        shard: usize,
+        queue_depths: [usize; 3],
+        report: &ServiceReport,
+    ) -> ShardHeat {
+        ShardHeat {
+            shard,
+            queue_depths,
+            frames_completed: report.frames_completed,
+            frames_per_sec: report.frames_per_sec(),
+            frame_cache: report.frame_cache,
+            plan_cache: report.plan_cache,
+            mean_queue_wait: report.mean_queue_wait,
+            queue_wait_p90: report.queue_wait_p90(),
+        }
+    }
+
+    /// Total queued jobs on this shard.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depths.iter().sum()
+    }
+}
 
 /// FNV-1a over the key bytes, salted with the shard index — the rendezvous
 /// score of (key, shard). Stable across runs and platforms (the same hash
@@ -121,6 +171,28 @@ impl ShardedService {
         self.shards.iter().map(RenderService::report).collect()
     }
 
+    /// Per-shard heat metrics (queue depth, throughput, cache occupancy),
+    /// indexed like [`ShardedService::shard`] — the data a rebalancer or a
+    /// network front-end's `STATS` request reports.
+    pub fn heat(&self) -> Vec<ShardHeat> {
+        self.heat_and_merged().0
+    }
+
+    /// One coherent stats snapshot: the per-shard heat and the merged
+    /// report are derived from the *same* per-shard reports, so the shard
+    /// counters always sum to the merged counters even while frames are
+    /// completing concurrently.
+    pub fn heat_and_merged(&self) -> (Vec<ShardHeat>, ServiceReport) {
+        let reports: Vec<ServiceReport> = self.shards.iter().map(RenderService::report).collect();
+        let merged = ServiceReport::merged(&reports);
+        let heat = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ShardHeat::from_report(i, self.shards[i].queue_depths(), r))
+            .collect();
+        (heat, merged)
+    }
+
     /// Shut every shard down (draining their queues) and merge the final
     /// reports. Every ticket submitted before the call still resolves.
     pub fn shutdown(self) -> ServiceReport {
@@ -161,6 +233,46 @@ mod tests {
             used[rendezvous(&key, 4)] = true;
         }
         assert!(used.iter().all(|u| *u), "256 keys must touch all 4 shards");
+    }
+
+    /// Heat metrics see the load where it actually landed: the shard that
+    /// served the traffic reports the frames, the queue depths and a warm
+    /// frame cache; idle shards report zeros.
+    #[test]
+    fn heat_reflects_per_shard_load() {
+        use mgpu_voldata::Dataset;
+        use mgpu_volren::camera::Scene;
+        use mgpu_volren::TransferFunction;
+
+        let sharded = ShardedService::start(2, ServiceConfig::default());
+        let volume = Dataset::Skull.volume(8);
+        let spec = ClusterSpec::accelerator_cluster(1);
+        let cfg = RenderConfig::test_size(8);
+        let session = sharded.session(spec.clone(), volume.clone(), cfg.clone());
+        let owner = sharded.shard_for(&BatchKey::new(&spec, &volume, &cfg));
+        for _ in 0..2 {
+            // Same scene twice: the second resolves from the frame cache.
+            session
+                .request(Scene::orbit(&volume, 0.0, 0.0, TransferFunction::bone()))
+                .wait();
+        }
+        let heat = sharded.heat();
+        assert_eq!(heat.len(), 2);
+        assert_eq!(heat[owner].frames_completed, 2);
+        assert_eq!(heat[owner].frame_cache.entries, 1);
+        assert!(heat[owner].frame_cache.hits >= 1, "repeat view must hit");
+        assert_eq!(heat[1 - owner].frames_completed, 0);
+        assert_eq!(heat[1 - owner].frame_cache.entries, 0);
+        for h in &heat {
+            assert_eq!(h.queue_depth(), 0, "drained after wait()");
+        }
+        // The merged report folds the same occupancy numbers.
+        let merged = sharded.report();
+        assert_eq!(merged.frame_cache.entries, 1);
+        assert_eq!(
+            merged.frame_cache.capacity,
+            ServiceConfig::default().cache_frames * 2
+        );
     }
 
     /// The rendezvous property: growing the fleet moves a key only if its

@@ -38,10 +38,9 @@ pub(crate) fn worker_loop(inner: Arc<ServiceInner>) {
         // accrues, so `mean_queue_wait` measures time queued, not time
         // waiting behind earlier frames of the same batch.
         for job in &jobs {
-            ServiceStats::add(
-                &inner.stats.queue_wait_nanos,
-                job.enqueued.elapsed().as_nanos() as u64,
-            );
+            inner
+                .stats
+                .record_wait(job.enqueued.elapsed().as_nanos() as u64);
             ServiceStats::bump(&inner.stats.jobs_popped);
         }
         render_batch(&inner, jobs);

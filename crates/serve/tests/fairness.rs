@@ -105,7 +105,7 @@ proptest! {
                         if job.priority == Priority::Interactive {
                             if let Some(delay) = pending.remove(&job.seq) {
                                 prop_assert!(
-                                    delay <= max_batch - 1,
+                                    delay < max_batch,
                                     "interactive seq {} delayed by {} drained \
                                      lower-priority frames (max_batch {})",
                                     job.seq, delay, max_batch
@@ -133,7 +133,7 @@ proptest! {
         while let Some((job, was_drained)) = worker.step(&q) {
             if job.priority == Priority::Interactive {
                 if let Some(delay) = pending.remove(&job.seq) {
-                    prop_assert!(delay <= max_batch - 1);
+                    prop_assert!(delay < max_batch);
                 }
             } else if was_drained {
                 for delay in pending.values_mut() {

@@ -34,6 +34,12 @@ impl Dataset {
         }
     }
 
+    /// Inverse of [`Dataset::name`] — how a wire protocol resolves a dataset
+    /// reference back to the procedural volume on the receiving side.
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        Dataset::ALL.into_iter().find(|d| d.name() == name)
+    }
+
     /// Default seed per dataset (stable across the whole reproduction).
     pub fn seed(self) -> u64 {
         match self {

@@ -335,7 +335,7 @@ mod tests {
         let dims = [4u32, 3, 2];
         let data: Vec<f32> = (0..24).map(|i| i as f32).collect();
         let v = Volume::in_memory("m", dims, data);
-        let mut out = vec![0f32; 2 * 2 * 1];
+        let mut out = vec![0f32; 2 * 2];
         v.read_region([1, 1, 1], [2, 2, 1], &mut out);
         // index = x + 4*(y + 3*z): (1,1,1)=17, (2,1,1)=18, (1,2,1)=21, (2,2,1)=22
         assert_eq!(out, vec![17.0, 18.0, 21.0, 22.0]);

@@ -25,8 +25,8 @@ proptest! {
         prop_assert_eq!(total, dims[0] as u64 * dims[1] as u64 * dims[2] as u64);
         // Per-axis: origins tile each axis without gaps.
         for b in grid.bricks() {
-            for a in 0..3 {
-                prop_assert!(b.origin[a] + b.size[a] <= dims[a]);
+            for (a, dim) in dims.iter().enumerate() {
+                prop_assert!(b.origin[a] + b.size[a] <= *dim);
                 prop_assert!(b.size[a] >= 1);
             }
         }

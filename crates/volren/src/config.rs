@@ -70,7 +70,7 @@ pub enum Residency {
 /// setup: 512² image, unit step, early termination, 2 bricks per GPU capped
 /// at 256³ voxels, round-robin direct-send, no combiner, CPU reduce,
 /// synchronous texture uploads.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RenderConfig {
     pub image: (u32, u32),
     /// Ray-march step in voxel units (global sample grid).
@@ -172,8 +172,10 @@ mod tests {
 
     #[test]
     fn kernel_parallelism_resolution() {
-        let mut c = RenderConfig::default();
-        c.kernel_parallelism = 3;
+        let mut c = RenderConfig {
+            kernel_parallelism: 3,
+            ..RenderConfig::default()
+        };
         assert_eq!(c.resolved_kernel_parallelism(8), 3);
         c.kernel_parallelism = 0;
         assert!(c.resolved_kernel_parallelism(1) >= 1);

@@ -3,7 +3,7 @@
 use std::io::{self, Write};
 use std::path::Path;
 
-/// An RGBA image with `f32` channels in [0,1] (straight, not premultiplied).
+/// An RGBA image with `f32` channels in `[0,1]` (straight, not premultiplied).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Image {
     width: u32,
@@ -25,6 +25,22 @@ impl Image {
             width,
             height,
             pixels: vec![color; (width * height) as usize],
+        }
+    }
+
+    /// Rebuild an image from its raw pixel rows (x-fastest, the layout
+    /// [`Image::pixels`] exposes) — the wire-decoding path. Panics when the
+    /// pixel count does not match `width × height`.
+    pub fn from_pixels(width: u32, height: u32, pixels: Vec<[f32; 4]>) -> Image {
+        assert_eq!(
+            pixels.len(),
+            (width * height) as usize,
+            "pixel count must match {width}x{height}"
+        );
+        Image {
+            width,
+            height,
+            pixels,
         }
     }
 
@@ -105,8 +121,8 @@ impl Image {
         writeln!(f, "P6\n{} {}\n255", self.width, self.height)?;
         let mut buf = Vec::with_capacity(self.pixels.len() * 3);
         for p in &self.pixels {
-            for c in 0..3 {
-                buf.push((p[c].clamp(0.0, 1.0) * 255.0 + 0.5) as u8);
+            for c in &p[..3] {
+                buf.push((c.clamp(0.0, 1.0) * 255.0 + 0.5) as u8);
             }
         }
         f.write_all(&buf)

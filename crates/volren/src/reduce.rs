@@ -60,8 +60,8 @@ mod tests {
         };
         let out = r.reduce(7, &mut vec![f]);
         // 0.5 premult + 0.5 × white = 1.0 in each channel.
-        for c in 0..3 {
-            assert!((out[c] - 1.0).abs() < 1e-6);
+        for c in &out[..3] {
+            assert!((c - 1.0).abs() < 1e-6);
         }
         assert!((out[3] - 1.0).abs() < 1e-6);
     }

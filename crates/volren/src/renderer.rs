@@ -367,10 +367,7 @@ mod tests {
         let eight = quick_render(8, 32, 64);
         let diff = one.image.max_abs_diff(&eight.image);
         let bound = 1.0 - RenderConfig::default().early_term + 0.01;
-        assert!(
-            diff as f32 <= bound,
-            "ET divergence {diff} exceeds bound {bound}"
-        );
+        assert!(diff <= bound, "ET divergence {diff} exceeds bound {bound}");
     }
 
     #[test]

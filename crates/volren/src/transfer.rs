@@ -10,7 +10,7 @@ use mgpu_gpu::Texture1D;
 /// LUT resolution (texels).
 pub const LUT_SIZE: usize = 256;
 
-/// A control point: scalar position in [0,1] → straight-alpha RGBA.
+/// A control point: scalar position in `[0,1]` → straight-alpha RGBA.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControlPoint {
     pub value: f32,
@@ -36,6 +36,26 @@ impl TransferFunction {
         self.name
     }
 
+    /// The sorted control points (wire encoders serialize these; decoding
+    /// through [`TransferFunction::from_points`] reconstructs an equal
+    /// function as the points are already in canonical order).
+    pub fn points(&self) -> &[ControlPoint] {
+        &self.points
+    }
+
+    /// Look up a built-in preset by its [`TransferFunction::name`]. `None`
+    /// for custom point sets — those travel over the wire as explicit
+    /// points instead of a name.
+    pub fn preset(name: &str) -> Option<TransferFunction> {
+        match name {
+            "bone" => Some(TransferFunction::bone()),
+            "fire" => Some(TransferFunction::fire()),
+            "smoke" => Some(TransferFunction::smoke()),
+            "grayscale" => Some(TransferFunction::grayscale()),
+            _ => None,
+        }
+    }
+
     /// Evaluate at scalar `v` (piecewise linear, clamped).
     pub fn eval(&self, v: f32) -> [f32; 4] {
         let pts = &self.points;
@@ -50,8 +70,8 @@ impl TransferFunction {
         let span = (b.value - a.value).max(1e-12);
         let t = (v - a.value) / span;
         let mut out = [0f32; 4];
-        for c in 0..4 {
-            out[c] = a.rgba[c] + (b.rgba[c] - a.rgba[c]) * t;
+        for (c, o) in out.iter_mut().enumerate() {
+            *o = a.rgba[c] + (b.rgba[c] - a.rgba[c]) * t;
         }
         out
     }

@@ -44,10 +44,12 @@ fn main() {
 
     // ...and a re-plumbed one: binary-swap compositing, tiled partitioning,
     // combine stage enabled.
-    let mut custom_cfg = RenderConfig::default();
-    custom_cfg.compositor = Compositor::BinarySwap;
-    custom_cfg.partition = PartitionStrategy::Tiled { tile: 64 };
-    custom_cfg.combiner = true;
+    let custom_cfg = RenderConfig {
+        compositor: Compositor::BinarySwap,
+        partition: PartitionStrategy::Tiled { tile: 64 },
+        combiner: true,
+        ..RenderConfig::default()
+    };
     let custom_run = render(&cluster, &volume, &scene, &custom_cfg);
 
     println!(

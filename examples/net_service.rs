@@ -1,0 +1,139 @@
+//! The render service on the wire: a [`RenderServer`] (2 shards, per-session
+//! rate limiting) serves two TCP clients over localhost — one orbiting the
+//! skull, one the supernova — plus a repeated view that comes back from the
+//! frame cache without a render. Every delivered frame is verified
+//! bit-identical to a direct `render` call; the `STATS` round-trip shows the
+//! per-shard heat the routing produced; a final vignette shows the token
+//! bucket throttling a client that submits faster than its budget.
+//!
+//!     cargo run --release --example net_service
+
+use gpumr::prelude::*;
+
+fn main() {
+    let server = RenderServer::start(ServerConfig {
+        shards: 2,
+        service: ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        // Generous per-session budget: the demo clients stay under it.
+        rate_limit: Some(RateLimitConfig::new(200.0, 64)),
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback port");
+    println!("render server listening on {} (2 shards)\n", server.addr());
+
+    let cfg = RenderConfig::test_size(64);
+    let frames_per_client = 8;
+
+    // Two sessions = two connections; distinct (volume, cluster) pairs give
+    // the rendezvous router distinct keys to spread.
+    let mut skull_client = RenderClient::connect(server.addr()).expect("connect skull client");
+    let mut nova_client = RenderClient::connect(server.addr()).expect("connect nova client");
+    println!(
+        "clients connected (server reports {} shards)\n",
+        skull_client.shards()
+    );
+
+    let mut rendered = 0u32;
+    let mut cache_hits = 0u32;
+    for i in 0..frames_per_client {
+        let az = i as f32 * (360.0 / frames_per_client as f32);
+        // Distinct (volume, cluster) keys that rendezvous-route to distinct
+        // shards (routing is deterministic, so this split is stable).
+        for (client, dataset, gpus, transfer) in [
+            (
+                &mut skull_client,
+                Dataset::Skull,
+                4,
+                TransferFunction::bone(),
+            ),
+            (
+                &mut nova_client,
+                Dataset::Supernova,
+                1,
+                TransferFunction::fire(),
+            ),
+        ] {
+            let request = NetSceneRequest::orbit_dataset(dataset, 32, gpus, az, 20.0, &transfer)
+                .with_config(cfg.clone());
+            let frame = client.render(&request).expect("render over the socket");
+
+            // The ground truth, built locally without the wire types.
+            let spec = ClusterSpec::accelerator_cluster(gpus);
+            let volume = dataset.volume(32);
+            let scene = Scene::orbit(&volume, az, 20.0, transfer);
+            let direct = gpumr::volren::render(&spec, &volume, &scene, &cfg);
+            assert_eq!(
+                frame.image, direct.image,
+                "socket frame must be bit-identical to a direct render"
+            );
+            rendered += 1;
+            cache_hits += frame.from_cache as u32;
+        }
+    }
+    println!("{rendered} frames fetched over TCP, all bit-identical to direct renders");
+
+    // The same view again: answered from the frame cache, no render.
+    let repeat =
+        NetSceneRequest::orbit_dataset(Dataset::Skull, 32, 4, 0.0, 20.0, &TransferFunction::bone())
+            .with_config(cfg.clone());
+    let frame = skull_client.render(&repeat).expect("repeat view");
+    assert!(frame.from_cache, "repeated view must hit the frame cache");
+    println!("repeated view served from the frame cache (no render, sim time zero)\n");
+    cache_hits += 1;
+
+    // STATS round-trip: merged report + per-shard heat.
+    let stats = skull_client.stats().expect("stats over the socket");
+    println!("server stats as seen over the wire:\n{stats}\n");
+    assert_eq!(
+        stats.merged.frames_completed,
+        (rendered + 1) as u64,
+        "every socket frame is accounted for"
+    );
+    assert!(
+        stats.shards.iter().all(|h| h.frames_completed > 0),
+        "both shards served traffic"
+    );
+    assert_eq!(stats.merged.cache_hits, cache_hits as u64);
+
+    let report = server.shutdown();
+    println!(
+        "main server drained: {} frames completed, {:.1} frames/s wall\n",
+        report.frames_completed,
+        report.frames_per_sec()
+    );
+
+    // Rate-limit vignette: 2 frames of budget, then typed throttling.
+    let throttled_server = RenderServer::start(ServerConfig {
+        shards: 1,
+        rate_limit: Some(RateLimitConfig::new(0.5, 2)),
+        ..ServerConfig::default()
+    })
+    .expect("bind throttle demo server");
+    let mut hasty = RenderClient::connect(throttled_server.addr()).expect("connect");
+    let tiny =
+        NetSceneRequest::orbit_dataset(Dataset::Skull, 16, 1, 0.0, 0.0, &TransferFunction::bone())
+            .with_config(RenderConfig::test_size(32));
+    let mut throttled = 0;
+    for i in 0..4 {
+        match hasty.render(&tiny.clone().with_azimuth(i as f32 * 10.0)) {
+            Ok(_) => println!("hasty client: frame {i} admitted"),
+            Err(ClientError::Throttled { retry_after }) => {
+                throttled += 1;
+                println!(
+                    "hasty client: frame {i} throttled, retry in {:.1} s",
+                    retry_after.as_secs_f64()
+                );
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(throttled, 2, "burst of 2, then the token bucket says no");
+    let report = throttled_server.shutdown();
+    println!(
+        "\nthrottle demo: {} admitted, {} throttled at the door (never queued)",
+        report.frames_completed, throttled
+    );
+}

@@ -31,9 +31,11 @@ fn main() {
 
     // Force disk staging and a host cache smaller than the volume: bricks
     // stream through, get evicted, and the DES charges real disk time.
-    let mut config = RenderConfig::default();
-    config.residency = Residency::Disk;
-    config.host_cache_bytes = volume.meta.bytes() / 4;
+    let mut config = RenderConfig {
+        residency: Residency::Disk,
+        host_cache_bytes: volume.meta.bytes() / 4,
+        ..RenderConfig::default()
+    };
 
     let out = render(&cluster, &volume, &scene, &config);
     let r = &out.report;

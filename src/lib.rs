@@ -12,7 +12,10 @@
 //! * [`volren`] — the ray-casting volume renderer built on all of the above;
 //! * [`serve`] — the multi-scene render service (job queue with admission
 //!   control, frame batching, cross-batch plan cache, frame cache, shard
-//!   router) layered on the renderer.
+//!   router) layered on the renderer;
+//! * [`net`] — the TCP front-end over the sharded service: wire protocol,
+//!   [`net::RenderServer`]/[`net::RenderClient`], per-session rate
+//!   limiting and per-shard heat stats.
 //!
 //! ## Quickstart
 //!
@@ -32,6 +35,7 @@
 pub use mgpu_cluster as cluster;
 pub use mgpu_gpu as gpu;
 pub use mgpu_mapreduce as mapreduce;
+pub use mgpu_net as net;
 pub use mgpu_serve as serve;
 pub use mgpu_sim as sim;
 pub use mgpu_voldata as voldata;
@@ -40,9 +44,14 @@ pub use mgpu_volren as volren;
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use mgpu_cluster::topology::ClusterSpec;
+    pub use mgpu_net::{
+        ClientError, NetFrame, NetSceneRequest, NetStats, NetTicket, RateLimitConfig, RenderClient,
+        RenderServer, ServerConfig, WireError,
+    };
     pub use mgpu_serve::{
-        AdmissionError, FrameError, FrameTicket, Priority, QueueBounds, RenderService,
-        RenderedFrame, SceneRequest, SceneSession, ServiceConfig, ServiceReport, ShardedService,
+        AdmissionError, CacheSnapshot, FrameError, FrameTicket, Priority, QueueBounds,
+        RenderService, RenderedFrame, SceneRequest, SceneSession, ServiceConfig, ServiceReport,
+        ShardHeat, ShardedService,
     };
     pub use mgpu_sim::{Fig3Bucket, SimDuration};
     pub use mgpu_voldata::datasets::Dataset;
