@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Public-API surface listing: every item page `cargo doc` generates for the
+# workspace's own crates, one path per line, sorted. CI diffs this against
+# the checked-in snapshot (ci/api-surface.txt) so API additions, removals
+# and renames only land when the snapshot is updated in the same change —
+# i.e. deliberately.
+#
+#   ci/api_surface.sh            print the current listing to stdout
+#   ci/api_surface.sh --update   regenerate ci/api-surface.txt in place
+#   ci/api_surface.sh --check    diff current listing against the snapshot
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+listing() {
+    cargo doc --workspace --no-deps --quiet >&2
+    # One line per documented item: struct./enum./trait./fn./constant./
+    # type. pages, scoped by crate and module directory. index/all/sidebar
+    # pages carry no API identity and are skipped.
+    (
+        cd target/doc
+        find gpumr mgpu_* -name '*.html' \
+            ! -name 'index.html' ! -name 'all.html' ! -name 'sidebar-items.js' \
+            | LC_ALL=C sort
+    )
+}
+
+case "${1:-}" in
+--update)
+    listing > ci/api-surface.txt
+    echo "ci/api-surface.txt updated ($(wc -l < ci/api-surface.txt) items)" >&2
+    ;;
+--check)
+    listing > /tmp/api-surface.current
+    if ! diff -u ci/api-surface.txt /tmp/api-surface.current; then
+        echo >&2
+        echo "public API surface changed: review the diff above and, if" >&2
+        echo "intended, run ci/api_surface.sh --update and commit it." >&2
+        exit 1
+    fi
+    echo "public API surface matches the checked-in snapshot" >&2
+    ;;
+*)
+    listing
+    ;;
+esac

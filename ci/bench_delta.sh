@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Print a one-line frames/sec delta between two smoke-bench JSON artifacts
+# (the previous run's and this run's), e.g.:
+#
+#   bench serve: frames/sec 118.40 -> 124.91 (+5.5%)
+#
+# Usage: ci/bench_delta.sh <previous.json> <current.json> <label>
+# Missing files are reported, never fatal — the delta is advisory.
+set -euo pipefail
+
+prev="${1:?previous json}"
+curr="${2:?current json}"
+label="${3:?label}"
+
+fps() {
+    # The artifacts are flat one-field-per-line JSON written by
+    # mgpu_bench::JsonObject; no jq in the base image, sed suffices.
+    sed -n 's/^[[:space:]]*"frames_per_sec":[[:space:]]*\([0-9.][0-9.]*\).*$/\1/p' "$1" | head -1
+}
+
+if [ ! -f "$curr" ]; then
+    echo "bench $label: no current artifact ($curr missing)"
+    exit 0
+fi
+now="$(fps "$curr")"
+if [ ! -f "$prev" ]; then
+    echo "bench $label: frames/sec $now (no previous artifact to diff against)"
+    exit 0
+fi
+before="$(fps "$prev")"
+awk -v b="$before" -v n="$now" -v l="$label" 'BEGIN {
+    if (b + 0 == 0) { printf "bench %s: frames/sec %s (previous artifact unreadable)\n", l, n; exit }
+    printf "bench %s: frames/sec %.2f -> %.2f (%+.1f%%)\n", l, b, n, (n - b) / b * 100
+}'

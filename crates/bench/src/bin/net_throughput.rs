@@ -1,27 +1,34 @@
-//! Network front-end throughput: clients × connections over a loopback
-//! [`RenderServer`], with client-side round-trip accounting.
+//! Network front-end throughput, measured through the `RenderBackend`
+//! trait, in two parts:
 //!
-//! Each *client* is a thread standing for one user; it opens `connections`
-//! TCP connections and round-robins its frame requests across them (the
-//! fan-out a connection pool would give a real front-end). Every request is
-//! timed individually, so the table reports wall frames/sec next to p50/p90
-//! round-trip latency — the loopback protocol overhead on top of the render
-//! itself. Repeated views per client exercise the frame cache across the
-//! wire; distinct (dataset, cluster) pairs give the shard router keys to
-//! spread.
+//! 1. **Clients × connections** over a loopback [`RenderServer`]: each
+//!    *client* is a thread standing for one user; it opens `connections`
+//!    [`RemoteBackend`]s and round-robins its frame requests across them
+//!    (the fan-out a connection pool gives a real front-end). Every request
+//!    is timed individually, so the table reports wall frames/sec next to
+//!    p50/p90 round-trip latency — the loopback protocol overhead on top of
+//!    the render itself. Repeated views per client exercise the frame cache
+//!    across the wire; distinct (dataset, cluster) pairs give the shard
+//!    router keys to spread.
+//! 2. **Node sweep** — the same many-volume workload through a
+//!    [`NodePool`] over 1..N [`RenderServer`]s: the placement directory
+//!    spreads distinct batch keys over whole nodes, the multi-node
+//!    analogue of `serve_throughput`'s shard sweep.
 //!
 //! `--smoke` shrinks the sweep for CI and writes `BENCH_net.json`
-//! (frames/sec, cache hit rate, p50 queue wait, p50/p90 round trip) for the
-//! per-PR perf-trend artifact.
+//! (frames/sec, cache hit rate, p50 queue wait, p50/p90 round trip, pooled
+//! frames/sec) for the per-PR perf-trend artifact.
 //!
 //!     cargo run --release -p mgpu-bench --bin net_throughput -- [--smoke] [--shards N]
 
 use std::time::{Duration, Instant};
 
 use mgpu_bench::JsonObject;
-use mgpu_net::{NetSceneRequest, RenderClient, RenderServer, ServerConfig};
-use mgpu_serve::ServiceConfig;
+use mgpu_cluster::ClusterSpec;
+use mgpu_net::{Directory, NodePool, NodePoolConfig, RemoteBackend, RenderServer, ServerConfig};
+use mgpu_serve::{Priority, RenderBackend, SceneRequest, ServiceConfig};
 use mgpu_voldata::Dataset;
+use mgpu_volren::camera::Scene;
 use mgpu_volren::{RenderConfig, TransferFunction};
 
 struct SweepPoint {
@@ -47,6 +54,19 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+fn request_for(dataset: Dataset, volume_size: u32, gpus: u32, az: f32, image: u32) -> SceneRequest {
+    let volume = dataset.volume(volume_size);
+    let transfer = TransferFunction::for_dataset(dataset.name());
+    let scene = Scene::orbit(&volume, az, 15.0, transfer);
+    SceneRequest {
+        spec: ClusterSpec::accelerator_cluster(gpus),
+        volume,
+        scene,
+        config: RenderConfig::test_size(image),
+        priority: Priority::Normal,
+    }
+}
+
 fn run_point(point: &SweepPoint, shards: usize, volume_size: u32, image: u32) -> SweepResult {
     let server = RenderServer::start(ServerConfig {
         shards,
@@ -66,28 +86,20 @@ fn run_point(point: &SweepPoint, shards: usize, volume_size: u32, image: u32) ->
             .map(|c| {
                 let datasets = &datasets;
                 scope.spawn(move || {
-                    let mut pool: Vec<RenderClient> = (0..point.connections)
-                        .map(|_| RenderClient::connect(addr).expect("connect"))
+                    let pool: Vec<RemoteBackend> = (0..point.connections)
+                        .map(|_| RemoteBackend::connect(addr).expect("connect"))
                         .collect();
                     let dataset = datasets[c % datasets.len()];
                     let gpus = 1 + (c % 2) as u32;
-                    let transfer = TransferFunction::for_dataset(dataset.name());
                     let mut rtts = Vec::with_capacity(point.frames_per_client);
                     for f in 0..point.frames_per_client {
                         // Two repeated views per client → cache traffic.
                         let view = f % point.frames_per_client.saturating_sub(2).max(1);
-                        let request = NetSceneRequest::orbit_dataset(
-                            dataset,
-                            volume_size,
-                            gpus,
-                            view as f32 * 29.0,
-                            15.0,
-                            &transfer,
-                        )
-                        .with_config(RenderConfig::test_size(image));
-                        let client = &mut pool[f % point.connections];
+                        let request =
+                            request_for(dataset, volume_size, gpus, view as f32 * 29.0, image);
+                        let backend = &pool[f % point.connections];
                         let sent = Instant::now();
-                        let frame = client.render(&request).expect("render over socket");
+                        let frame = backend.render(request).expect("render over socket");
                         rtts.push(sent.elapsed());
                         assert_eq!(frame.image.width(), image);
                     }
@@ -117,6 +129,75 @@ fn run_point(point: &SweepPoint, shards: usize, volume_size: u32, image: u32) ->
     }
 }
 
+/// Part 2: the same many-volume workload through a NodePool over 1..N
+/// whole render nodes. Returns the widest point's frames/sec for the trend
+/// artifact.
+fn node_sweep(
+    max_nodes: usize,
+    shards: usize,
+    volumes: usize,
+    frames_each: usize,
+    volume_size: u32,
+    image: u32,
+) -> f64 {
+    println!("\nnode sweep — {volumes} distinct volumes × {frames_each} frames, pooled:");
+    let datasets = [Dataset::Skull, Dataset::Supernova, Dataset::Plume];
+    let mut widest = 0.0f64;
+    for nodes in 1..=max_nodes {
+        let servers: Vec<RenderServer> = (0..nodes)
+            .map(|_| {
+                RenderServer::start(ServerConfig {
+                    shards,
+                    service: ServiceConfig {
+                        workers: 2,
+                        ..ServiceConfig::default()
+                    },
+                    ..ServerConfig::default()
+                })
+                .expect("bind loopback node")
+            })
+            .collect();
+        let pool = NodePool::new(
+            Directory::new(servers.iter().map(RenderServer::addr).collect()),
+            NodePoolConfig::default(),
+        );
+        let started = Instant::now();
+        let total = std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..volumes)
+                .map(|v| {
+                    let datasets = &datasets;
+                    scope.spawn(move || {
+                        let dataset = datasets[v % datasets.len()];
+                        let gpus = 1 + (v % 2) as u32;
+                        for f in 0..frames_each {
+                            let request =
+                                request_for(dataset, volume_size, gpus, f as f32 * 31.0, image);
+                            pool.render(request).expect("pooled render");
+                        }
+                        frames_each as u64
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("volume thread"))
+                .sum::<u64>()
+        });
+        let wall = started.elapsed();
+        let merged = pool.report().expect("pool report");
+        assert_eq!(merged.frames_completed, total);
+        let per_node: Vec<u64> = servers
+            .into_iter()
+            .map(|s| s.shutdown().frames_completed)
+            .collect();
+        let fps = total as f64 / wall.as_secs_f64();
+        widest = fps;
+        println!("  {nodes} node(s): {fps:>8.2} frames/s, per-node frames {per_node:?}");
+    }
+    widest
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -136,7 +217,7 @@ fn main() {
 
     println!(
         "net throughput — {shards}-shard server on loopback, {volume_size}^3 volumes, \
-         {image}^2 frames, {frames} frames/client\n"
+         {image}^2 frames, {frames} frames/client (RenderBackend trait end to end)\n"
     );
     println!(
         "{:>7} {:>5} {:>9} {:>10} {:>10} {:>10} {:>9} {:>9}",
@@ -184,6 +265,9 @@ fn main() {
          the gap between p50 rtt and p50 queue wait is protocol + pixel transfer"
     );
 
+    let (max_nodes, volumes, each) = if smoke { (2, 4, 2) } else { (2, 6, 4) };
+    let pooled_fps = node_sweep(max_nodes, shards, volumes, each, volume_size, image);
+
     if let Some(result) = smoke_summary {
         JsonObject::new()
             .str("bench", "net_throughput")
@@ -205,6 +289,7 @@ fn main() {
                 "p90_rtt_ms",
                 quantile(&result.rtts, 0.9).as_secs_f64() * 1e3,
             )
+            .num("pooled_frames_per_sec", pooled_fps)
             .num("wall_secs", result.wall.as_secs_f64())
             .write("BENCH_net.json")
             .expect("write BENCH_net.json");

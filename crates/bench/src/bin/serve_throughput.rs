@@ -16,7 +16,7 @@
 
 use mgpu_bench::JsonObject;
 use mgpu_cluster::ClusterSpec;
-use mgpu_serve::{RenderService, ServiceConfig, ServiceReport, ShardedService};
+use mgpu_serve::{RenderBackend, RenderService, ServiceConfig, ServiceReport, ShardedService};
 use mgpu_voldata::Dataset;
 use mgpu_volren::{RenderConfig, TransferFunction};
 

@@ -84,6 +84,41 @@ impl NetTicket {
     pub fn id(&self) -> u64 {
         self.id
     }
+
+    /// Rebuild a ticket from its id (e.g. recorded in a log). Redeeming a
+    /// ticket the issuing connection does not know is a typed error, so
+    /// this cannot forge frames — only name them.
+    pub fn from_id(id: u64) -> NetTicket {
+        NetTicket { id }
+    }
+}
+
+/// Client-side transport tuning: how long to wait for a connection and for
+/// each response before declaring the node dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection; `None` uses the OS
+    /// default (which can be minutes against a black-holed address).
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each blocking read of a response. Without it, a node that
+    /// accepted the connection but died before replying hangs a blocking
+    /// `render` indefinitely. Must exceed the longest legitimate render
+    /// (plus queue wait) the workload can produce — a timeout is
+    /// indistinguishable from a dead node and poisons the connection.
+    pub read_timeout: Option<Duration>,
+    /// Cap this client accepts on one response frame (see
+    /// [`RenderClient::set_max_payload`]).
+    pub max_payload: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: None,
+            read_timeout: None,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
 }
 
 /// A blocking render-service client over one TCP connection. One session =
@@ -97,14 +132,49 @@ pub struct RenderClient {
 
 impl RenderClient {
     /// Connect and handshake (a `PING` round-trip that also verifies the
-    /// protocol version and learns the server's shard count).
+    /// protocol version and learns the server's shard count). Uses the
+    /// default [`ClientConfig`] — no timeouts; see
+    /// [`RenderClient::connect_with`] to bound connect and response waits.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<RenderClient, ClientError> {
-        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        RenderClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit transport bounds. A read timeout surfaces as
+    /// a [`ClientError::Wire`] I/O error on the call that hit it; treat the
+    /// connection as poisoned afterwards (the late reply, if any, would
+    /// desynchronize the request/response stream).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<RenderClient, ClientError> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr).map_err(WireError::from)?,
+            Some(bound) => {
+                // `connect_timeout` needs concrete addresses: try each
+                // resolution, keeping the last error.
+                let addrs: Vec<_> = addr.to_socket_addrs().map_err(WireError::from)?.collect();
+                let mut last = WireError::Io(std::io::ErrorKind::AddrNotAvailable);
+                let mut stream = None;
+                for candidate in addrs {
+                    match TcpStream::connect_timeout(&candidate, bound) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = e.into(),
+                    }
+                }
+                stream.ok_or(last)?
+            }
+        };
         let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(config.read_timeout)
+            .map_err(WireError::from)?;
         let mut client = RenderClient {
             stream,
             shards: 0,
-            max_payload: DEFAULT_MAX_PAYLOAD,
+            max_payload: config.max_payload,
         };
         client.shards = client.ping()?;
         Ok(client)

@@ -38,15 +38,25 @@
 //!   [`mgpu_serve::ServiceReport`] plus per-shard
 //!   [`mgpu_serve::ShardHeat`] (queue depth, frames/sec, cache occupancy)
 //!   — the observability a shard rebalancer builds on.
+//! * **Backends** — [`remote::RemoteBackend`] puts one server behind the
+//!   [`mgpu_serve::RenderBackend`] trait; [`pool::NodePool`] puts N servers
+//!   behind it with a rendezvous [`pool::Directory`] (the same placement
+//!   policy `ShardedService` uses in-process), per-node connection reuse,
+//!   a typed [`pool::RetryBudget`] that honors server `retry_after`, and
+//!   failover to the next-ranked node on connection loss.
 
 pub mod client;
 pub mod heat;
+pub mod pool;
 pub mod ratelimit;
+pub mod remote;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, NetTicket, RenderClient};
+pub use client::{ClientConfig, ClientError, NetTicket, RenderClient};
 pub use heat::NetStats;
+pub use pool::{Directory, NodePool, NodePoolConfig, PoolTicket, RetryBudget};
 pub use ratelimit::{RateLimitConfig, TokenBucket};
+pub use remote::RemoteBackend;
 pub use server::{RenderServer, ServerConfig};
-pub use wire::{NetFrame, NetSceneRequest, TransferSpec, VolumeSpec, WireError};
+pub use wire::{CameraSpec, NetFrame, NetSceneRequest, TransferSpec, VolumeSpec, WireError};

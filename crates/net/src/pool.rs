@@ -1,0 +1,468 @@
+//! [`NodePool`]: the first multi-node rung — N [`crate::RenderServer`]s
+//! behind one [`RenderBackend`], with placement, connection reuse, retry
+//! budgets and failover.
+//!
+//! ```text
+//!                    NodePool (RenderBackend)
+//!   BatchKey ──► Directory (rendezvous, same policy as ShardedService)
+//!                     │ preferred node, then failover order
+//!                     ▼
+//!        per-node slot: one reused RenderClient connection
+//!                     │   Throttled → sleep exact retry_after (budgeted)
+//!                     │   connection loss → reconnect / next-ranked node
+//!                     ▼
+//!              RenderServer … RenderServer   (N processes / hosts)
+//! ```
+//!
+//! Placement uses the *same* rendezvous hash as the in-process
+//! [`mgpu_serve::ShardedService`] ([`mgpu_serve::shard::route`]): a batch
+//! key's node across processes and its shard within a process are chosen by
+//! one consistent rule, so a key keeps hitting the node (and shard) whose
+//! plan cache is warm, and growing the directory from N to N+1 nodes only
+//! moves ~1/(N+1) of the keys.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mgpu_serve::shard::{ranked, route};
+use mgpu_serve::{
+    BackendError, BackendFrame, BatchKey, RenderBackend, SceneRequest, ServiceReport,
+};
+
+use crate::client::{ClientConfig, ClientError, NetTicket, RenderClient};
+use crate::heat::NetStats;
+use crate::remote::{backend_error, backend_frame, portable};
+
+/// The placement directory: which render nodes exist, and which one owns a
+/// given [`BatchKey`]. Rendezvous-hashed with the exact policy
+/// [`mgpu_serve::ShardedService`] uses for in-process shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directory {
+    addrs: Vec<SocketAddr>,
+}
+
+impl Directory {
+    /// A directory over the given node addresses (at least one).
+    pub fn new(addrs: Vec<SocketAddr>) -> Directory {
+        assert!(
+            !addrs.is_empty(),
+            "a node directory needs at least one node"
+        );
+        Directory { addrs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // construction requires ≥ 1 node
+    }
+
+    pub fn addr(&self, node: usize) -> SocketAddr {
+        self.addrs[node]
+    }
+
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The node that owns this key (deterministic; every client with the
+    /// same directory agrees without coordination).
+    pub fn node_for(&self, key: &BatchKey) -> usize {
+        route(key, self.addrs.len())
+    }
+
+    /// Every node in preference order for this key: `[0]` is the owner,
+    /// the tail is the failover order when the owner is unreachable.
+    pub fn ranked(&self, key: &BatchKey) -> Vec<usize> {
+        ranked(key, self.addrs.len())
+    }
+}
+
+/// How much adversity one pool operation absorbs before giving up — the
+/// typed contract for "the pool retries so the caller doesn't".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Transport failures (connection refused/lost, protocol violation)
+    /// tolerated per operation; each one fails over to the next node in
+    /// the key's preference order. At least 1 (the first try itself).
+    pub attempts: u32,
+    /// Largest single server `retry_after` the pool honors by sleeping;
+    /// anything longer is returned to the caller as
+    /// [`BackendError::Throttled`] instead of silently stalling.
+    pub max_throttle_wait: Duration,
+    /// Total sleep budget per operation (throttle waits plus blocked
+    /// admission polling). Exhausted → the last refusal is returned.
+    pub total_wait: Duration,
+}
+
+impl Default for RetryBudget {
+    fn default() -> RetryBudget {
+        RetryBudget {
+            attempts: 4,
+            max_throttle_wait: Duration::from_secs(5),
+            total_wait: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Pool tuning: the retry budget plus the per-connection transport bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodePoolConfig {
+    pub retry: RetryBudget,
+    /// Connect/read timeouts and payload bound for every pooled
+    /// connection (see [`ClientConfig`]).
+    pub client: ClientConfig,
+}
+
+impl Default for NodePoolConfig {
+    /// Unlike a bare [`ClientConfig`], the pool defaults to *finite*
+    /// transport timeouts: the retry budget only meters waits between
+    /// attempts, so an unbounded read against a hung (accepting but
+    /// unresponsive) node would block forever and failover could never
+    /// trigger. The 120 s read bound must exceed the slowest legitimate
+    /// render + queue wait — raise it for heavyweight workloads.
+    fn default() -> NodePoolConfig {
+        NodePoolConfig {
+            retry: RetryBudget::default(),
+            client: ClientConfig {
+                connect_timeout: Some(Duration::from_secs(5)),
+                read_timeout: Some(Duration::from_secs(120)),
+                ..ClientConfig::default()
+            },
+        }
+    }
+}
+
+/// One pooled connection slot. `generation` counts (re)connects, so a
+/// ticket issued on a connection that later died can never redeem against
+/// the replacement connection's unrelated ticket table.
+struct NodeSlot {
+    client: Option<RenderClient>,
+    generation: u64,
+}
+
+/// A redeemable handle from the pool's submit paths: pinned to the node
+/// *and the exact connection* that issued it — server-side ticket tables
+/// are per-connection, so a ticket does not survive its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolTicket {
+    node: usize,
+    generation: u64,
+    ticket: NetTicket,
+}
+
+impl PoolTicket {
+    /// The node this ticket's frame is parked on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+/// Poll interval for the blocking submit while the owning node sheds for
+/// admission (mirrors the in-process blocking submit, which parks on the
+/// queue's condvar — the wire has no condvar to park on).
+const ADMISSION_RETRY: Duration = Duration::from_millis(2);
+
+/// N render servers behind one [`RenderBackend`]. Connections are opened
+/// lazily and reused per node; requests route by batch key through the
+/// [`Directory`]; throttling and node loss are absorbed within the
+/// [`RetryBudget`].
+pub struct NodePool {
+    directory: Directory,
+    config: NodePoolConfig,
+    nodes: Vec<Mutex<NodeSlot>>,
+}
+
+impl NodePool {
+    /// A pool over the directory. No I/O happens here: each node's
+    /// connection is dialed on first use (and re-dialed after a failure).
+    pub fn new(directory: Directory, config: NodePoolConfig) -> NodePool {
+        let nodes = (0..directory.len())
+            .map(|_| {
+                Mutex::new(NodeSlot {
+                    client: None,
+                    generation: 0,
+                })
+            })
+            .collect();
+        NodePool {
+            directory,
+            config,
+            nodes,
+        }
+    }
+
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Which node this request routes to (before any failover).
+    pub fn node_for(&self, request: &SceneRequest) -> usize {
+        self.directory.node_for(&BatchKey::of(request))
+    }
+
+    /// Run `op` on one node's pooled connection, dialing it if needed.
+    /// Returns the slot generation the operation ran on; transport and
+    /// protocol failures poison the slot (the next use re-dials).
+    fn on_node<T>(
+        &self,
+        node: usize,
+        op: impl FnOnce(&mut RenderClient) -> Result<T, ClientError>,
+    ) -> Result<(u64, T), ClientError> {
+        let mut slot = self.nodes[node].lock();
+        if slot.client.is_none() {
+            let client = RenderClient::connect_with(self.directory.addr(node), self.config.client)?;
+            slot.client = Some(client);
+            slot.generation += 1;
+        }
+        let generation = slot.generation;
+        let result = op(slot.client.as_mut().expect("slot dialed above"));
+        if matches!(
+            result,
+            Err(ClientError::Wire(_)) | Err(ClientError::Protocol(_))
+        ) {
+            // The request/response stream is no longer trustworthy.
+            slot.client = None;
+        }
+        result.map(|value| (generation, value))
+    }
+
+    /// The retry loop shared by every submit flavour: walk the key's node
+    /// preference order on transport failures, honor throttle waits (and,
+    /// when `blocking`, poll out admission sheds) within the budget.
+    fn drive<T>(
+        &self,
+        key: &BatchKey,
+        blocking: bool,
+        mut op: impl FnMut(&mut RenderClient) -> Result<T, ClientError>,
+    ) -> Result<(usize, u64, T), BackendError> {
+        let order = self.directory.ranked(key);
+        let budget = self.config.retry;
+        let mut attempts = budget.attempts.max(1);
+        let mut waited = Duration::ZERO;
+        let mut rank = 0usize;
+        loop {
+            let node = order[rank % order.len()];
+            match self.on_node(node, &mut op) {
+                Ok((generation, value)) => return Ok((node, generation, value)),
+                Err(ClientError::Throttled { retry_after }) if blocking => {
+                    if retry_after > budget.max_throttle_wait
+                        || waited + retry_after > budget.total_wait
+                    {
+                        return Err(BackendError::Throttled { retry_after });
+                    }
+                    std::thread::sleep(retry_after);
+                    waited += retry_after;
+                    // Throttle honors don't consume failover attempts: the
+                    // node is healthy, just telling us to pace.
+                }
+                Err(ClientError::Admission(err)) if blocking => {
+                    if waited + ADMISSION_RETRY > budget.total_wait {
+                        return Err(BackendError::Admission(err));
+                    }
+                    std::thread::sleep(ADMISSION_RETRY);
+                    waited += ADMISSION_RETRY;
+                }
+                Err(err @ (ClientError::Wire(_) | ClientError::Protocol(_))) => {
+                    attempts -= 1;
+                    if attempts == 0 {
+                        return Err(backend_error(err));
+                    }
+                    // Fail over: next node in this key's preference order.
+                    rank += 1;
+                }
+                // Semantic refusals (admission/tickets-full on the
+                // non-blocking path, render failures) belong to the caller.
+                Err(err) => return Err(backend_error(err)),
+            }
+        }
+    }
+
+    /// Per-node stats (merged report + per-shard heat), indexed like the
+    /// directory; unreachable nodes report their error instead.
+    pub fn node_stats(&self) -> Vec<Result<NetStats, BackendError>> {
+        (0..self.node_count())
+            .map(|node| {
+                self.on_node(node, |client| client.stats())
+                    .map(|(_, stats)| stats)
+                    .map_err(backend_error)
+            })
+            .collect()
+    }
+}
+
+impl RenderBackend for NodePool {
+    type Ticket = PoolTicket;
+
+    fn submit(&self, request: SceneRequest) -> Result<PoolTicket, BackendError> {
+        let net = portable(&request)?;
+        let key = BatchKey::of(&request);
+        self.drive(&key, true, |client| client.submit(&net))
+            .map(|(node, generation, ticket)| PoolTicket {
+                node,
+                generation,
+                ticket,
+            })
+    }
+
+    fn try_submit(&self, request: SceneRequest) -> Result<PoolTicket, BackendError> {
+        let net = portable(&request)?;
+        let key = BatchKey::of(&request);
+        self.drive(&key, false, |client| client.submit(&net))
+            .map(|(node, generation, ticket)| PoolTicket {
+                node,
+                generation,
+                ticket,
+            })
+    }
+
+    fn redeem(&self, ticket: PoolTicket) -> Result<BackendFrame, BackendError> {
+        let mut slot = self.nodes[ticket.node].lock();
+        if slot.generation != ticket.generation || slot.client.is_none() {
+            // The issuing connection is gone; the server dropped its
+            // per-connection ticket table with it. Never redeem against a
+            // replacement connection: its ticket ids are unrelated.
+            return Err(BackendError::Transport(format!(
+                "ticket {} was issued on a connection to node {} that has \
+                 since been lost; its frame cannot be recovered",
+                ticket.ticket.id(),
+                ticket.node
+            )));
+        }
+        let client = slot.client.as_mut().expect("checked above");
+        let result = client.redeem(ticket.ticket);
+        if matches!(
+            result,
+            Err(ClientError::Wire(_)) | Err(ClientError::Protocol(_))
+        ) {
+            slot.client = None;
+        }
+        result.map(backend_frame).map_err(backend_error)
+    }
+
+    fn render(&self, request: SceneRequest) -> Result<BackendFrame, BackendError> {
+        let net = portable(&request)?;
+        let key = BatchKey::of(&request);
+        self.drive(&key, true, |client| client.render(&net))
+            .map(|(_, _, frame)| backend_frame(frame))
+    }
+
+    /// Pool-level merged accounting: every reachable node's merged report
+    /// folded together. Fails only when *no* node answers.
+    fn report(&self) -> Result<ServiceReport, BackendError> {
+        let mut reports = Vec::new();
+        let mut last_err = None;
+        for stats in self.node_stats() {
+            match stats {
+                Ok(stats) => reports.push(stats.merged),
+                Err(err) => last_err = Some(err),
+            }
+        }
+        match (reports.is_empty(), last_err) {
+            (true, Some(err)) => Err(err),
+            _ => Ok(ServiceReport::merged(&reports)),
+        }
+    }
+
+    /// Disconnect from every node, returning the best-effort merged report
+    /// (the servers keep running — a pool is a client-side object).
+    fn shutdown(self) -> ServiceReport {
+        RenderBackend::report(&self).unwrap_or_else(|_| ServiceReport::merged([]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|i| format!("127.0.0.1:{}", 7000 + i).parse().unwrap())
+            .collect()
+    }
+
+    /// The directory is the ShardedService policy verbatim: same owner,
+    /// same preference order, for every key.
+    #[test]
+    fn directory_routes_with_the_shard_policy() {
+        let dir = Directory::new(addrs(4));
+        for tag in 0..64 {
+            let key = BatchKey::synthetic(tag);
+            assert_eq!(dir.node_for(&key), route(&key, 4));
+            assert_eq!(dir.ranked(&key), ranked(&key, 4));
+            assert_eq!(dir.ranked(&key)[0], dir.node_for(&key));
+        }
+    }
+
+    #[test]
+    fn directory_growth_only_moves_keys_to_the_new_node() {
+        let four = Directory::new(addrs(4));
+        let five = Directory::new(addrs(5));
+        let mut moved = 0;
+        for tag in 0..256 {
+            let key = BatchKey::synthetic(tag);
+            if five.node_for(&key) != four.node_for(&key) {
+                assert_eq!(five.node_for(&key), 4, "moves only to the new node");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0 && moved < 128, "{moved}/256 moved");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_directory_is_rejected() {
+        Directory::new(Vec::new());
+    }
+
+    /// An unreachable node exhausts the budget with a typed transport
+    /// error — no panic, no hang (connections are dialed lazily, so the
+    /// pool constructs fine).
+    #[test]
+    fn unreachable_nodes_exhaust_the_budget_with_a_typed_error() {
+        use mgpu_cluster::ClusterSpec;
+        use mgpu_voldata::Dataset;
+        use mgpu_volren::camera::Scene;
+        use mgpu_volren::{RenderConfig, TransferFunction};
+
+        // Bind-then-drop two ephemeral ports: both are closed by the time
+        // the pool dials them, so connects fail fast with REFUSED.
+        let dead: Vec<SocketAddr> = (0..2)
+            .map(|_| {
+                let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                listener.local_addr().unwrap()
+            })
+            .collect();
+        let pool = NodePool::new(
+            Directory::new(dead),
+            NodePoolConfig {
+                retry: RetryBudget {
+                    attempts: 2,
+                    ..RetryBudget::default()
+                },
+                ..NodePoolConfig::default()
+            },
+        );
+        let volume = Dataset::Skull.volume(8);
+        let request = SceneRequest {
+            spec: ClusterSpec::accelerator_cluster(1),
+            scene: Scene::orbit(&volume, 0.0, 0.0, TransferFunction::bone()),
+            volume,
+            config: RenderConfig::test_size(8),
+            priority: mgpu_serve::Priority::Normal,
+        };
+        match RenderBackend::render(&pool, request) {
+            Err(BackendError::Transport(_)) => {}
+            other => panic!("expected transport exhaustion, got {other:?}"),
+        }
+        assert!(RenderBackend::report(&pool).is_err(), "no node reachable");
+    }
+}

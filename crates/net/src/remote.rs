@@ -1,0 +1,164 @@
+//! [`RemoteBackend`]: one [`crate::RenderServer`] behind the
+//! [`RenderBackend`] trait — the adapter that lets code written against the
+//! in-process service contract run unchanged against a TCP render node.
+//!
+//! The raw [`RenderClient`] mirrors the wire protocol (`&mut self`, its own
+//! `ClientError`, `NetSceneRequest`); this wrapper restores the service
+//! contract: `&self` methods (a mutex serializes the strictly
+//! request/response connection), [`mgpu_serve::SceneRequest`] in,
+//! [`BackendFrame`] out, and every failure folded into the shared
+//! [`BackendError`] vocabulary — [`ClientError::Throttled`] keeps its exact
+//! `retry_after`, [`ClientError::Admission`] restores the same
+//! `AdmissionError` the server's queue produced.
+
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mgpu_serve::{BackendError, BackendFrame, RenderBackend, SceneRequest, ServiceReport};
+
+use crate::client::{ClientConfig, ClientError, NetTicket, RenderClient};
+use crate::wire::{NetFrame, NetSceneRequest};
+
+/// Fold a wire-level failure into the shared backend vocabulary. Semantic
+/// errors cross losslessly; transport and protocol failures collapse into
+/// [`BackendError::Transport`] (the caller can't do anything more specific
+/// with them than retry elsewhere).
+pub(crate) fn backend_error(err: ClientError) -> BackendError {
+    match err {
+        ClientError::Admission(err) => BackendError::Admission(err),
+        ClientError::Throttled { retry_after } => BackendError::Throttled { retry_after },
+        ClientError::TicketsFull { outstanding, limit } => {
+            BackendError::TicketsFull { outstanding, limit }
+        }
+        ClientError::Render(err) => BackendError::Render(err),
+        ClientError::Wire(err) => BackendError::Transport(err.to_string()),
+        ClientError::Protocol(what) => BackendError::Transport(what),
+    }
+}
+
+/// Encode an in-process request for the wire, or explain why it can't go.
+pub(crate) fn portable(request: &SceneRequest) -> Result<NetSceneRequest, BackendError> {
+    NetSceneRequest::from_request(request).map_err(BackendError::Unsupported)
+}
+
+pub(crate) fn backend_frame(frame: NetFrame) -> BackendFrame {
+    BackendFrame {
+        image: Arc::new(frame.image),
+        from_cache: frame.from_cache,
+        sim_frame: frame.sim_frame,
+        // The wire ships the simulated frame time, not the full report.
+        report: None,
+    }
+}
+
+/// How long the blocking [`RenderBackend::submit`] sleeps between retries
+/// when the server sheds for admission (the wire has no blocking submit, so
+/// the client polls — cheap against a loopback or LAN server).
+const SUBMIT_RETRY: Duration = Duration::from_millis(2);
+
+/// One render server as a [`RenderBackend`]. Holds a single connection
+/// (`Mutex`-serialized: the protocol is strictly request/response); see
+/// `NodePool` for many servers with failover and retry budgets.
+pub struct RemoteBackend {
+    client: Mutex<RenderClient>,
+}
+
+impl RemoteBackend {
+    /// Connect with default transport settings (no timeouts).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteBackend, ClientError> {
+        RemoteBackend::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit connect/read timeouts and payload bound.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<RemoteBackend, ClientError> {
+        Ok(RemoteBackend {
+            client: Mutex::new(RenderClient::connect_with(addr, config)?),
+        })
+    }
+
+    /// Wrap an already-connected client.
+    pub fn from_client(client: RenderClient) -> RemoteBackend {
+        RemoteBackend {
+            client: Mutex::new(client),
+        }
+    }
+
+    /// Shards behind the server (learned during the handshake).
+    pub fn shards(&self) -> u32 {
+        self.client.lock().shards()
+    }
+}
+
+impl RenderBackend for RemoteBackend {
+    type Ticket = NetTicket;
+
+    /// Blocking submit: mirrors the in-process contract by waiting out the
+    /// server's admission bound (polling) and its rate-limiter door
+    /// (sleeping exactly the server's `retry_after`). A full per-session
+    /// ticket table is NOT waited out — only this caller's own redemptions
+    /// can free tickets, so polling would livelock a single-threaded
+    /// client; [`BackendError::TicketsFull`] is returned instead.
+    fn submit(&self, request: SceneRequest) -> Result<NetTicket, BackendError> {
+        let net = portable(&request)?;
+        loop {
+            match self.client.lock().submit(&net) {
+                Ok(ticket) => return Ok(ticket),
+                Err(ClientError::Admission(_)) => std::thread::sleep(SUBMIT_RETRY),
+                Err(ClientError::Throttled { retry_after }) => std::thread::sleep(retry_after),
+                Err(err) => return Err(backend_error(err)),
+            }
+        }
+    }
+
+    fn try_submit(&self, request: SceneRequest) -> Result<NetTicket, BackendError> {
+        let net = portable(&request)?;
+        self.client.lock().submit(&net).map_err(backend_error)
+    }
+
+    fn redeem(&self, ticket: NetTicket) -> Result<BackendFrame, BackendError> {
+        self.client
+            .lock()
+            .redeem(ticket)
+            .map(backend_frame)
+            .map_err(backend_error)
+    }
+
+    /// One `RENDER` round trip — the server blocks at its admission bound,
+    /// so unlike [`RemoteBackend::submit`] no client-side polling happens;
+    /// only the rate-limiter door is waited out here.
+    fn render(&self, request: SceneRequest) -> Result<BackendFrame, BackendError> {
+        let net = portable(&request)?;
+        loop {
+            match self.client.lock().render(&net) {
+                Ok(frame) => return Ok(backend_frame(frame)),
+                Err(ClientError::Throttled { retry_after }) => std::thread::sleep(retry_after),
+                Err(err) => return Err(backend_error(err)),
+            }
+        }
+    }
+
+    fn report(&self) -> Result<ServiceReport, BackendError> {
+        self.client
+            .lock()
+            .stats()
+            .map(|stats| stats.merged)
+            .map_err(backend_error)
+    }
+
+    /// Disconnect, returning the server's latest merged report
+    /// (best-effort: an unreachable server yields an empty report). The
+    /// server itself keeps running for its other clients.
+    fn shutdown(self) -> ServiceReport {
+        let mut client = self.client.into_inner();
+        client
+            .stats()
+            .map(|stats| stats.merged)
+            .unwrap_or_else(|_| ServiceReport::merged([]))
+    }
+}

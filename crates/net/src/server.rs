@@ -426,7 +426,14 @@ fn admit(
 fn reply_with_frame(stream: &mut TcpStream, ticket: FrameTicket) -> Result<(), WireError> {
     match ticket.wait_result() {
         Ok(frame) => {
-            let sim_nanos = frame.report.runtime().nanos();
+            // Cache hits re-deliver a previously rendered frame: their
+            // simulated frame time is zero (same convention as the
+            // in-process `BackendFrame`), not the original render's time.
+            let sim_nanos = if frame.from_cache {
+                0
+            } else {
+                frame.report.runtime().nanos()
+            };
             let payload = encode_frame(&frame.image, frame.from_cache, sim_nanos);
             write_frame(stream, opcode::FRAME, &payload)
         }

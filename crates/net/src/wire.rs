@@ -43,7 +43,9 @@ use mgpu_volren::TransferFunction;
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MGPU");
 /// Protocol version this build speaks. Bumped on any incompatible change;
 /// the server rejects other versions with [`WireError::UnsupportedVersion`].
-pub const VERSION: u16 = 1;
+/// v2 replaced the orbit-only camera fields with [`CameraSpec`], so
+/// arbitrary look-at cameras (any [`Scene`]) cross the wire bit-exactly.
+pub const VERSION: u16 = 2;
 /// Frame header bytes: magic + version + opcode + length.
 pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4;
 /// Default cap on a single payload (a 1024² float-RGBA frame is 16 MiB;
@@ -364,7 +366,45 @@ pub enum VolumeSpec {
     },
 }
 
+/// Largest in-memory volume a request may ship: 8 Mi voxels (32 MiB of
+/// `f32`) stays comfortably under [`DEFAULT_MAX_PAYLOAD`] with the rest of
+/// the request around it.
+pub const MAX_SHIPPED_VOXELS: u64 = 8 << 20;
+
 impl VolumeSpec {
+    /// Describe an in-process [`Volume`] for the wire: a named procedural
+    /// dataset travels by `(name, base)` (the receiver regenerates it
+    /// bit-identically from the shared seed), anything else ships its exact
+    /// voxels — up to [`MAX_SHIPPED_VOXELS`]. Returns a human-readable
+    /// reason when the volume cannot cross the wire.
+    pub fn of(volume: &Volume) -> Result<VolumeSpec, String> {
+        if let Some(dataset) = Dataset::from_name(&volume.meta.name) {
+            let base = volume.meta.dims[0];
+            // Regenerate and compare the full metadata (content fingerprint
+            // included): only a volume that IS the named dataset at this
+            // resolution may travel by name.
+            if base > 0 && dataset.volume(base).meta == volume.meta {
+                return Ok(VolumeSpec::Dataset { dataset, base });
+            }
+        }
+        if volume.meta.voxel_count() <= MAX_SHIPPED_VOXELS {
+            // Materialized voxels read back the exact f32 values the local
+            // renderer would sample, so the shipped copy renders
+            // bit-identically even for procedural sources.
+            return Ok(VolumeSpec::InMemory {
+                name: volume.meta.name.clone(),
+                dims: volume.meta.dims,
+                voxels: volume.materialize_full(),
+            });
+        }
+        Err(format!(
+            "volume {} is not a named dataset and too large to ship \
+             ({} voxels, wire limit {MAX_SHIPPED_VOXELS})",
+            volume.meta.label(),
+            volume.meta.voxel_count()
+        ))
+    }
+
     /// Resolve to an actual [`Volume`] on the receiving side.
     pub fn to_volume(&self) -> Result<Volume, WireError> {
         match self {
@@ -422,6 +462,59 @@ impl TransferSpec {
     }
 }
 
+/// How a request names its camera: compact orbit parameters (see
+/// [`Scene::orbit`]) for the common case, or the raw camera basis for
+/// arbitrary scenes — the latter reconstructs bit-identically via
+/// [`mgpu_volren::camera::Camera::from_raw_parts`], which is what lets any
+/// in-process [`mgpu_serve::SceneRequest`] cross the wire unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CameraSpec {
+    Orbit {
+        azimuth_deg: f32,
+        elevation_deg: f32,
+    },
+    Look {
+        eye: [f32; 3],
+        forward: [f32; 3],
+        right: [f32; 3],
+        up: [f32; 3],
+        tan_half_fov: f32,
+    },
+}
+
+impl CameraSpec {
+    /// Describe an in-process camera exactly (always the `Look` form).
+    pub fn of(camera: &mgpu_volren::camera::Camera) -> CameraSpec {
+        let (eye, forward, right, up, tan_half_fov) = camera.raw_parts();
+        CameraSpec::Look {
+            eye,
+            forward,
+            right,
+            up,
+            tan_half_fov,
+        }
+    }
+
+    /// Build the scene's camera on the receiving side.
+    fn to_camera(&self, volume: &Volume) -> mgpu_volren::camera::Camera {
+        match *self {
+            // Delegate to the one orbit implementation so wire and local
+            // callers can never drift apart.
+            CameraSpec::Orbit {
+                azimuth_deg,
+                elevation_deg,
+            } => Scene::orbit(volume, azimuth_deg, elevation_deg, TransferFunction::bone()).camera,
+            CameraSpec::Look {
+                eye,
+                forward,
+                right,
+                up,
+                tan_half_fov,
+            } => mgpu_volren::camera::Camera::from_raw_parts(eye, forward, right, up, tan_half_fov),
+        }
+    }
+}
+
 /// A self-contained frame request as it travels over the wire: enough to
 /// reconstruct the exact `(ClusterSpec, Volume, Scene, RenderConfig)` of a
 /// direct [`mgpu_volren::renderer::render`] call on the server — by
@@ -432,9 +525,7 @@ pub struct NetSceneRequest {
     pub gpus: u32,
     pub gpus_per_node: u32,
     pub volume: VolumeSpec,
-    /// Orbit camera parameters (see [`Scene::orbit`]).
-    pub azimuth_deg: f32,
-    pub elevation_deg: f32,
+    pub camera: CameraSpec,
     pub transfer: TransferSpec,
     pub background: [f32; 4],
     pub config: RenderConfig,
@@ -455,13 +546,44 @@ impl NetSceneRequest {
             gpus,
             gpus_per_node: 4,
             volume: VolumeSpec::Dataset { dataset, base },
-            azimuth_deg,
-            elevation_deg,
+            camera: CameraSpec::Orbit {
+                azimuth_deg,
+                elevation_deg,
+            },
             transfer: TransferSpec::of(transfer),
             background: [0.0; 4],
             config: RenderConfig::default(),
             priority: Priority::Normal,
         }
+    }
+
+    /// Describe an arbitrary in-process [`mgpu_serve::SceneRequest`] for
+    /// the wire — the bridge every remote [`mgpu_serve::RenderBackend`]
+    /// uses. Fails (with a human-readable reason) only when the request is
+    /// genuinely not portable: a cluster that is not the paper's
+    /// accelerator-cluster model, or a volume too large to ship (see
+    /// [`VolumeSpec::of`]). Everything that can cross, crosses bit-exactly:
+    /// camera basis, transfer points, background, full render config.
+    pub fn from_request(request: &mgpu_serve::SceneRequest) -> Result<NetSceneRequest, String> {
+        let spec = &request.spec;
+        let candidate = ClusterSpec::accelerator_cluster(spec.gpus.max(1))
+            .with_gpus_per_node(spec.gpus_per_node.max(1));
+        if *spec != candidate {
+            return Err(format!(
+                "cluster spec is not the accelerator-cluster model \
+                 (custom device/network/disk parameters cannot cross the wire): {spec:?}"
+            ));
+        }
+        Ok(NetSceneRequest {
+            gpus: spec.gpus,
+            gpus_per_node: spec.gpus_per_node,
+            volume: VolumeSpec::of(&request.volume)?,
+            camera: CameraSpec::of(&request.scene.camera),
+            transfer: TransferSpec::of(&request.scene.transfer),
+            background: request.scene.background,
+            config: request.config.clone(),
+            priority: request.priority,
+        })
     }
 
     pub fn with_config(mut self, config: RenderConfig) -> NetSceneRequest {
@@ -479,8 +601,17 @@ impl NetSceneRequest {
         self
     }
 
+    /// Re-aim an orbit camera's azimuth (the elevation is kept); a `Look`
+    /// camera is replaced by an orbit at elevation 0.
     pub fn with_azimuth(mut self, azimuth_deg: f32) -> NetSceneRequest {
-        self.azimuth_deg = azimuth_deg;
+        let elevation_deg = match self.camera {
+            CameraSpec::Orbit { elevation_deg, .. } => elevation_deg,
+            CameraSpec::Look { .. } => 0.0,
+        };
+        self.camera = CameraSpec::Orbit {
+            azimuth_deg,
+            elevation_deg,
+        };
         self
     }
 
@@ -498,8 +629,11 @@ impl NetSceneRequest {
             ClusterSpec::accelerator_cluster(self.gpus).with_gpus_per_node(self.gpus_per_node);
         let volume = self.volume.to_volume()?;
         let transfer = self.transfer.to_transfer()?;
-        let scene = Scene::orbit(&volume, self.azimuth_deg, self.elevation_deg, transfer)
-            .with_background(self.background);
+        let scene = Scene {
+            camera: self.camera.to_camera(&volume),
+            transfer,
+            background: self.background,
+        };
         Ok((spec, volume, scene, self.config.clone(), self.priority))
     }
 }
@@ -660,8 +794,31 @@ pub fn encode_request(req: &NetSceneRequest) -> Vec<u8> {
             }
         }
     }
-    w.f32(req.azimuth_deg);
-    w.f32(req.elevation_deg);
+    match &req.camera {
+        CameraSpec::Orbit {
+            azimuth_deg,
+            elevation_deg,
+        } => {
+            w.u8(0);
+            w.f32(*azimuth_deg);
+            w.f32(*elevation_deg);
+        }
+        CameraSpec::Look {
+            eye,
+            forward,
+            right,
+            up,
+            tan_half_fov,
+        } => {
+            w.u8(1);
+            for axis in [eye, forward, right, up] {
+                for c in axis {
+                    w.f32(*c);
+                }
+            }
+            w.f32(*tan_half_fov);
+        }
+    }
     match &req.transfer {
         TransferSpec::Preset(name) => {
             w.u8(0);
@@ -711,8 +868,23 @@ pub fn decode_request(payload: &[u8]) -> Result<NetSceneRequest, WireError> {
         }
         other => return Err(WireError::Malformed(format!("volume tag {other}"))),
     };
-    let azimuth_deg = r.f32()?;
-    let elevation_deg = r.f32()?;
+    let camera = match r.u8()? {
+        0 => CameraSpec::Orbit {
+            azimuth_deg: r.f32()?,
+            elevation_deg: r.f32()?,
+        },
+        1 => {
+            let mut vec3 = || -> Result<[f32; 3], WireError> { Ok([r.f32()?, r.f32()?, r.f32()?]) };
+            CameraSpec::Look {
+                eye: vec3()?,
+                forward: vec3()?,
+                right: vec3()?,
+                up: vec3()?,
+                tan_half_fov: r.f32()?,
+            }
+        }
+        other => return Err(WireError::Malformed(format!("camera tag {other}"))),
+    };
     let transfer = match r.u8()? {
         0 => TransferSpec::Preset(r.str()?),
         1 => {
@@ -735,8 +907,7 @@ pub fn decode_request(payload: &[u8]) -> Result<NetSceneRequest, WireError> {
         gpus,
         gpus_per_node,
         volume,
-        azimuth_deg,
-        elevation_deg,
+        camera,
         transfer,
         background,
         config,
@@ -1097,6 +1268,90 @@ mod tests {
         let mut bytes = encode_frame(&image, false, 0);
         bytes.truncate(bytes.len() - 4);
         assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+    }
+
+    /// The v2 camera arm: a raw look-at camera crosses the wire bit-exactly.
+    #[test]
+    fn look_camera_roundtrips_bit_exact() {
+        let mut req = sample_request();
+        let camera = mgpu_volren::camera::Camera::look_at(
+            mgpu_volren::math::vec3(9.0, -3.0, 4.5),
+            mgpu_volren::math::vec3(8.0, 8.0, 8.0),
+            mgpu_volren::math::vec3(0.0, 0.0, 1.0),
+            33.0,
+        );
+        req.camera = CameraSpec::of(&camera);
+        let back = roundtrip_request(&req);
+        assert_eq!(back, req);
+        let (_, volume, scene, _, _) = back.to_parts().unwrap();
+        assert_eq!(scene.camera, camera);
+        // And the reconstructed camera is bit-identical, not just PartialEq.
+        let _ = volume;
+        let (e1, f1, r1, u1, t1) = camera.raw_parts();
+        let (e2, f2, r2, u2, t2) = scene.camera.raw_parts();
+        for (a, b) in [(e1, e2), (f1, f2), (r1, r2), (u1, u2)] {
+            for c in 0..3 {
+                assert_eq!(a[c].to_bits(), b[c].to_bits());
+            }
+        }
+        assert_eq!(t1.to_bits(), t2.to_bits());
+    }
+
+    /// `from_request` is the portable description of an in-process request:
+    /// named datasets travel by name, anything small ships voxels, and the
+    /// reconstructed parts match the originals field for field.
+    #[test]
+    fn from_request_describes_in_process_requests() {
+        use mgpu_serve::{Priority, SceneRequest};
+
+        let volume = Dataset::Supernova.volume(16);
+        let spec = ClusterSpec::accelerator_cluster(3).with_gpus_per_node(2);
+        let scene = Scene::orbit(&volume, 123.0, -8.0, TransferFunction::fire())
+            .with_background([0.2, 0.1, 0.0, 1.0]);
+        let request = SceneRequest {
+            spec: spec.clone(),
+            volume: volume.clone(),
+            scene: scene.clone(),
+            config: RenderConfig::test_size(16),
+            priority: Priority::Interactive,
+        };
+        let net = NetSceneRequest::from_request(&request).expect("portable");
+        assert_eq!(
+            net.volume,
+            VolumeSpec::Dataset {
+                dataset: Dataset::Supernova,
+                base: 16
+            },
+            "a named dataset travels by name, not by voxels"
+        );
+        let (spec2, volume2, scene2, cfg2, priority2) = roundtrip_request(&net).to_parts().unwrap();
+        assert_eq!(spec2, spec);
+        assert_eq!(volume2.meta, volume.meta);
+        assert_eq!(scene2.camera, scene.camera);
+        assert_eq!(scene2.background, scene.background);
+        assert_eq!(format!("{cfg2:?}"), format!("{:?}", request.config));
+        assert_eq!(priority2, Priority::Interactive);
+
+        // A custom in-memory volume ships its exact voxels.
+        let custom = Volume::in_memory("twist", [3, 3, 3], (0..27).map(|i| i as f32).collect());
+        let shipped = SceneRequest {
+            volume: custom.clone(),
+            scene: Scene::orbit(&custom, 0.0, 0.0, TransferFunction::bone()),
+            ..request.clone()
+        };
+        match NetSceneRequest::from_request(&shipped).unwrap().volume {
+            VolumeSpec::InMemory { name, dims, voxels } => {
+                assert_eq!((name.as_str(), dims), ("twist", [3, 3, 3]));
+                assert_eq!(voxels.len(), 27);
+            }
+            other => panic!("expected shipped voxels, got {other:?}"),
+        }
+
+        // A non-standard cluster model is a typed refusal, not silence.
+        let mut exotic = request.clone();
+        exotic.spec.disk = mgpu_sim::LinkModel::new(1.0, 1.0);
+        let err = NetSceneRequest::from_request(&exotic).expect_err("not portable");
+        assert!(err.contains("accelerator-cluster"), "{err}");
     }
 
     #[test]

@@ -93,9 +93,6 @@ impl CacheSnapshot {
     }
 }
 
-/// Frame-cache counters (alias kept from the original frame-only cache).
-pub type FrameCacheSnapshot = CacheSnapshot;
-
 /// A bounded LRU cache from `K` to `V`. `capacity` is in entries; zero
 /// disables caching entirely (every `get` misses, `insert` is a no-op).
 #[derive(Debug)]
@@ -298,7 +295,7 @@ mod tests {
         c.insert(key(1), 1);
         assert!(c.get(&key(1)).is_none());
         // A disabled cache records no statistics at all.
-        assert_eq!(c.snapshot(), FrameCacheSnapshot::default());
+        assert_eq!(c.snapshot(), CacheSnapshot::default());
     }
 
     /// Guard for the O(log n) eviction refactor: a large churn of inserts,

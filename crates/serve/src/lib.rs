@@ -41,6 +41,12 @@
 //! * **Sharding** — [`shard::ShardedService`]: rendezvous-hashes batch keys
 //!   over N independent services so distinct volumes stop contending on one
 //!   queue and always land where their plan cache is warm.
+//! * **Backend contract** — [`backend::RenderBackend`]: the one trait every
+//!   front-end implements (`RenderService`, `ShardedService`, and the
+//!   remote backends in `mgpu-net`), with a shared error vocabulary
+//!   ([`backend::BackendError`]) and frame type ([`backend::BackendFrame`])
+//!   — callers written against it move from one GPU to a cluster of render
+//!   nodes without a rewrite.
 //! * **Accounting** — [`report::ServiceReport`]: queue latency, batch
 //!   occupancy, cache and plan-cache hit rates, staging reuse, admission
 //!   rejections, failed frames, frames/sec — alongside the per-frame
@@ -62,6 +68,7 @@ use mgpu_volren::camera::Scene;
 use mgpu_volren::config::RenderConfig;
 use mgpu_volren::{Image, RenderReport};
 
+pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod plancache;
@@ -71,12 +78,13 @@ pub mod session;
 pub mod shard;
 mod worker;
 
+pub use backend::{BackendError, BackendFrame, RenderBackend};
 pub use batch::BatchKey;
-pub use cache::{CacheSnapshot, FrameCache, FrameCacheSnapshot, FrameKey};
-pub use plancache::{PlanCache, PlanCacheSnapshot};
+pub use cache::{CacheSnapshot, FrameCache, FrameKey};
+pub use plancache::PlanCache;
 pub use queue::{AdmissionError, Priority, QueueBounds};
 pub use report::{ServiceReport, WAIT_BUCKETS};
-pub use session::SceneSession;
+pub use session::{SceneSession, SessionTicket};
 pub use shard::{ShardHeat, ShardedService};
 
 use report::ServiceStats;
@@ -261,8 +269,9 @@ impl ServiceInner {
     }
 
     fn assert_open(&self) {
-        // Uniform behaviour for handles (sessions) that outlive the service:
-        // every submit after shutdown panics, cached or not.
+        // Defensive: no public path submits after shutdown (sessions borrow
+        // the service, shutdown consumes it), but an internal caller that
+        // raced teardown should fail loudly, cached or not.
         assert!(
             !self.queue.is_closed(),
             "cannot submit to a shut-down render service"
@@ -350,9 +359,6 @@ impl RenderService {
     /// Submit one frame request; blocks while this priority class is at its
     /// admission bound, then returns a ticket. With the default unbounded
     /// [`QueueBounds`] it never blocks.
-    ///
-    /// Panics if called (from this handle or an outliving [`SceneSession`])
-    /// after [`RenderService::shutdown`].
     pub fn submit(&self, request: SceneRequest) -> FrameTicket {
         self.inner.submit(request)
     }
@@ -362,12 +368,6 @@ impl RenderService {
     /// (`Batch` sheds first, `Interactive` last — see [`QueueBounds`]).
     pub fn try_submit(&self, request: SceneRequest) -> Result<FrameTicket, AdmissionError> {
         self.inner.try_submit(request)
-    }
-
-    /// Open a client session bound to one (cluster, volume, config) — the
-    /// ergonomic way to request many frames of one dataset.
-    pub fn session(&self, spec: ClusterSpec, volume: Volume, config: RenderConfig) -> SceneSession {
-        SceneSession::new(Arc::clone(&self.inner), spec, volume, config)
     }
 
     /// Stop popping jobs (submissions still accepted and queued).
@@ -396,12 +396,12 @@ impl RenderService {
     }
 
     /// Frame-cache counters.
-    pub fn cache_snapshot(&self) -> FrameCacheSnapshot {
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
         self.inner.cache.snapshot()
     }
 
     /// Cross-batch plan-cache counters.
-    pub fn plan_snapshot(&self) -> PlanCacheSnapshot {
+    pub fn plan_snapshot(&self) -> CacheSnapshot {
         self.inner.plans.snapshot()
     }
 

@@ -26,9 +26,6 @@ use mgpu_volren::renderer::FramePlan;
 use crate::batch::BatchKey;
 use crate::cache::{CacheSnapshot, LruCache};
 
-/// Plan-cache counters.
-pub type PlanCacheSnapshot = CacheSnapshot;
-
 /// Bounded LRU over shared frame plans. `capacity` is in plans; zero
 /// disables cross-batch reuse (every batch builds its own plan, PR 2
 /// behaviour). Eviction drops the `Arc`, so plans still in use by an
@@ -68,7 +65,7 @@ impl PlanCache {
         self.lru.insert(key, plan);
     }
 
-    pub fn snapshot(&self) -> PlanCacheSnapshot {
+    pub fn snapshot(&self) -> CacheSnapshot {
         self.lru.snapshot()
     }
 }
@@ -114,6 +111,6 @@ mod tests {
         let (k, p) = plan_for(1);
         cache.insert(k.clone(), p);
         assert!(cache.get(&k).is_none());
-        assert_eq!(cache.snapshot(), PlanCacheSnapshot::default());
+        assert_eq!(cache.snapshot(), CacheSnapshot::default());
     }
 }

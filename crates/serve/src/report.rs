@@ -11,7 +11,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::cache::CacheSnapshot;
-use crate::plancache::PlanCacheSnapshot;
 
 /// Number of log₂ buckets in the queue-wait histogram: bucket `i` counts
 /// waits in `[2^i, 2^(i+1))` nanoseconds. 64 buckets span the whole `u64`
@@ -139,7 +138,7 @@ pub struct ServiceReport {
     pub brick_reuses: u64,
     /// Cross-batch plan cache counters (hits = batches that skipped
     /// re-bricking and reused a warm store).
-    pub plan_cache: PlanCacheSnapshot,
+    pub plan_cache: CacheSnapshot,
     /// Frame-cache occupancy and counters (per shard before merging;
     /// merged reports sum entries and capacities across shards).
     pub frame_cache: CacheSnapshot,
@@ -158,7 +157,7 @@ pub struct ServiceReport {
 impl ServiceReport {
     pub(crate) fn from_stats(
         stats: &ServiceStats,
-        plan_cache: PlanCacheSnapshot,
+        plan_cache: CacheSnapshot,
         frame_cache: CacheSnapshot,
         wall_elapsed: Duration,
     ) -> ServiceReport {
@@ -205,7 +204,7 @@ impl ServiceReport {
             jobs_popped: 0,
             brick_stagings: 0,
             brick_reuses: 0,
-            plan_cache: PlanCacheSnapshot::default(),
+            plan_cache: CacheSnapshot::default(),
             frame_cache: CacheSnapshot::default(),
             mean_queue_wait: Duration::ZERO,
             queue_wait_hist: [0; WAIT_BUCKETS],
@@ -392,7 +391,7 @@ mod tests {
         // by popped jobs, not rendered frames.
         ServiceStats::add(&stats.jobs_popped, 10);
         ServiceStats::add(&stats.queue_wait_nanos, 10_000_000);
-        let plan = PlanCacheSnapshot {
+        let plan = CacheSnapshot {
             entries: 1,
             capacity: 8,
             hits: 1,
@@ -420,7 +419,7 @@ mod tests {
         let stats = ServiceStats::default();
         let r = ServiceReport::from_stats(
             &stats,
-            PlanCacheSnapshot::default(),
+            CacheSnapshot::default(),
             CacheSnapshot::default(),
             Duration::ZERO,
         );
@@ -444,7 +443,7 @@ mod tests {
             for _ in 0..popped {
                 stats.record_wait(wait_ms * 1_000_000);
             }
-            let plan = PlanCacheSnapshot {
+            let plan = CacheSnapshot {
                 entries: 1,
                 capacity: 8,
                 hits: 2,

@@ -17,14 +17,10 @@
 
 use std::time::Duration;
 
-use mgpu_cluster::ClusterSpec;
 use mgpu_voldata::volume::{fnv1a, FNV_OFFSET};
-use mgpu_voldata::Volume;
-use mgpu_volren::config::RenderConfig;
 
 use crate::batch::BatchKey;
 use crate::cache::CacheSnapshot;
-use crate::session::SceneSession;
 use crate::{
     AdmissionError, FrameTicket, RenderService, SceneRequest, ServiceConfig, ServiceReport,
 };
@@ -83,10 +79,28 @@ fn rendezvous_score(key: &BatchKey, shard: u64) -> u64 {
     fnv1a(&shard.to_le_bytes(), fnv1a(key.bytes(), FNV_OFFSET))
 }
 
-fn rendezvous(key: &BatchKey, shards: usize) -> usize {
+/// The placement policy: which of `shards` owners a key lands on. This is
+/// *the* routing function for the whole stack — [`ShardedService`] routes
+/// in-process shards with it, and `mgpu-net`'s node `Directory` routes
+/// whole render nodes with it, so a key's shard inside one process and its
+/// node across processes are chosen by one consistent rule.
+pub fn route(key: &BatchKey, shards: usize) -> usize {
     (0..shards as u64)
         .max_by_key(|i| rendezvous_score(key, *i))
         .expect("at least one shard") as usize
+}
+
+/// Every owner in preference order (highest rendezvous score first):
+/// `ranked(...)[0] == route(...)`, and the tail is the deterministic
+/// failover order a multi-node pool walks when the preferred node is down.
+pub fn ranked(key: &BatchKey, shards: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..shards).collect();
+    order.sort_by_key(|i| std::cmp::Reverse(rendezvous_score(key, *i as u64)));
+    order
+}
+
+fn rendezvous(key: &BatchKey, shards: usize) -> usize {
+    route(key, shards)
 }
 
 /// N independent render services behind one handle, with rendezvous routing
@@ -134,13 +148,6 @@ impl ShardedService {
     pub fn try_submit(&self, request: SceneRequest) -> Result<FrameTicket, AdmissionError> {
         let key = BatchKey::of(&request);
         self.shards[self.shard_for(&key)].try_submit(request)
-    }
-
-    /// Open a session on the shard that owns this (cluster, volume, config)
-    /// — every frame the session submits lands where its plan is warm.
-    pub fn session(&self, spec: ClusterSpec, volume: Volume, config: RenderConfig) -> SceneSession {
-        let key = BatchKey::new(&spec, &volume, &config);
-        self.shards[self.shard_for(&key)].session(spec, volume, config)
     }
 
     pub fn pause(&self) {
@@ -226,6 +233,19 @@ mod tests {
         }
     }
 
+    /// `ranked` is the full preference order behind `route`: same winner,
+    /// every shard listed exactly once.
+    #[test]
+    fn ranked_agrees_with_route_and_is_a_permutation() {
+        for key in keys(64) {
+            let order = ranked(&key, 5);
+            assert_eq!(order[0], route(&key, 5));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
     #[test]
     fn keys_spread_over_shards() {
         let mut used = [false; 4];
@@ -240,8 +260,11 @@ mod tests {
     /// frame cache; idle shards report zeros.
     #[test]
     fn heat_reflects_per_shard_load() {
+        use crate::backend::RenderBackend;
+        use mgpu_cluster::ClusterSpec;
         use mgpu_voldata::Dataset;
         use mgpu_volren::camera::Scene;
+        use mgpu_volren::config::RenderConfig;
         use mgpu_volren::TransferFunction;
 
         let sharded = ShardedService::start(2, ServiceConfig::default());

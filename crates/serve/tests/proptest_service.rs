@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use mgpu_cluster::ClusterSpec;
-use mgpu_serve::{Priority, QueueBounds, RenderService, ServiceConfig};
+use mgpu_serve::{Priority, QueueBounds, RenderBackend, RenderService, ServiceConfig};
 use mgpu_voldata::Dataset;
 use mgpu_volren::camera::Scene;
 use mgpu_volren::renderer::render;

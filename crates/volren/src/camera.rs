@@ -41,6 +41,44 @@ impl Camera {
         }
     }
 
+    /// The camera's exact internal state as plain floats, in field order
+    /// `(eye, forward, right, up, tan_half_fov)` — what a wire protocol
+    /// ships so [`Camera::from_raw_parts`] reconstructs this camera
+    /// bit-identically on the other side (floats travel by bit pattern; no
+    /// re-derivation, no rounding).
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(&self) -> ([f32; 3], [f32; 3], [f32; 3], [f32; 3], f32) {
+        let v = |v: Vec3| [v.x, v.y, v.z];
+        (
+            v(self.eye),
+            v(self.forward),
+            v(self.right),
+            v(self.up),
+            self.tan_half_fov,
+        )
+    }
+
+    /// Rebuild a camera from [`Camera::raw_parts`] output, bit-identically.
+    /// The basis is trusted as-is (no re-orthonormalization): this is a
+    /// transport constructor, not a modeling one — use
+    /// [`Camera::look_at`] to build cameras from scene intent.
+    pub fn from_raw_parts(
+        eye: [f32; 3],
+        forward: [f32; 3],
+        right: [f32; 3],
+        up: [f32; 3],
+        tan_half_fov: f32,
+    ) -> Camera {
+        let v = |a: [f32; 3]| vec3(a[0], a[1], a[2]);
+        Camera {
+            eye: v(eye),
+            forward: v(forward),
+            right: v(right),
+            up: v(up),
+            tan_half_fov,
+        }
+    }
+
     /// The ray through pixel `(px, py)` of a `width × height` image
     /// (pixel centers, y growing downward).
     #[inline]
@@ -178,6 +216,30 @@ mod tests {
             .project(vec3(16.0, 16.0, 16.0), 512, 512)
             .unwrap();
         assert!((cx - 256.0).abs() < 64.0 && (cy - 256.0).abs() < 64.0);
+    }
+
+    /// The transport constructor round-trips the camera bit-for-bit — the
+    /// foundation of shipping arbitrary (non-orbit) scenes over the wire.
+    #[test]
+    fn raw_parts_roundtrip_bit_exact() {
+        let c = Camera::look_at(
+            vec3(3.7, -2.1, 9.3),
+            vec3(0.4, 0.2, -0.6),
+            vec3(0.1, 1.0, 0.05),
+            37.5,
+        );
+        let (eye, forward, right, up, tan) = c.raw_parts();
+        let back = Camera::from_raw_parts(eye, forward, right, up, tan);
+        assert_eq!(back, c);
+        // Same rays, bit for bit.
+        for (px, py) in [(0, 0), (17, 211), (511, 511)] {
+            let a = c.ray(px, py, 512, 512);
+            let b = back.ray(px, py, 512, 512);
+            assert_eq!(a.origin, b.origin);
+            assert_eq!(a.dir.x.to_bits(), b.dir.x.to_bits());
+            assert_eq!(a.dir.y.to_bits(), b.dir.y.to_bits());
+            assert_eq!(a.dir.z.to_bits(), b.dir.z.to_bits());
+        }
     }
 
     #[test]

@@ -1,10 +1,13 @@
-//! The render service on the wire: a [`RenderServer`] (2 shards, per-session
-//! rate limiting) serves two TCP clients over localhost — one orbiting the
-//! skull, one the supernova — plus a repeated view that comes back from the
-//! frame cache without a render. Every delivered frame is verified
-//! bit-identical to a direct `render` call; the `STATS` round-trip shows the
-//! per-shard heat the routing produced; a final vignette shows the token
-//! bucket throttling a client that submits faster than its budget.
+//! The render service on the wire, driven through the same `RenderBackend`
+//! trait as the in-process services: a [`RenderServer`] (2 shards,
+//! per-session rate limiting) serves two [`RemoteBackend`] clients over
+//! localhost — one orbiting the skull, one the supernova — plus a repeated
+//! view that comes back from the frame cache without a render. Every
+//! delivered frame is verified bit-identical to a direct `render` call; the
+//! `STATS` round-trip shows the per-shard heat the routing produced; a
+//! final vignette shows the token bucket throttling a client that submits
+//! faster than its budget (visible on the raw [`RenderClient`] — the
+//! backend wrapper would politely sleep the throttle out).
 //!
 //!     cargo run --release --example net_service
 
@@ -27,46 +30,57 @@ fn main() {
     let cfg = RenderConfig::test_size(64);
     let frames_per_client = 8;
 
-    // Two sessions = two connections; distinct (volume, cluster) pairs give
-    // the rendezvous router distinct keys to spread.
-    let mut skull_client = RenderClient::connect(server.addr()).expect("connect skull client");
-    let mut nova_client = RenderClient::connect(server.addr()).expect("connect nova client");
+    // Two backends = two connections (sessions); the SAME session code
+    // would run over a local RenderService — that is the point of the
+    // trait. Explicit timeouts: a dead node fails the call instead of
+    // hanging it.
+    let client_cfg = ClientConfig {
+        connect_timeout: Some(std::time::Duration::from_secs(5)),
+        read_timeout: Some(std::time::Duration::from_secs(120)),
+        ..ClientConfig::default()
+    };
+    let skull_backend =
+        RemoteBackend::connect_with(server.addr(), client_cfg).expect("connect skull client");
+    let nova_backend =
+        RemoteBackend::connect_with(server.addr(), client_cfg).expect("connect nova client");
     println!(
         "clients connected (server reports {} shards)\n",
-        skull_client.shards()
+        skull_backend.shards()
+    );
+
+    let skull = Dataset::Skull.volume(32);
+    let nova = Dataset::Supernova.volume(32);
+    // Distinct (volume, cluster) keys that rendezvous-route to distinct
+    // shards (routing is deterministic, so this split is stable).
+    let skull_session = skull_backend.session(
+        ClusterSpec::accelerator_cluster(4),
+        skull.clone(),
+        cfg.clone(),
+    );
+    let nova_session = nova_backend.session(
+        ClusterSpec::accelerator_cluster(1),
+        nova.clone(),
+        cfg.clone(),
     );
 
     let mut rendered = 0u32;
     let mut cache_hits = 0u32;
     for i in 0..frames_per_client {
         let az = i as f32 * (360.0 / frames_per_client as f32);
-        // Distinct (volume, cluster) keys that rendezvous-route to distinct
-        // shards (routing is deterministic, so this split is stable).
-        for (client, dataset, gpus, transfer) in [
-            (
-                &mut skull_client,
-                Dataset::Skull,
-                4,
-                TransferFunction::bone(),
-            ),
-            (
-                &mut nova_client,
-                Dataset::Supernova,
-                1,
-                TransferFunction::fire(),
-            ),
+        for (session, volume, gpus, transfer) in [
+            (&skull_session, &skull, 4, TransferFunction::bone()),
+            (&nova_session, &nova, 1, TransferFunction::fire()),
         ] {
-            let request = NetSceneRequest::orbit_dataset(dataset, 32, gpus, az, 20.0, &transfer)
-                .with_config(cfg.clone());
-            let frame = client.render(&request).expect("render over the socket");
+            let frame = session
+                .render(Scene::orbit(volume, az, 20.0, transfer.clone()))
+                .expect("render over the socket");
 
             // The ground truth, built locally without the wire types.
             let spec = ClusterSpec::accelerator_cluster(gpus);
-            let volume = dataset.volume(32);
-            let scene = Scene::orbit(&volume, az, 20.0, transfer);
-            let direct = gpumr::volren::render(&spec, &volume, &scene, &cfg);
+            let scene = Scene::orbit(volume, az, 20.0, transfer);
+            let direct = gpumr::volren::render(&spec, volume, &scene, &cfg);
             assert_eq!(
-                frame.image, direct.image,
+                *frame.image, direct.image,
                 "socket frame must be bit-identical to a direct render"
             );
             rendered += 1;
@@ -76,28 +90,30 @@ fn main() {
     println!("{rendered} frames fetched over TCP, all bit-identical to direct renders");
 
     // The same view again: answered from the frame cache, no render.
-    let repeat =
-        NetSceneRequest::orbit_dataset(Dataset::Skull, 32, 4, 0.0, 20.0, &TransferFunction::bone())
-            .with_config(cfg.clone());
-    let frame = skull_client.render(&repeat).expect("repeat view");
+    let frame = skull_session
+        .render(Scene::orbit(&skull, 0.0, 20.0, TransferFunction::bone()))
+        .expect("repeat view");
     assert!(frame.from_cache, "repeated view must hit the frame cache");
+    assert_eq!(frame.sim_frame, std::time::Duration::ZERO);
     println!("repeated view served from the frame cache (no render, sim time zero)\n");
     cache_hits += 1;
 
-    // STATS round-trip: merged report + per-shard heat.
-    let stats = skull_client.stats().expect("stats over the socket");
+    // Trait-level accounting plus the wire-only heat view.
+    let merged = skull_backend.report().expect("report over the socket");
+    assert_eq!(merged.frames_completed, (rendered + 1) as u64);
+    assert_eq!(merged.cache_hits, cache_hits as u64);
+    let mut stats_client = RenderClient::connect(server.addr()).expect("stats connection");
+    let stats = stats_client.stats().expect("stats over the socket");
     println!("server stats as seen over the wire:\n{stats}\n");
-    assert_eq!(
-        stats.merged.frames_completed,
-        (rendered + 1) as u64,
-        "every socket frame is accounted for"
-    );
     assert!(
         stats.shards.iter().all(|h| h.frames_completed > 0),
         "both shards served traffic"
     );
-    assert_eq!(stats.merged.cache_hits, cache_hits as u64);
 
+    drop(skull_session);
+    drop(nova_session);
+    let last_seen = RenderBackend::shutdown(skull_backend);
+    assert_eq!(last_seen.frames_completed, (rendered + 1) as u64);
     let report = server.shutdown();
     println!(
         "main server drained: {} frames completed, {:.1} frames/s wall\n",
@@ -105,7 +121,9 @@ fn main() {
         report.frames_per_sec()
     );
 
-    // Rate-limit vignette: 2 frames of budget, then typed throttling.
+    // Rate-limit vignette on the RAW client: 2 frames of budget, then
+    // typed throttling with an exact retry-after. (RemoteBackend would
+    // sleep the retry_after out instead of surfacing it.)
     let throttled_server = RenderServer::start(ServerConfig {
         shards: 1,
         rate_limit: Some(RateLimitConfig::new(0.5, 2)),

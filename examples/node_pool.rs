@@ -1,0 +1,143 @@
+//! The first multi-node rung in action: two independent [`RenderServer`]
+//! processes-worth of render capacity behind one [`NodePool`] — the same
+//! `RenderBackend` trait as a local [`RenderService`], but the frames come
+//! from whichever node the placement [`Directory`] owns each batch key on.
+//! The finale kills a node mid-run and the pool completes the next frame
+//! on the survivor, inside its [`RetryBudget`], bit-identical as ever.
+//!
+//!     cargo run --release --example node_pool
+
+use gpumr::prelude::*;
+
+fn start_node() -> RenderServer {
+    RenderServer::start(ServerConfig {
+        shards: 2,
+        service: ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind a loopback node")
+}
+
+fn main() {
+    let mut nodes: Vec<Option<RenderServer>> = vec![Some(start_node()), Some(start_node())];
+    let directory = Directory::new(nodes.iter().map(|n| n.as_ref().unwrap().addr()).collect());
+    println!("node directory: {:?}\n", directory.addrs());
+
+    let pool = NodePool::new(
+        directory,
+        NodePoolConfig {
+            retry: RetryBudget {
+                attempts: 3,
+                ..RetryBudget::default()
+            },
+            client: ClientConfig {
+                connect_timeout: Some(std::time::Duration::from_secs(5)),
+                read_timeout: Some(std::time::Duration::from_secs(120)),
+                ..ClientConfig::default()
+            },
+        },
+    );
+
+    let cfg = RenderConfig::test_size(64);
+    let datasets = [
+        (Dataset::Skull, 32u32, 4u32, TransferFunction::bone()),
+        (Dataset::Supernova, 32, 1, TransferFunction::fire()),
+        (Dataset::Plume, 16, 2, TransferFunction::smoke()),
+    ];
+
+    // One session per dataset, all over the same pool; the directory pins
+    // each (cluster, volume, config) to its owning node, so a dataset's
+    // frames keep hitting the node whose plan cache is warm.
+    let mut rendered = 0u32;
+    for (dataset, base, gpus, transfer) in &datasets {
+        let volume = dataset.volume(*base);
+        let spec = ClusterSpec::accelerator_cluster(*gpus);
+        let session = pool.session(spec.clone(), volume.clone(), cfg.clone());
+        let owner = pool.node_for(&SceneRequest {
+            spec: spec.clone(),
+            volume: volume.clone(),
+            scene: Scene::orbit(&volume, 0.0, 15.0, transfer.clone()),
+            config: cfg.clone(),
+            priority: Priority::Normal,
+        });
+        for i in 0..4 {
+            let az = i as f32 * 85.0;
+            let frame = session
+                .render(Scene::orbit(&volume, az, 15.0, transfer.clone()))
+                .expect("pooled render");
+            let scene = Scene::orbit(&volume, az, 15.0, transfer.clone());
+            let direct = gpumr::volren::render(&spec, &volume, &scene, &cfg);
+            assert_eq!(
+                *frame.image, direct.image,
+                "pooled frame must be bit-identical to a direct render"
+            );
+            rendered += 1;
+        }
+        println!(
+            "{:>10}: 4 frames via node {owner} — all bit-identical",
+            dataset.name()
+        );
+    }
+
+    // Pool-level merged accounting across both nodes.
+    let merged = pool.report().expect("merged pool report");
+    assert_eq!(merged.frames_completed, rendered as u64);
+    println!(
+        "\npool report: {} frames over {} nodes, {:.1} frames/s wall",
+        merged.frames_completed,
+        pool.node_count(),
+        merged.frames_per_sec()
+    );
+    for (node, stats) in pool.node_stats().into_iter().enumerate() {
+        let stats = stats.expect("node reachable");
+        println!(
+            "  node {node}: {} frames, {} shards",
+            stats.merged.frames_completed,
+            stats.shards.len()
+        );
+    }
+
+    // Failover finale: kill the skull's owning node, render again — the
+    // pool absorbs the loss within its retry budget and the survivor
+    // delivers the identical pixels.
+    let skull = Dataset::Skull.volume(32);
+    let spec = ClusterSpec::accelerator_cluster(4);
+    let request = SceneRequest {
+        spec: spec.clone(),
+        volume: skull.clone(),
+        scene: Scene::orbit(&skull, 123.0, 15.0, TransferFunction::bone()),
+        config: cfg.clone(),
+        priority: Priority::Normal,
+    };
+    let owner = pool.node_for(&request);
+    println!("\nkilling node {owner} (owns the skull) mid-run…");
+    nodes[owner].take().unwrap().shutdown();
+
+    let frame = pool.render(request.clone()).expect("failover render");
+    let direct = gpumr::volren::render(&spec, &skull, &request.scene, &cfg);
+    assert_eq!(
+        *frame.image, direct.image,
+        "failover must not change a single pixel"
+    );
+    println!("frame completed on the survivor — still bit-identical");
+
+    let stats = pool.node_stats();
+    assert!(stats[owner].is_err(), "dead node reports its error");
+    assert!(stats[1 - owner].is_ok());
+    println!(
+        "node {owner} now reports: {}",
+        stats[owner].as_ref().unwrap_err()
+    );
+
+    RenderBackend::shutdown(pool);
+    if let Some(survivor) = nodes.into_iter().flatten().next() {
+        let report = survivor.shutdown();
+        println!(
+            "\nsurvivor drained: {} frames completed over its lifetime",
+            report.frames_completed
+        );
+    }
+}

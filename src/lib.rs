@@ -12,10 +12,14 @@
 //! * [`volren`] — the ray-casting volume renderer built on all of the above;
 //! * [`serve`] — the multi-scene render service (job queue with admission
 //!   control, frame batching, cross-batch plan cache, frame cache, shard
-//!   router) layered on the renderer;
-//! * [`net`] — the TCP front-end over the sharded service: wire protocol,
+//!   router) layered on the renderer, and the [`serve::RenderBackend`]
+//!   trait every front-end implements;
+//! * [`net`] — the service on the wire: protocol,
 //!   [`net::RenderServer`]/[`net::RenderClient`], per-session rate
-//!   limiting and per-shard heat stats.
+//!   limiting, per-shard heat stats, plus the remote backends —
+//!   [`net::RemoteBackend`] (one server) and [`net::NodePool`] (N servers
+//!   behind a placement [`net::Directory`] with retry budgets and
+//!   failover) — behind the same trait.
 //!
 //! ## Quickstart
 //!
@@ -45,13 +49,14 @@ pub use mgpu_volren as volren;
 pub mod prelude {
     pub use mgpu_cluster::topology::ClusterSpec;
     pub use mgpu_net::{
-        ClientError, NetFrame, NetSceneRequest, NetStats, NetTicket, RateLimitConfig, RenderClient,
-        RenderServer, ServerConfig, WireError,
+        ClientConfig, ClientError, Directory, NetFrame, NetSceneRequest, NetStats, NetTicket,
+        NodePool, NodePoolConfig, PoolTicket, RateLimitConfig, RemoteBackend, RenderClient,
+        RenderServer, RetryBudget, ServerConfig, WireError,
     };
     pub use mgpu_serve::{
-        AdmissionError, CacheSnapshot, FrameError, FrameTicket, Priority, QueueBounds,
-        RenderService, RenderedFrame, SceneRequest, SceneSession, ServiceConfig, ServiceReport,
-        ShardHeat, ShardedService,
+        AdmissionError, BackendError, BackendFrame, CacheSnapshot, FrameError, FrameTicket,
+        Priority, QueueBounds, RenderBackend, RenderService, RenderedFrame, SceneRequest,
+        SceneSession, ServiceConfig, ServiceReport, SessionTicket, ShardHeat, ShardedService,
     };
     pub use mgpu_sim::{Fig3Bucket, SimDuration};
     pub use mgpu_voldata::datasets::Dataset;

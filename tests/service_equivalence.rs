@@ -1,36 +1,12 @@
-//! Facade-level check of the render service: frames served through
-//! `gpumr::serve` — plain, plan-cache-warmed or sharded — are bit-identical
-//! to direct `render` calls, and the service report accounts for every
-//! frame.
+//! Facade-level checks of the in-process service that go beyond the
+//! four-backend harness in `backend_equivalence.rs`: cross-wave plan-cache
+//! reuse under sharding must not change a single pixel. Everything here is
+//! written against the `RenderBackend` trait (sessions included).
 
 use gpumr::prelude::*;
 
-#[test]
-fn service_frames_equal_direct_renders_through_the_facade() {
-    let service = RenderService::start(ServiceConfig::default());
-    let spec = ClusterSpec::accelerator_cluster(2);
-    let cfg = RenderConfig::test_size(24);
-    let volume = Dataset::Supernova.volume(16);
-    let session = service.session(spec.clone(), volume.clone(), cfg.clone());
-
-    let scenes: Vec<Scene> = (0..4)
-        .map(|i| Scene::orbit(&volume, i as f32 * 85.0, -10.0, TransferFunction::fire()))
-        .collect();
-    let tickets: Vec<FrameTicket> = scenes.iter().map(|s| session.request(s.clone())).collect();
-
-    for (scene, ticket) in scenes.iter().zip(tickets) {
-        let frame = ticket.wait();
-        let direct = render(&spec, &volume, scene, &cfg);
-        assert_eq!(*frame.image, direct.image);
-    }
-    let report: ServiceReport = service.shutdown();
-    assert_eq!(report.frames_completed, 4);
-    assert_eq!(report.frames_rendered + report.cache_hits, 4);
-    assert_eq!(report.frames_failed, 0);
-}
-
 /// Plan-cache reuse across separate waves must not change a single pixel,
-/// and the sharded front-end must agree with both.
+/// and the sharded front-end must agree with direct renders throughout.
 #[test]
 fn sharded_and_plan_cached_frames_equal_direct_renders() {
     let sharded = ShardedService::start(
@@ -86,5 +62,43 @@ fn sharded_and_plan_cached_frames_equal_direct_renders() {
     }
     let report = sharded.shutdown();
     assert_eq!(report.frames_completed, 12);
+    assert_eq!(report.frames_failed, 0);
+}
+
+/// The trait's synchronous `render` agrees with the ticketed path and the
+/// service accounting, through the facade prelude alone.
+#[test]
+fn trait_render_matches_ticketed_session_requests() {
+    let service = RenderService::start(ServiceConfig::default());
+    let spec = ClusterSpec::accelerator_cluster(2);
+    let cfg = RenderConfig::test_size(24);
+    let volume = Dataset::Supernova.volume(16);
+
+    let scene = Scene::orbit(&volume, 85.0, -10.0, TransferFunction::fire());
+    let via_render = service
+        .render(SceneRequest {
+            spec: spec.clone(),
+            volume: volume.clone(),
+            scene: scene.clone(),
+            config: cfg.clone(),
+            priority: Priority::Normal,
+        })
+        .expect("trait render");
+
+    let session = service.session(spec.clone(), volume.clone(), cfg.clone());
+    let via_ticket = session.request(scene.clone()).wait();
+    assert_eq!(via_ticket.image, via_render.image, "same allocation reused");
+    assert!(
+        via_ticket.from_cache,
+        "second identical view hits the cache"
+    );
+
+    let direct = render(&spec, &volume, &scene, &cfg);
+    assert_eq!(*via_render.image, direct.image);
+
+    let report: ServiceReport = service.shutdown();
+    assert_eq!(report.frames_completed, 2);
+    assert_eq!(report.frames_rendered, 1);
+    assert_eq!(report.cache_hits, 1);
     assert_eq!(report.frames_failed, 0);
 }
