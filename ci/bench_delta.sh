@@ -1,16 +1,30 @@
 #!/usr/bin/env bash
-# Print a one-line frames/sec delta between two smoke-bench JSON artifacts
-# (the previous run's and this run's), e.g.:
+# Gate a smoke-bench JSON artifact against the previous run's: print the
+# frames/sec delta and FAIL when throughput regressed past the tolerance
+# band, e.g.:
 #
 #   bench serve: frames/sec 118.40 -> 124.91 (+5.5%)
+#   bench net: frames/sec 130.00 -> 70.00 (-46.2%)  REGRESSION (tolerance -35%)
 #
-# Usage: ci/bench_delta.sh <previous.json> <current.json> <label>
-# Missing files are reported, never fatal — the delta is advisory.
+# Usage: ci/bench_delta.sh <previous.json> <current.json> <label> [tolerance_pct]
+#
+#   tolerance_pct  how far frames/sec may drop before the gate fails,
+#                  as a positive percentage (default 35 — smoke benches on
+#                  shared CI runners are noisy; the band is wide on purpose
+#                  to catch step-function regressions, not jitter).
+#
+# Escape hatches (both exit 0 with the delta still printed):
+#   * BENCH_SKIP=1 in the environment, set by CI when the head commit
+#     message contains [bench-skip] — for commits that knowingly trade
+#     throughput (say, correctness fixes) and say so.
+#   * a missing previous artifact (first run, expired retention): there is
+#     nothing sound to gate against.
 set -euo pipefail
 
 prev="${1:?previous json}"
 curr="${2:?current json}"
 label="${3:?label}"
+tolerance="${4:-35}"
 
 fps() {
     # The artifacts are flat one-field-per-line JSON written by
@@ -19,16 +33,34 @@ fps() {
 }
 
 if [ ! -f "$curr" ]; then
-    echo "bench $label: no current artifact ($curr missing)"
-    exit 0
+    echo "bench $label: FAIL — no current artifact ($curr missing)"
+    exit 1
 fi
 now="$(fps "$curr")"
+if [ -z "$now" ]; then
+    echo "bench $label: FAIL — current artifact has no frames_per_sec field"
+    exit 1
+fi
 if [ ! -f "$prev" ]; then
-    echo "bench $label: frames/sec $now (no previous artifact to diff against)"
+    echo "bench $label: frames/sec $now (no previous artifact to gate against)"
     exit 0
 fi
 before="$(fps "$prev")"
-awk -v b="$before" -v n="$now" -v l="$label" 'BEGIN {
-    if (b + 0 == 0) { printf "bench %s: frames/sec %s (previous artifact unreadable)\n", l, n; exit }
-    printf "bench %s: frames/sec %.2f -> %.2f (%+.1f%%)\n", l, b, n, (n - b) / b * 100
+
+skip="${BENCH_SKIP:-0}"
+awk -v b="$before" -v n="$now" -v l="$label" -v tol="$tolerance" -v skip="$skip" 'BEGIN {
+    if (b + 0 == 0) {
+        printf "bench %s: frames/sec %s (previous artifact unreadable)\n", l, n
+        exit 0
+    }
+    delta = (n - b) / b * 100
+    if (delta < -tol) {
+        if (skip + 0 == 1) {
+            printf "bench %s: frames/sec %.2f -> %.2f (%+.1f%%)  regression waived by [bench-skip]\n", l, b, n, delta
+            exit 0
+        }
+        printf "bench %s: frames/sec %.2f -> %.2f (%+.1f%%)  REGRESSION (tolerance -%s%%)\n", l, b, n, delta, tol
+        exit 1
+    }
+    printf "bench %s: frames/sec %.2f -> %.2f (%+.1f%%)\n", l, b, n, delta
 }'

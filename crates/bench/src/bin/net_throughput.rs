@@ -198,6 +198,72 @@ fn node_sweep(
     widest
 }
 
+/// Part 3: the C10K knee — `total` connections held open against ONE
+/// server, of which only `hot` issue renders; the rest are mostly-idle
+/// sessions that just sit registered in the event loop (the fleet-viewer
+/// shape: thousands watching, a few driving). Reports the hot sessions'
+/// p50/p99 round trip as the idle population grows: a thread-per-connection
+/// design pays for every parked thread, a readiness loop should price only
+/// the hot set.
+fn knee_point(
+    total: usize,
+    hot: usize,
+    frames_each: usize,
+    shards: usize,
+    volume_size: u32,
+    image: u32,
+) -> (f64, Duration, Duration) {
+    let server = RenderServer::start(ServerConfig {
+        shards,
+        service: ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let addr = server.addr();
+
+    // The idle population: connected, handshaken, then silent.
+    let idle: Vec<mgpu_net::RenderClient> = (0..total.saturating_sub(hot))
+        .map(|_| mgpu_net::RenderClient::connect(addr).expect("idle connect"))
+        .collect();
+
+    let datasets = [Dataset::Skull, Dataset::Supernova, Dataset::Plume];
+    let started = Instant::now();
+    let mut rtts: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..hot)
+            .map(|h| {
+                let datasets = &datasets;
+                scope.spawn(move || {
+                    let client = mgpu_net::RenderClient::connect(addr).expect("hot connect");
+                    let backend = RemoteBackend::from_client(client);
+                    let dataset = datasets[h % datasets.len()];
+                    let mut rtts = Vec::with_capacity(frames_each);
+                    for f in 0..frames_each {
+                        let request = request_for(dataset, volume_size, 1, f as f32 * 23.0, image);
+                        let sent = Instant::now();
+                        backend.render(request).expect("hot render");
+                        rtts.push(sent.elapsed());
+                    }
+                    rtts
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("hot session"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    rtts.sort_unstable();
+    let (p50, p99) = (quantile(&rtts, 0.5), quantile(&rtts, 0.99));
+    drop(idle);
+    server.shutdown();
+    let fps = (hot * frames_each) as f64 / wall.as_secs_f64();
+    (fps, p50, p99)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -268,8 +334,50 @@ fn main() {
     let (max_nodes, volumes, each) = if smoke { (2, 4, 2) } else { (2, 6, 4) };
     let pooled_fps = node_sweep(max_nodes, shards, volumes, each, volume_size, image);
 
+    // Part 3: the connection knee. `--connections 64,256,1024` overrides
+    // the default sweep of mostly-idle session counts.
+    let knee_points: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--connections")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .filter_map(|v| v.trim().parse::<usize>().ok())
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            if smoke {
+                vec![16, 64]
+            } else {
+                vec![64, 256, 1024]
+            }
+        });
+    let hot = 4usize;
+    let knee_frames = if smoke { 4 } else { 6 };
+    println!(
+        "\nconnection knee — {hot} hot sessions rendering, the rest idle \
+         (one event loop owns them all):"
+    );
+    println!(
+        "{:>11} {:>9} {:>10} {:>10}",
+        "connections", "frames/s", "p50 rtt", "p99 rtt"
+    );
+    let mut knee_widest: Option<(usize, f64, Duration, Duration)> = None;
+    for total in knee_points {
+        let total = total.max(hot);
+        let (fps, p50, p99) = knee_point(total, hot, knee_frames, shards, volume_size, image);
+        println!(
+            "{:>11} {:>9.2} {:>8.2}ms {:>8.2}ms",
+            total,
+            fps,
+            p50.as_secs_f64() * 1e3,
+            p99.as_secs_f64() * 1e3,
+        );
+        knee_widest = Some((total, fps, p50, p99));
+    }
+
     if let Some(result) = smoke_summary {
-        JsonObject::new()
+        let json = JsonObject::new()
             .str("bench", "net_throughput")
             .int("shards", shards as u64)
             .int("clients", smoke_point.0 as u64)
@@ -289,8 +397,16 @@ fn main() {
                 "p90_rtt_ms",
                 quantile(&result.rtts, 0.9).as_secs_f64() * 1e3,
             )
-            .num("pooled_frames_per_sec", pooled_fps)
-            .num("wall_secs", result.wall.as_secs_f64())
+            .num("pooled_frames_per_sec", pooled_fps);
+        let json = if let Some((total, fps, p50, p99)) = knee_widest {
+            json.int("knee_connections", total as u64)
+                .num("knee_frames_per_sec", fps)
+                .num("knee_p50_rtt_ms", p50.as_secs_f64() * 1e3)
+                .num("knee_p99_rtt_ms", p99.as_secs_f64() * 1e3)
+        } else {
+            json
+        };
+        json.num("wall_secs", result.wall.as_secs_f64())
             .write("BENCH_net.json")
             .expect("write BENCH_net.json");
     }

@@ -1,12 +1,36 @@
-//! The client side of the wire: a blocking [`RenderClient`] mirroring the
-//! in-process service API — `render` blocks like `RenderService::submit`
-//! (waiting out admission bounds *and* the render), `submit` is the
-//! fire-and-forget `try_submit` analogue returning a [`NetTicket`] to
-//! redeem later, and every in-process error type crosses the socket intact:
-//! admission shedding comes back as the same [`AdmissionError`], a caught
-//! render panic as the same [`FrameError`] message.
+//! The client side of the wire: a **pipelined** [`RenderClient`] over one
+//! TCP connection. Every request carries a fresh `request_id` and the
+//! server replies in *completion* order, so one connection carries many
+//! in-flight renders at once:
+//!
+//! - [`RenderClient::render`] blocks until the frame arrives — the wire
+//!   analogue of `ShardedService::submit(...).wait()` — but concurrent
+//!   `render` calls from many threads interleave on the same socket.
+//! - [`RenderClient::begin_render`] / [`RenderClient::finish_render`]
+//!   split that into an issue half (returns immediately with a
+//!   [`PendingRender`]) and a redeem half, so a single thread can hold
+//!   many renders in flight and collect them in any order.
+//! - [`RenderClient::submit`] stays the `try_submit` analogue: it waits
+//!   only for the server's admission verdict (a fast ack), returning a
+//!   [`NetTicket`] while the render proceeds server-side.
+//!
+//! Every in-process error type still crosses the socket intact: admission
+//! shedding comes back as the same [`AdmissionError`], a caught render
+//! panic as the same [`FrameError`] message.
+//!
+//! Internally the client is a mailbox: all methods take `&self` and are
+//! safe to call from many threads. Writers serialize whole frames through
+//! one lock; on the read side one caller at a time is elected *reader* and
+//! pulls the next frame off the socket, filing it in an inbox keyed by
+//! `request_id` — everyone else parks on a condvar and checks the inbox
+//! when woken. A transport error poisons the mailbox: every waiter (and
+//! every later call) fails with the same typed error, because a
+//! desynchronized byte stream cannot be trusted again.
 
+use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 use mgpu_serve::{AdmissionError, FrameError};
@@ -14,8 +38,8 @@ use mgpu_serve::{AdmissionError, FrameError};
 use crate::heat::{decode_stats, NetStats};
 use crate::wire::{
     decode_frame, decode_message, decode_pong, decode_rejected, decode_throttled, decode_ticket,
-    decode_tickets_full, encode_ping, encode_request, encode_ticket, opcode, read_frame,
-    write_frame, NetFrame, NetSceneRequest, WireError, DEFAULT_MAX_PAYLOAD,
+    decode_tickets_full, decode_unsupported_version, encode_ping, encode_request, encode_ticket,
+    opcode, read_frame, write_frame, NetFrame, NetSceneRequest, WireError, DEFAULT_MAX_PAYLOAD,
 };
 
 /// Why a client call failed, with the server-side error types restored.
@@ -30,8 +54,8 @@ pub enum ClientError {
     /// The per-session rate limiter refused the request; retry no sooner
     /// than `retry_after`.
     Throttled { retry_after: Duration },
-    /// The session holds too many un-redeemed tickets; redeem some, then
-    /// retry (fire-and-forget path only).
+    /// The session holds too many outstanding requests (in-flight renders
+    /// plus un-redeemed tickets); consume some replies, then retry.
     TicketsFull { outstanding: u64, limit: u64 },
     /// The render itself failed server-side (e.g. a caught render panic).
     Render(FrameError),
@@ -54,8 +78,8 @@ impl std::fmt::Display for ClientError {
             ClientError::TicketsFull { outstanding, limit } => {
                 write!(
                     f,
-                    "session holds {outstanding} un-redeemed tickets (limit {limit}): \
-                     redeem before submitting more"
+                    "session holds {outstanding} outstanding requests (limit {limit}): \
+                     consume replies before submitting more"
                 )
             }
             ClientError::Render(err) => write!(f, "render failed: {err}"),
@@ -73,8 +97,9 @@ impl From<WireError> for ClientError {
 }
 
 /// A redeemable handle from [`RenderClient::submit`] — the wire analogue of
-/// an in-process `FrameTicket`. Tickets are connection-scoped: redeem them
-/// on the client that issued them.
+/// an in-process `FrameTicket`. Its id *is* the `SUBMIT` frame's
+/// `request_id`. Tickets are connection-scoped: redeem them on the client
+/// that issued them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetTicket {
     id: u64,
@@ -90,6 +115,24 @@ impl NetTicket {
     /// this cannot forge frames — only name them.
     pub fn from_id(id: u64) -> NetTicket {
         NetTicket { id }
+    }
+}
+
+/// An issued-but-uncollected render from [`RenderClient::begin_render`].
+/// Collect it with [`RenderClient::finish_render`] — in any order relative
+/// to other pending renders on the same connection. Dropping it abandons
+/// the reply (the frame still arrives and sits in the client's inbox until
+/// the connection is dropped).
+#[must_use = "collect the frame with RenderClient::finish_render"]
+#[derive(Debug)]
+pub struct PendingRender {
+    id: u64,
+}
+
+impl PendingRender {
+    /// The `request_id` the reply will carry (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
     }
 }
 
@@ -121,13 +164,28 @@ impl Default for ClientConfig {
     }
 }
 
-/// A blocking render-service client over one TCP connection. One session =
-/// one connection: the server's rate limiter and ticket table live per
-/// connection, and requests are strictly request/response.
+/// Replies filed by `request_id`, plus the shared connection state.
+struct Mailbox {
+    inbox: HashMap<u64, (u8, Vec<u8>)>,
+    /// Someone currently holds the read half pulling the next frame.
+    reading: bool,
+    /// A transport-level failure poisons the whole connection: everyone
+    /// gets the same typed error.
+    dead: Option<ClientError>,
+}
+
+/// A pipelined render-service client over one TCP connection. One session =
+/// one connection: the server's rate limiter and outstanding-request table
+/// live per connection. All methods take `&self`; share a client across
+/// threads (e.g. in an `Arc`) and their requests multiplex on the socket.
 pub struct RenderClient {
-    stream: TcpStream,
+    write: Mutex<TcpStream>,
+    read: Mutex<TcpStream>,
+    mail: Mutex<Mailbox>,
+    delivered: Condvar,
+    next_id: AtomicU64,
+    max_payload: AtomicU64,
     shards: u32,
-    max_payload: u64,
 }
 
 impl RenderClient {
@@ -140,9 +198,9 @@ impl RenderClient {
     }
 
     /// Connect with explicit transport bounds. A read timeout surfaces as
-    /// a [`ClientError::Wire`] I/O error on the call that hit it; treat the
-    /// connection as poisoned afterwards (the late reply, if any, would
-    /// desynchronize the request/response stream).
+    /// a [`ClientError::Wire`] I/O error on the call that hit it and
+    /// poisons the connection (a late reply would desynchronize the frame
+    /// stream).
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         config: ClientConfig,
@@ -171,10 +229,19 @@ impl RenderClient {
         stream
             .set_read_timeout(config.read_timeout)
             .map_err(WireError::from)?;
+        let read = stream.try_clone().map_err(WireError::from)?;
         let mut client = RenderClient {
-            stream,
+            write: Mutex::new(stream),
+            read: Mutex::new(read),
+            mail: Mutex::new(Mailbox {
+                inbox: HashMap::new(),
+                reading: false,
+                dead: None,
+            }),
+            delivered: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            max_payload: AtomicU64::new(config.max_payload),
             shards: 0,
-            max_payload: config.max_payload,
         };
         client.shards = client.ping()?;
         Ok(client)
@@ -190,14 +257,16 @@ impl RenderClient {
     /// ~2048² exceed the 64 MiB default and need a higher bound *before*
     /// the render call — once an oversized response header is rejected,
     /// the unread payload poisons the connection for further requests.
-    pub fn set_max_payload(&mut self, max_payload: u64) {
-        self.max_payload = max_payload;
+    pub fn set_max_payload(&self, max_payload: u64) {
+        self.max_payload.store(max_payload, Ordering::Relaxed);
     }
 
     /// Round-trip a `PING`; returns the server's shard count.
-    pub fn ping(&mut self) -> Result<u32, ClientError> {
+    pub fn ping(&self) -> Result<u32, ClientError> {
         let token = 0x6D67_7075; // arbitrary echo payload
-        let (op, payload) = self.round_trip(opcode::PING, &encode_ping(token))?;
+        let id = self.fresh_id();
+        self.send(opcode::PING, id, &encode_ping(token))?;
+        let (op, payload) = self.await_reply(id)?;
         match op {
             opcode::PONG => {
                 let (echoed, shards) = decode_pong(&payload)?;
@@ -208,26 +277,49 @@ impl RenderClient {
                 }
                 Ok(shards)
             }
-            other => Err(self.unexpected(other, &payload)),
+            other => Err(unexpected(other, &payload)),
         }
     }
 
-    /// Render one frame, blocking until it is delivered — the wire analogue
-    /// of `ShardedService::submit(...).wait()`, including blocking at the
-    /// admission bound. Distinguishes throttling and render failures as
-    /// typed errors.
-    pub fn render(&mut self, request: &NetSceneRequest) -> Result<NetFrame, ClientError> {
-        let (op, payload) = self.round_trip(opcode::RENDER, &encode_request(request))?;
-        self.frame_response(op, &payload)
+    /// Render one frame, blocking until it is delivered. Unlike the old
+    /// strict request/response wire, concurrent `render` calls (from many
+    /// threads sharing this client) all proceed at once; replies are
+    /// matched by `request_id`. Admission shedding surfaces as a typed
+    /// [`ClientError::Admission`] — the server answers inline instead of
+    /// parking the request (retry loops live in `RemoteBackend`).
+    pub fn render(&self, request: &NetSceneRequest) -> Result<NetFrame, ClientError> {
+        let pending = self.begin_render(request)?;
+        self.finish_render(pending)
     }
 
-    /// Fire-and-forget submit — the wire analogue of `try_submit`: sheds
-    /// with [`ClientError::Admission`] under overload instead of blocking,
-    /// and returns a ticket immediately while the server renders. Redeem
+    /// Issue a render without waiting for anything: the request frame is
+    /// written and a [`PendingRender`] returned while the server works.
+    /// Issue as many as the server's per-session outstanding bound allows,
+    /// then collect them in any order with [`RenderClient::finish_render`].
+    pub fn begin_render(&self, request: &NetSceneRequest) -> Result<PendingRender, ClientError> {
+        let id = self.fresh_id();
+        self.send(opcode::RENDER, id, &encode_request(request))?;
+        Ok(PendingRender { id })
+    }
+
+    /// Collect one pending render — blocks until *its* reply arrives,
+    /// regardless of how many other requests are in flight or in what
+    /// order the server finishes them.
+    pub fn finish_render(&self, pending: PendingRender) -> Result<NetFrame, ClientError> {
+        let (op, payload) = self.await_reply(pending.id)?;
+        frame_response(op, &payload)
+    }
+
+    /// Fire-and-forget submit — the wire analogue of `try_submit`: waits
+    /// only for the server's admission verdict (a fast ack sent before the
+    /// render runs), shedding with [`ClientError::Admission`] under
+    /// overload, and returns a ticket while the server renders. Redeem
     /// with [`RenderClient::redeem`], or drop the ticket (the frame still
     /// lands in the server's cache).
-    pub fn submit(&mut self, request: &NetSceneRequest) -> Result<NetTicket, ClientError> {
-        let (op, payload) = self.round_trip(opcode::SUBMIT, &encode_request(request))?;
+    pub fn submit(&self, request: &NetSceneRequest) -> Result<NetTicket, ClientError> {
+        let id = self.fresh_id();
+        self.send(opcode::SUBMIT, id, &encode_request(request))?;
+        let (op, payload) = self.await_reply(id)?;
         match op {
             opcode::SUBMITTED => Ok(NetTicket {
                 id: decode_ticket(&payload)?,
@@ -240,54 +332,138 @@ impl RenderClient {
                 let (outstanding, limit) = decode_tickets_full(&payload)?;
                 Err(ClientError::TicketsFull { outstanding, limit })
             }
-            other => Err(self.unexpected(other, &payload)),
+            other => Err(unexpected(other, &payload)),
         }
     }
 
     /// Block until a submitted frame is ready. A ticket redeems once.
-    pub fn redeem(&mut self, ticket: NetTicket) -> Result<NetFrame, ClientError> {
-        let (op, payload) = self.round_trip(opcode::REDEEM, &encode_ticket(ticket.id))?;
-        self.frame_response(op, &payload)
+    pub fn redeem(&self, ticket: NetTicket) -> Result<NetFrame, ClientError> {
+        let id = self.fresh_id();
+        self.send(opcode::REDEEM, id, &encode_ticket(ticket.id))?;
+        let (op, payload) = self.await_reply(id)?;
+        frame_response(op, &payload)
     }
 
     /// Fetch the merged service report and per-shard heat metrics.
-    pub fn stats(&mut self) -> Result<NetStats, ClientError> {
-        let (op, payload) = self.round_trip(opcode::STATS, &[])?;
+    pub fn stats(&self) -> Result<NetStats, ClientError> {
+        let id = self.fresh_id();
+        self.send(opcode::STATS, id, &[])?;
+        let (op, payload) = self.await_reply(id)?;
         match op {
             opcode::STATS_REPORT => Ok(decode_stats(&payload)?),
-            other => Err(self.unexpected(other, &payload)),
+            other => Err(unexpected(other, &payload)),
         }
     }
 
-    fn round_trip(&mut self, op: u8, payload: &[u8]) -> Result<(u8, Vec<u8>), ClientError> {
-        write_frame(&mut self.stream, op, payload)?;
-        Ok(read_frame(&mut self.stream, self.max_payload)?)
+    /// Request ids only need to be unique among a connection's
+    /// *outstanding* requests; a monotone counter never reuses one at all.
+    /// 0 is reserved for the server's unsolicited frames.
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn frame_response(&mut self, op: u8, payload: &[u8]) -> Result<NetFrame, ClientError> {
-        match op {
-            opcode::FRAME => Ok(decode_frame(payload)?),
-            opcode::FAILED => Err(ClientError::Render(FrameError::new(decode_message(
-                payload,
-            )?))),
-            opcode::THROTTLED => Err(ClientError::Throttled {
-                retry_after: decode_throttled(payload)?,
-            }),
-            opcode::REJECTED => Err(ClientError::Admission(decode_rejected(payload)?)),
-            other => Err(self.unexpected(other, payload)),
+    /// Write one whole request frame (serialized so concurrent requests
+    /// never interleave bytes). Fails fast if the connection is poisoned.
+    fn send(&self, op: u8, request_id: u64, payload: &[u8]) -> Result<(), ClientError> {
+        if let Some(dead) = &self.mail.lock().expect("client mailbox poisoned").dead {
+            return Err(dead.clone());
+        }
+        let mut stream = self.write.lock().expect("client write half poisoned");
+        write_frame(&mut *stream, op, request_id, payload)?;
+        Ok(())
+    }
+
+    /// Block until the reply for `id` is in the inbox. Leader/follower:
+    /// whoever arrives while nobody is reading takes the read half and
+    /// pulls exactly one frame, files it, and wakes everyone; followers
+    /// wait on the condvar and re-check. Each frame is read by *somebody*,
+    /// so no reply can starve even if its requester arrives late.
+    fn await_reply(&self, id: u64) -> Result<(u8, Vec<u8>), ClientError> {
+        let mut mail = self.mail.lock().expect("client mailbox poisoned");
+        loop {
+            if let Some(reply) = mail.inbox.remove(&id) {
+                return Ok(reply);
+            }
+            if let Some(dead) = &mail.dead {
+                return Err(dead.clone());
+            }
+            if mail.reading {
+                mail = self.delivered.wait(mail).expect("client mailbox poisoned");
+                continue;
+            }
+            // Become the reader. The mailbox lock is released while
+            // blocked on the socket so followers can park and late
+            // arrivals can check the inbox.
+            mail.reading = true;
+            drop(mail);
+            let result = {
+                let mut stream = self.read.lock().expect("client read half poisoned");
+                read_frame(&mut *stream, self.max_payload.load(Ordering::Relaxed))
+            };
+            mail = self.mail.lock().expect("client mailbox poisoned");
+            mail.reading = false;
+            match result {
+                Ok((op, reply_id, payload)) => self.file(&mut mail, op, reply_id, payload),
+                Err(err) => mail.dead = Some(ClientError::Wire(err)),
+            }
+            self.delivered.notify_all();
         }
     }
 
-    /// Interpret an out-of-protocol reply: `BAD_REQUEST` echoes the typed
-    /// error the server saw; anything else is a protocol violation.
-    fn unexpected(&self, op: u8, payload: &[u8]) -> ClientError {
-        if op == opcode::BAD_REQUEST {
-            match decode_message(payload) {
+    /// File one received frame. Unsolicited frames (`request_id` 0) are
+    /// connection verdicts, not replies: a version mismatch or an
+    /// unframable-input echo poisons the connection with a typed error for
+    /// every waiter.
+    fn file(&self, mail: &mut Mailbox, op: u8, reply_id: u64, payload: Vec<u8>) {
+        if reply_id != 0 {
+            mail.inbox.insert(reply_id, (op, payload));
+            return;
+        }
+        mail.dead = Some(match op {
+            opcode::UNSUPPORTED_VERSION => match decode_unsupported_version(&payload) {
+                Ok((got, want)) => ClientError::Protocol(format!(
+                    "server speaks wire protocol v{want}, this client sent v{got}"
+                )),
+                Err(err) => ClientError::Wire(err),
+            },
+            opcode::BAD_REQUEST => match decode_message(&payload) {
                 Ok(echo) => ClientError::Protocol(format!("server rejected request: {echo}")),
                 Err(err) => ClientError::Wire(err),
-            }
-        } else {
-            ClientError::Protocol(format!("unexpected response opcode {op:#04x}"))
+            },
+            other => ClientError::Protocol(format!(
+                "unsolicited frame with opcode {other:#04x} and request id 0"
+            )),
+        });
+    }
+}
+
+fn frame_response(op: u8, payload: &[u8]) -> Result<NetFrame, ClientError> {
+    match op {
+        opcode::FRAME => Ok(decode_frame(payload)?),
+        opcode::FAILED => Err(ClientError::Render(FrameError::new(decode_message(
+            payload,
+        )?))),
+        opcode::THROTTLED => Err(ClientError::Throttled {
+            retry_after: decode_throttled(payload)?,
+        }),
+        opcode::REJECTED => Err(ClientError::Admission(decode_rejected(payload)?)),
+        opcode::TICKETS_FULL => {
+            let (outstanding, limit) = decode_tickets_full(payload)?;
+            Err(ClientError::TicketsFull { outstanding, limit })
         }
+        other => Err(unexpected(other, payload)),
+    }
+}
+
+/// Interpret an out-of-protocol reply: `BAD_REQUEST` echoes the typed
+/// error the server saw; anything else is a protocol violation.
+fn unexpected(op: u8, payload: &[u8]) -> ClientError {
+    if op == opcode::BAD_REQUEST {
+        match decode_message(payload) {
+            Ok(echo) => ClientError::Protocol(format!("server rejected request: {echo}")),
+            Err(err) => ClientError::Wire(err),
+        }
+    } else {
+        ClientError::Protocol(format!("unexpected response opcode {op:#04x}"))
     }
 }

@@ -8,29 +8,40 @@
 //! arXiv:1205.0282): render nodes behind a network front-end.
 //!
 //! ```text
-//! RenderClient ──TCP──► RenderServer ──► per-session TokenBucket
-//!   render/submit/redeem/stats              │ (before admission)
-//!                                           ▼
-//!                                    ShardedService (N shards)
-//!                                           │ rendezvous by BatchKey
-//!                                           ▼
-//!                             queue → workers → plan/frame caches
+//! RenderClient ══TCP══► RenderServer event loop ──► per-session TokenBucket
+//!   many in-flight ids     poll(2) readiness,           │ (before admission)
+//!   per connection         all conns in one loop        ▼
+//!         ▲                       ▲             ShardedService (N shards)
+//!         └──replies, any order───┴─completion──┘ rendezvous by BatchKey
+//!                                   queue + waker      │
+//!                                                      ▼
+//!                                        queue → workers → plan/frame caches
 //! ```
 //!
 //! * **Wire format** — [`wire`]: versioned, length-prefixed frames over
 //!   `std::net` TCP; hand-rolled little-endian encoding (no external
 //!   dependencies); every decode failure is a typed [`WireError`], never a
-//!   panic. Floats travel by bit pattern, so a frame fetched through the
-//!   socket is **bit-identical** to a direct `mgpu_volren::render` call —
-//!   the service's determinism guarantee survives the network hop.
+//!   panic. Since **v3** every request carries a client-chosen 8-byte
+//!   `request_id` echoed by its reply, so one connection multiplexes many
+//!   in-flight renders that complete out of order; a v2 peer gets a typed
+//!   `UNSUPPORTED_VERSION` reply instead of a silent close. Floats travel
+//!   by bit pattern, so a frame fetched through the socket is
+//!   **bit-identical** to a direct `mgpu_volren::render` call — the
+//!   service's determinism guarantee survives the network hop.
 //! * **Server** — [`server`]: a [`RenderServer`] owning a
-//!   [`mgpu_serve::ShardedService`]; thread-per-connection, strict
-//!   request/response, poisoned connections contained per session.
-//! * **Client** — [`client`]: blocking [`RenderClient::render`] mirroring
-//!   `submit`, fire-and-forget [`RenderClient::submit`] mirroring
-//!   `try_submit` with [`NetTicket`] redemption, and typed errors that
-//!   round-trip [`mgpu_serve::AdmissionError`] / [`mgpu_serve::FrameError`]
-//!   across the socket.
+//!   [`mgpu_serve::ShardedService`] behind one event-driven readiness
+//!   loop: non-blocking sockets, per-connection partial-frame state
+//!   machines and write queues, completions delivered by render workers
+//!   through a queue + loopback waker, zero wakeups while idle, graceful
+//!   drain on shutdown; poisoned connections contained per session.
+//! * **Client** — [`client`]: a pipelined [`RenderClient`] —
+//!   [`RenderClient::begin_render`] issues without blocking and returns a
+//!   [`PendingRender`] collected later by [`RenderClient::finish_render`],
+//!   blocking [`RenderClient::render`] mirroring `submit`, fire-and-forget
+//!   [`RenderClient::submit`] mirroring `try_submit` with [`NetTicket`]
+//!   redemption, all sharing one connection from any number of threads,
+//!   and typed errors that round-trip [`mgpu_serve::AdmissionError`] /
+//!   [`mgpu_serve::FrameError`] across the socket.
 //! * **Rate limiting** — [`ratelimit`]: a per-session token bucket at the
 //!   server door, ahead of admission control; throttled requests carry an
 //!   exact retry-after.
@@ -41,9 +52,11 @@
 //! * **Backends** — [`remote::RemoteBackend`] puts one server behind the
 //!   [`mgpu_serve::RenderBackend`] trait; [`pool::NodePool`] puts N servers
 //!   behind it with a rendezvous [`pool::Directory`] (the same placement
-//!   policy `ShardedService` uses in-process), per-node connection reuse,
-//!   a typed [`pool::RetryBudget`] that honors server `retry_after`, and
-//!   failover to the next-ranked node on connection loss.
+//!   policy `ShardedService` uses in-process), one pipelined connection
+//!   per node carrying all of that node's in-flight work, a typed
+//!   [`pool::RetryBudget`] that honors server `retry_after`, and failover
+//!   to the next-ranked node on connection loss that re-issues only the
+//!   lost request ids.
 
 pub mod client;
 pub mod heat;
@@ -53,7 +66,7 @@ pub mod remote;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientConfig, ClientError, NetTicket, RenderClient};
+pub use client::{ClientConfig, ClientError, NetTicket, PendingRender, RenderClient};
 pub use heat::NetStats;
 pub use pool::{Directory, NodePool, NodePoolConfig, PoolTicket, RetryBudget};
 pub use ratelimit::{RateLimitConfig, TokenBucket};

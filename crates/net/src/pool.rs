@@ -7,9 +7,11 @@
 //!   BatchKey ──► Directory (rendezvous, same policy as ShardedService)
 //!                     │ preferred node, then failover order
 //!                     ▼
-//!        per-node slot: one reused RenderClient connection
+//!     per-node slot: one shared pipelined RenderClient connection
+//!                     │   (all in-flight work multiplexes on it)
 //!                     │   Throttled → sleep exact retry_after (budgeted)
-//!                     │   connection loss → reconnect / next-ranked node
+//!                     │   connection loss → re-issue only the lost
+//!                     │   request ids on the next-ranked node
 //!                     ▼
 //!              RenderServer … RenderServer   (N processes / hosts)
 //! ```
@@ -22,6 +24,7 @@
 //! moves ~1/(N+1) of the keys.
 
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -139,9 +142,12 @@ impl Default for NodePoolConfig {
 
 /// One pooled connection slot. `generation` counts (re)connects, so a
 /// ticket issued on a connection that later died can never redeem against
-/// the replacement connection's unrelated ticket table.
+/// the replacement connection's unrelated ticket table. The client is held
+/// in an `Arc`: callers clone the handle out and release the slot lock, so
+/// one pooled connection carries every caller's in-flight work
+/// concurrently — the pipelined wire multiplexes them by `request_id`.
 struct NodeSlot {
-    client: Option<RenderClient>,
+    client: Option<Arc<RenderClient>>,
     generation: u64,
 }
 
@@ -210,27 +216,44 @@ impl NodePool {
     }
 
     /// Run `op` on one node's pooled connection, dialing it if needed.
-    /// Returns the slot generation the operation ran on; transport and
-    /// protocol failures poison the slot (the next use re-dials).
+    /// The slot lock is held only to clone the connection handle out — the
+    /// operation itself runs unlocked, so concurrent callers multiplex on
+    /// the same connection instead of queueing. Returns the slot
+    /// generation the operation ran on; transport and protocol failures
+    /// poison the slot (the next use re-dials), unless a concurrent
+    /// failure already re-dialed it (generation moved on).
     fn on_node<T>(
         &self,
         node: usize,
-        op: impl FnOnce(&mut RenderClient) -> Result<T, ClientError>,
+        op: impl FnOnce(&RenderClient) -> Result<T, ClientError>,
     ) -> Result<(u64, T), ClientError> {
-        let mut slot = self.nodes[node].lock();
-        if slot.client.is_none() {
-            let client = RenderClient::connect_with(self.directory.addr(node), self.config.client)?;
-            slot.client = Some(client);
-            slot.generation += 1;
-        }
-        let generation = slot.generation;
-        let result = op(slot.client.as_mut().expect("slot dialed above"));
+        let (client, generation) = {
+            let mut slot = self.nodes[node].lock();
+            if slot.client.is_none() {
+                let client =
+                    RenderClient::connect_with(self.directory.addr(node), self.config.client)?;
+                slot.client = Some(Arc::new(client));
+                slot.generation += 1;
+            }
+            (
+                Arc::clone(slot.client.as_ref().expect("slot dialed above")),
+                slot.generation,
+            )
+        };
+        let result = op(&client);
         if matches!(
             result,
             Err(ClientError::Wire(_)) | Err(ClientError::Protocol(_))
         ) {
-            // The request/response stream is no longer trustworthy.
-            slot.client = None;
+            // The connection is no longer trustworthy. Only this caller's
+            // own request is lost and re-issued by `drive`; other callers
+            // sharing the connection observe their own typed errors and
+            // retry their own request ids — nobody replays someone else's
+            // work.
+            let mut slot = self.nodes[node].lock();
+            if slot.generation == generation {
+                slot.client = None;
+            }
         }
         result.map(|value| (generation, value))
     }
@@ -242,7 +265,7 @@ impl NodePool {
         &self,
         key: &BatchKey,
         blocking: bool,
-        mut op: impl FnMut(&mut RenderClient) -> Result<T, ClientError>,
+        mut op: impl FnMut(&RenderClient) -> Result<T, ClientError>,
     ) -> Result<(usize, u64, T), BackendError> {
         let order = self.directory.ranked(key);
         let budget = self.config.retry;
@@ -325,25 +348,33 @@ impl RenderBackend for NodePool {
     }
 
     fn redeem(&self, ticket: PoolTicket) -> Result<BackendFrame, BackendError> {
-        let mut slot = self.nodes[ticket.node].lock();
-        if slot.generation != ticket.generation || slot.client.is_none() {
-            // The issuing connection is gone; the server dropped its
-            // per-connection ticket table with it. Never redeem against a
-            // replacement connection: its ticket ids are unrelated.
-            return Err(BackendError::Transport(format!(
-                "ticket {} was issued on a connection to node {} that has \
-                 since been lost; its frame cannot be recovered",
-                ticket.ticket.id(),
-                ticket.node
-            )));
-        }
-        let client = slot.client.as_mut().expect("checked above");
+        let client = {
+            let slot = self.nodes[ticket.node].lock();
+            match &slot.client {
+                Some(client) if slot.generation == ticket.generation => Arc::clone(client),
+                // The issuing connection is gone; the server dropped its
+                // per-connection ticket table with it. Never redeem
+                // against a replacement connection: its ticket ids are
+                // unrelated.
+                _ => {
+                    return Err(BackendError::Transport(format!(
+                        "ticket {} was issued on a connection to node {} that has \
+                         since been lost; its frame cannot be recovered",
+                        ticket.ticket.id(),
+                        ticket.node
+                    )))
+                }
+            }
+        };
         let result = client.redeem(ticket.ticket);
         if matches!(
             result,
             Err(ClientError::Wire(_)) | Err(ClientError::Protocol(_))
         ) {
-            slot.client = None;
+            let mut slot = self.nodes[ticket.node].lock();
+            if slot.generation == ticket.generation {
+                slot.client = None;
+            }
         }
         result.map(backend_frame).map_err(backend_error)
     }

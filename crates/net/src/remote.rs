@@ -2,20 +2,19 @@
 //! [`RenderBackend`] trait — the adapter that lets code written against the
 //! in-process service contract run unchanged against a TCP render node.
 //!
-//! The raw [`RenderClient`] mirrors the wire protocol (`&mut self`, its own
+//! The raw [`RenderClient`] mirrors the wire protocol (its own
 //! `ClientError`, `NetSceneRequest`); this wrapper restores the service
-//! contract: `&self` methods (a mutex serializes the strictly
-//! request/response connection), [`mgpu_serve::SceneRequest`] in,
-//! [`BackendFrame`] out, and every failure folded into the shared
-//! [`BackendError`] vocabulary — [`ClientError::Throttled`] keeps its exact
-//! `retry_after`, [`ClientError::Admission`] restores the same
-//! `AdmissionError` the server's queue produced.
+//! contract: [`mgpu_serve::SceneRequest`] in, [`BackendFrame`] out, and
+//! every failure folded into the shared [`BackendError`] vocabulary —
+//! [`ClientError::Throttled`] keeps its exact `retry_after`,
+//! [`ClientError::Admission`] restores the same `AdmissionError` the
+//! server's queue produced. The pipelined client is already `&self` and
+//! thread-safe, so concurrent backend calls multiplex on the one
+//! connection instead of queueing behind a mutex.
 
 use std::net::ToSocketAddrs;
 use std::sync::Arc;
 use std::time::Duration;
-
-use parking_lot::Mutex;
 
 use mgpu_serve::{BackendError, BackendFrame, RenderBackend, SceneRequest, ServiceReport};
 
@@ -54,16 +53,18 @@ pub(crate) fn backend_frame(frame: NetFrame) -> BackendFrame {
     }
 }
 
-/// How long the blocking [`RenderBackend::submit`] sleeps between retries
-/// when the server sheds for admission (the wire has no blocking submit, so
-/// the client polls — cheap against a loopback or LAN server).
+/// How long blocking backend calls sleep between retries when the server
+/// sheds for admission (the v3 server answers admission inline and never
+/// parks a request, so the client polls — cheap against a loopback or LAN
+/// server).
 const SUBMIT_RETRY: Duration = Duration::from_millis(2);
 
-/// One render server as a [`RenderBackend`]. Holds a single connection
-/// (`Mutex`-serialized: the protocol is strictly request/response); see
-/// `NodePool` for many servers with failover and retry budgets.
+/// One render server as a [`RenderBackend`]. Holds a single pipelined
+/// connection — concurrent calls from many threads share it, each tracked
+/// by its own `request_id`; see `NodePool` for many servers with failover
+/// and retry budgets.
 pub struct RemoteBackend {
-    client: Mutex<RenderClient>,
+    client: RenderClient,
 }
 
 impl RemoteBackend {
@@ -78,20 +79,18 @@ impl RemoteBackend {
         config: ClientConfig,
     ) -> Result<RemoteBackend, ClientError> {
         Ok(RemoteBackend {
-            client: Mutex::new(RenderClient::connect_with(addr, config)?),
+            client: RenderClient::connect_with(addr, config)?,
         })
     }
 
     /// Wrap an already-connected client.
     pub fn from_client(client: RenderClient) -> RemoteBackend {
-        RemoteBackend {
-            client: Mutex::new(client),
-        }
+        RemoteBackend { client }
     }
 
     /// Shards behind the server (learned during the handshake).
     pub fn shards(&self) -> u32 {
-        self.client.lock().shards()
+        self.client.shards()
     }
 }
 
@@ -107,7 +106,7 @@ impl RenderBackend for RemoteBackend {
     fn submit(&self, request: SceneRequest) -> Result<NetTicket, BackendError> {
         let net = portable(&request)?;
         loop {
-            match self.client.lock().submit(&net) {
+            match self.client.submit(&net) {
                 Ok(ticket) => return Ok(ticket),
                 Err(ClientError::Admission(_)) => std::thread::sleep(SUBMIT_RETRY),
                 Err(ClientError::Throttled { retry_after }) => std::thread::sleep(retry_after),
@@ -118,25 +117,27 @@ impl RenderBackend for RemoteBackend {
 
     fn try_submit(&self, request: SceneRequest) -> Result<NetTicket, BackendError> {
         let net = portable(&request)?;
-        self.client.lock().submit(&net).map_err(backend_error)
+        self.client.submit(&net).map_err(backend_error)
     }
 
     fn redeem(&self, ticket: NetTicket) -> Result<BackendFrame, BackendError> {
         self.client
-            .lock()
             .redeem(ticket)
             .map(backend_frame)
             .map_err(backend_error)
     }
 
-    /// One `RENDER` round trip — the server blocks at its admission bound,
-    /// so unlike [`RemoteBackend::submit`] no client-side polling happens;
-    /// only the rate-limiter door is waited out here.
+    /// Blocking render: under wire v3 the server answers admission and
+    /// throttling inline (it never blocks the connection), so the blocking
+    /// contract is restored client-side — admission sheds are polled out
+    /// like [`RemoteBackend::submit`] and the rate-limiter door sleeps
+    /// exactly the server's `retry_after`.
     fn render(&self, request: SceneRequest) -> Result<BackendFrame, BackendError> {
         let net = portable(&request)?;
         loop {
-            match self.client.lock().render(&net) {
+            match self.client.render(&net) {
                 Ok(frame) => return Ok(backend_frame(frame)),
+                Err(ClientError::Admission(_)) => std::thread::sleep(SUBMIT_RETRY),
                 Err(ClientError::Throttled { retry_after }) => std::thread::sleep(retry_after),
                 Err(err) => return Err(backend_error(err)),
             }
@@ -145,7 +146,6 @@ impl RenderBackend for RemoteBackend {
 
     fn report(&self) -> Result<ServiceReport, BackendError> {
         self.client
-            .lock()
             .stats()
             .map(|stats| stats.merged)
             .map_err(backend_error)
@@ -155,8 +155,7 @@ impl RenderBackend for RemoteBackend {
     /// (best-effort: an unreachable server yields an empty report). The
     /// server itself keeps running for its other clients.
     fn shutdown(self) -> ServiceReport {
-        let mut client = self.client.into_inner();
-        client
+        self.client
             .stats()
             .map(|stats| stats.merged)
             .unwrap_or_else(|_| ServiceReport::merged([]))

@@ -4,17 +4,26 @@
 //! format is small enough that explicit little-endian field writes are
 //! clearer than a serializer anyway.
 //!
-//! ## Framing
+//! ## Framing (v3)
 //!
 //! Every message (either direction) is one frame:
 //!
-//! | field   | bytes | value                                      |
-//! |---------|-------|--------------------------------------------|
-//! | magic   | 4     | the bytes `MGPU` (LE u32 `0x5550474D`)     |
-//! | version | 2     | [`VERSION`]                                |
-//! | opcode  | 1     | [`opcode`] constant                        |
-//! | length  | 4     | payload bytes that follow                  |
-//! | payload | n     | opcode-specific encoding                   |
+//! | field      | bytes | value                                      |
+//! |------------|-------|--------------------------------------------|
+//! | magic      | 4     | the bytes `MGPU` (LE u32 `0x5550474D`)     |
+//! | version    | 2     | [`VERSION`]                                |
+//! | opcode     | 1     | [`opcode`] constant                        |
+//! | length     | 4     | payload bytes that follow the request id   |
+//! | request_id | 8     | correlates a response with its request     |
+//! | payload    | n     | opcode-specific encoding                   |
+//!
+//! The `request_id` (new in v3) is chosen by the client, must be unique
+//! among that connection's outstanding requests, and is echoed verbatim on
+//! every response to the request — which is what lets one connection carry
+//! many in-flight renders and redeem the replies out of order. Requests the
+//! server originates no reply for do not exist; unsolicited server frames
+//! ([`opcode::UNSUPPORTED_VERSION`], [`opcode::BAD_REQUEST`] for unframable
+//! input) carry request id 0.
 //!
 //! Integers and float bit patterns are little-endian. Floats travel as
 //! [`f32::to_bits`]/[`f64::to_bits`], so decoding reconstructs the exact
@@ -24,6 +33,17 @@
 //! Every decode error is a typed [`WireError`]; malformed and truncated
 //! input can never panic the peer (a property test drives arbitrary
 //! corruption through [`decode_request`]/[`read_frame`]).
+//!
+//! ### Migration from v2
+//!
+//! The 11-byte header layout is unchanged, so a v2 peer can always frame a
+//! v3 header (and vice versa) far enough to read the version field and fail
+//! with a typed [`WireError::UnsupportedVersion`]. The server goes one step
+//! further: a request frame carrying any version other than [`VERSION`] is
+//! answered with a typed [`opcode::UNSUPPORTED_VERSION`] reply (payload:
+//! `got`, `want` as u16s, see [`encode_unsupported_version`]) before the
+//! connection closes cleanly — a v2 client sees an orderly refusal instead
+//! of a silent disconnect.
 
 use std::io::{Read, Write};
 use std::time::Duration;
@@ -42,12 +62,18 @@ use mgpu_volren::TransferFunction;
 /// at every frame boundary.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"MGPU");
 /// Protocol version this build speaks. Bumped on any incompatible change;
-/// the server rejects other versions with [`WireError::UnsupportedVersion`].
-/// v2 replaced the orbit-only camera fields with [`CameraSpec`], so
-/// arbitrary look-at cameras (any [`Scene`]) cross the wire bit-exactly.
-pub const VERSION: u16 = 2;
+/// the server answers other versions with a typed
+/// [`opcode::UNSUPPORTED_VERSION`] reply (and decoders fail with
+/// [`WireError::UnsupportedVersion`]). v2 replaced the orbit-only camera
+/// fields with [`CameraSpec`]; v3 added the per-request `request_id` that
+/// multiplexes many in-flight renders over one connection.
+pub const VERSION: u16 = 3;
 /// Frame header bytes: magic + version + opcode + length.
 pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4;
+/// Fixed-size frame prelude: the header plus the 8-byte request id. A
+/// reader consumes `PRELUDE_BYTES`, then the `length` payload bytes the
+/// header declared.
+pub const PRELUDE_BYTES: usize = HEADER_BYTES + 8;
 /// Default cap on a single payload (a 1024² float-RGBA frame is 16 MiB;
 /// 64 MiB leaves room for shipped in-memory volumes without letting one
 /// frame OOM the peer).
@@ -70,6 +96,10 @@ pub mod opcode {
     pub const STATS_REPORT: u8 = 0x87;
     /// Per-session ticket table is full: redeem before submitting more.
     pub const TICKETS_FULL: u8 = 0x88;
+    /// The request frame declared a protocol version this server does not
+    /// speak; payload is `(got, want)` and the connection closes after the
+    /// reply flushes. New in v3 — the migration path for v2 clients.
+    pub const UNSUPPORTED_VERSION: u8 = 0x89;
     pub const BAD_REQUEST: u8 = 0xFF;
 }
 
@@ -295,15 +325,27 @@ impl<'a> Reader<'a> {
 // Framing
 // ---------------------------------------------------------------------------
 
-/// Write one frame (header + payload) and flush.
-pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> Result<(), WireError> {
-    let mut header = [0u8; HEADER_BYTES];
-    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
-    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
-    header[6] = opcode;
-    header[7..11].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
+/// Serialize one frame (prelude + payload) into a byte vector — the form
+/// an event loop appends to a connection's write buffer.
+pub fn frame_bytes(opcode: u8, request_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(PRELUDE_BYTES + payload.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(opcode);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&request_id.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Write one frame (header + request id + payload) and flush.
+pub fn write_frame(
+    w: &mut impl Write,
+    opcode: u8,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    w.write_all(&frame_bytes(opcode, request_id, payload))?;
     w.flush()?;
     Ok(())
 }
@@ -335,15 +377,17 @@ pub fn parse_header(
     Ok((opcode, len as usize))
 }
 
-/// Read one frame: `(opcode, payload)`. A clean EOF before the first header
-/// byte is [`WireError::ConnectionClosed`].
-pub fn read_frame(r: &mut impl Read, max_payload: u64) -> Result<(u8, Vec<u8>), WireError> {
+/// Read one frame: `(opcode, request_id, payload)`. A clean EOF before the
+/// first header byte is [`WireError::ConnectionClosed`].
+pub fn read_frame(r: &mut impl Read, max_payload: u64) -> Result<(u8, u64, Vec<u8>), WireError> {
     let mut header = [0u8; HEADER_BYTES];
     r.read_exact(&mut header)?;
     let (opcode, len) = parse_header(&header, max_payload)?;
+    let mut id = [0u8; 8];
+    r.read_exact(&mut id)?;
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    Ok((opcode, payload))
+    Ok((opcode, u64::from_le_bytes(id), payload))
 }
 
 // ---------------------------------------------------------------------------
@@ -998,6 +1042,24 @@ pub fn decode_tickets_full(payload: &[u8]) -> Result<(u64, u64), WireError> {
     Ok((outstanding, limit))
 }
 
+/// `UNSUPPORTED_VERSION`: the version the peer sent and the version this
+/// build speaks — the typed refusal a v2 client receives before the server
+/// closes the connection.
+pub fn encode_unsupported_version(got: u16, want: u16) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u16(got);
+    w.u16(want);
+    w.into_bytes()
+}
+
+pub fn decode_unsupported_version(payload: &[u8]) -> Result<(u16, u16), WireError> {
+    let mut r = Reader::new(payload);
+    let got = r.u16()?;
+    let want = r.u16()?;
+    r.finish()?;
+    Ok((got, want))
+}
+
 pub fn encode_throttled(retry_after: Duration) -> Vec<u8> {
     let mut w = Writer::new();
     w.u64(retry_after.as_nanos().min(u64::MAX as u128) as u64);
@@ -1193,9 +1255,11 @@ mod tests {
     #[test]
     fn header_validation() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, opcode::PING, &encode_ping(7)).unwrap();
-        let (op, payload) = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        write_frame(&mut buf, opcode::PING, 42, &encode_ping(7)).unwrap();
+        assert_eq!(buf, frame_bytes(opcode::PING, 42, &encode_ping(7)));
+        let (op, id, payload) = read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
         assert_eq!(op, opcode::PING);
+        assert_eq!(id, 42);
         assert_eq!(decode_ping(&payload), Ok(7));
 
         let mut bad = buf.clone();
@@ -1225,6 +1289,47 @@ mod tests {
             Err(WireError::ConnectionClosed) => {}
             other => panic!("{other:?}"),
         }
+
+        // A frame torn inside the request id is a close, not a panic.
+        match read_frame(&mut (&buf[..HEADER_BYTES + 3]), 1024) {
+            Err(WireError::ConnectionClosed) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Every request id value round-trips verbatim through the prelude —
+    /// including the reserved 0 and the all-ones pattern.
+    #[test]
+    fn request_id_roundtrips_verbatim() {
+        for id in [0u64, 1, 8, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
+            let buf = frame_bytes(opcode::SUBMIT, id, b"xyz");
+            let (op, got, payload) = read_frame(&mut buf.as_slice(), 1024).unwrap();
+            assert_eq!(
+                (op, got, payload.as_slice()),
+                (opcode::SUBMIT, id, &b"xyz"[..])
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_version_payload_roundtrips() {
+        assert_eq!(
+            decode_unsupported_version(&encode_unsupported_version(2, VERSION)),
+            Ok((2, VERSION))
+        );
+        assert_eq!(
+            decode_unsupported_version(&encode_unsupported_version(0xEEEE, VERSION)),
+            Ok((0xEEEE, VERSION))
+        );
+        // Truncated and oversized payloads are typed errors.
+        assert!(matches!(
+            decode_unsupported_version(&[1]),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode_unsupported_version(&[0, 0, 0, 0, 9]),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
     }
 
     #[test]

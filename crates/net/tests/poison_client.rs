@@ -41,7 +41,7 @@ fn tiny_request(azimuth: f32) -> NetSceneRequest {
 /// A healthy render on a separate connection — the "other sessions are
 /// unaffected" probe used after each poisoning.
 fn assert_service_healthy(server: &RenderServer, azimuth: f32) {
-    let mut client = RenderClient::connect(server.addr()).expect("healthy connect");
+    let client = RenderClient::connect(server.addr()).expect("healthy connect");
     let frame = client
         .render(&tiny_request(azimuth))
         .expect("healthy render");
@@ -52,7 +52,7 @@ fn assert_service_healthy(server: &RenderServer, azimuth: f32) {
 fn garbage_bytes_get_a_typed_error_and_the_connection_closed() {
     let server = tiny_server();
     // A healthy session opened BEFORE the poison, kept open across it.
-    let mut survivor = RenderClient::connect(server.addr()).expect("survivor connect");
+    let survivor = RenderClient::connect(server.addr()).expect("survivor connect");
 
     let mut poison = TcpStream::connect(server.addr()).expect("poison connect");
     poison
@@ -60,9 +60,10 @@ fn garbage_bytes_get_a_typed_error_and_the_connection_closed() {
         .expect("write garbage");
     poison.flush().unwrap();
     // The server answers with a BAD_REQUEST frame carrying the WireError…
-    let (op, payload) =
+    // tagged with request id 0 (no request could be framed to echo an id).
+    let (op, id, payload) =
         read_frame(&mut poison, wire::DEFAULT_MAX_PAYLOAD).expect("typed reply to garbage");
-    assert_eq!(op, opcode::BAD_REQUEST);
+    assert_eq!((op, id), (opcode::BAD_REQUEST, 0));
     let message = wire::decode_message(&payload).expect("error echo decodes");
     assert!(message.contains("magic"), "unexpected echo: {message}");
     // …then closes the poisoned connection.
@@ -83,7 +84,7 @@ fn garbage_bytes_get_a_typed_error_and_the_connection_closed() {
 #[test]
 fn disconnect_mid_request_is_reaped_quietly() {
     let server = tiny_server();
-    let mut survivor = RenderClient::connect(server.addr()).expect("survivor connect");
+    let survivor = RenderClient::connect(server.addr()).expect("survivor connect");
 
     // A syntactically valid header promising 64 payload bytes… of which
     // only 5 ever arrive before the client vanishes.
@@ -122,7 +123,7 @@ fn outstanding_tickets_are_bounded_per_session() {
         ..ServerConfig::default()
     })
     .expect("bind");
-    let mut client = mgpu_net::RenderClient::connect(server.addr()).expect("connect");
+    let client = mgpu_net::RenderClient::connect(server.addr()).expect("connect");
     let t0 = client.submit(&tiny_request(0.0)).expect("submit 1");
     let _t1 = client.submit(&tiny_request(10.0)).expect("submit 2");
     match client.submit(&tiny_request(20.0)) {
@@ -157,7 +158,7 @@ fn shutdown_drains_paused_service_with_blocked_render() {
     .expect("bind");
     let addr = server.addr();
     let renderer = std::thread::spawn(move || {
-        let mut client = RenderClient::connect(addr).expect("connect");
+        let client = RenderClient::connect(addr).expect("connect");
         client
             .render(&tiny_request(5.0))
             .expect("render resolves at shutdown")
@@ -175,7 +176,9 @@ fn shutdown_drains_paused_service_with_blocked_render() {
 fn wrong_version_and_malformed_payloads_are_clean_errors() {
     let server = tiny_server();
 
-    // Wrong protocol version: typed UnsupportedVersion echo, then close.
+    // Wrong protocol version (a v2 frame has the same 11-byte header
+    // layout): a typed UNSUPPORTED_VERSION reply naming both versions,
+    // then a clean close — not a silent drop.
     let mut old = TcpStream::connect(server.addr()).expect("connect");
     let mut frame = Vec::new();
     frame.extend_from_slice(&MAGIC.to_le_bytes());
@@ -183,19 +186,24 @@ fn wrong_version_and_malformed_payloads_are_clean_errors() {
     frame.push(opcode::PING);
     frame.extend_from_slice(&0u32.to_le_bytes());
     old.write_all(&frame).unwrap();
-    let (op, payload) = read_frame(&mut old, wire::DEFAULT_MAX_PAYLOAD).expect("version echo");
-    assert_eq!(op, opcode::BAD_REQUEST);
-    assert!(wire::decode_message(&payload).unwrap().contains("version"));
+    let (op, id, payload) = read_frame(&mut old, wire::DEFAULT_MAX_PAYLOAD).expect("version reply");
+    assert_eq!((op, id), (opcode::UNSUPPORTED_VERSION, 0));
+    let (got, want) = wire::decode_unsupported_version(&payload).expect("typed payload");
+    assert_eq!((got, want), (999, wire::VERSION));
+    match read_frame(&mut old, wire::DEFAULT_MAX_PAYLOAD) {
+        Err(wire::WireError::ConnectionClosed) | Err(wire::WireError::Io(_)) => {}
+        other => panic!("wrong-version connection should be closed, got {other:?}"),
+    }
 
     // A well-framed RENDER whose payload is junk: the connection SURVIVES
     // (framing is intact) and the next request on it succeeds.
     let mut junk = TcpStream::connect(server.addr()).expect("connect");
-    write_frame(&mut junk, opcode::RENDER, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
-    let (op, _) = read_frame(&mut junk, wire::DEFAULT_MAX_PAYLOAD).expect("junk echo");
-    assert_eq!(op, opcode::BAD_REQUEST);
-    write_frame(&mut junk, opcode::PING, &wire::encode_ping(9)).unwrap();
-    let (op, payload) = read_frame(&mut junk, wire::DEFAULT_MAX_PAYLOAD).expect("ping reply");
-    assert_eq!(op, opcode::PONG);
+    write_frame(&mut junk, opcode::RENDER, 7, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+    let (op, id, _) = read_frame(&mut junk, wire::DEFAULT_MAX_PAYLOAD).expect("junk echo");
+    assert_eq!((op, id), (opcode::BAD_REQUEST, 7), "echoes the request id");
+    write_frame(&mut junk, opcode::PING, 8, &wire::encode_ping(9)).unwrap();
+    let (op, id, payload) = read_frame(&mut junk, wire::DEFAULT_MAX_PAYLOAD).expect("ping reply");
+    assert_eq!((op, id), (opcode::PONG, 8));
     assert_eq!(wire::decode_pong(&payload).unwrap().0, 9);
 
     // An oversized declared length: typed TooLarge echo, then close.
@@ -206,8 +214,8 @@ fn wrong_version_and_malformed_payloads_are_clean_errors() {
     frame.push(opcode::RENDER);
     frame.extend_from_slice(&u32::MAX.to_le_bytes());
     huge.write_all(&frame).unwrap();
-    let (op, payload) = read_frame(&mut huge, wire::DEFAULT_MAX_PAYLOAD).expect("size echo");
-    assert_eq!(op, opcode::BAD_REQUEST);
+    let (op, id, payload) = read_frame(&mut huge, wire::DEFAULT_MAX_PAYLOAD).expect("size echo");
+    assert_eq!((op, id), (opcode::BAD_REQUEST, 0));
     assert!(wire::decode_message(&payload).unwrap().contains("exceeds"));
 
     assert_service_healthy(&server, 50.0);

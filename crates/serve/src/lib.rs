@@ -82,7 +82,7 @@ pub use backend::{BackendError, BackendFrame, RenderBackend};
 pub use batch::BatchKey;
 pub use cache::{CacheSnapshot, FrameCache, FrameKey};
 pub use plancache::PlanCache;
-pub use queue::{AdmissionError, Priority, QueueBounds};
+pub use queue::{AdmissionError, Priority, QueueBounds, Reply};
 pub use report::{ServiceReport, WAIT_BUCKETS};
 pub use session::{SceneSession, SessionTicket};
 pub use shard::{ShardHeat, ShardedService};
@@ -278,6 +278,25 @@ impl ServiceInner {
         );
     }
 
+    /// Cache fast path for the hook-based submit: serve the hit through the
+    /// hook on the caller's thread, bumping the same counters as
+    /// [`ServiceInner::cached_ticket`].
+    fn cached_hit(&self, request: &SceneRequest) -> Option<RenderedFrame> {
+        let key = FrameKey::new(
+            &request.spec,
+            &request.volume,
+            &request.scene,
+            &request.config,
+        );
+        self.cache.get(&key).map(|mut frame| {
+            frame.from_cache = true;
+            ServiceStats::bump(&self.stats.frames_submitted);
+            ServiceStats::bump(&self.stats.cache_hits);
+            ServiceStats::bump(&self.stats.frames_completed);
+            frame
+        })
+    }
+
     pub(crate) fn submit(self: &Arc<Self>, request: SceneRequest) -> FrameTicket {
         self.assert_open();
         if let Some(ticket) = self.cached_ticket(&request) {
@@ -285,7 +304,9 @@ impl ServiceInner {
         }
         let batch_key = BatchKey::of(&request);
         let (tx, rx) = bounded(1);
-        let seq = self.queue.push(request, batch_key, tx);
+        let seq = self
+            .queue
+            .push(request, batch_key, queue::Reply::channel(tx));
         ServiceStats::bump(&self.stats.frames_submitted);
         FrameTicket { rx, seq: Some(seq) }
     }
@@ -300,12 +321,40 @@ impl ServiceInner {
         }
         let batch_key = BatchKey::of(&request);
         let (tx, rx) = bounded(1);
-        match self.queue.try_push(request, batch_key, tx) {
+        match self
+            .queue
+            .try_push(request, batch_key, queue::Reply::channel(tx))
+        {
             Ok(seq) => {
                 ServiceStats::bump(&self.stats.frames_submitted);
                 Ok(FrameTicket { rx, seq: Some(seq) })
             }
-            Err(err) => {
+            Err((err, reply)) => {
+                reply.cancel();
+                ServiceStats::bump(&self.stats.admission_rejected);
+                Err(err)
+            }
+        }
+    }
+
+    pub(crate) fn try_submit_with(
+        self: &Arc<Self>,
+        request: SceneRequest,
+        reply: queue::Reply,
+    ) -> Result<(), AdmissionError> {
+        self.assert_open();
+        if let Some(frame) = self.cached_hit(&request) {
+            reply.deliver(Ok(frame));
+            return Ok(());
+        }
+        let batch_key = BatchKey::of(&request);
+        match self.queue.try_push(request, batch_key, reply) {
+            Ok(_) => {
+                ServiceStats::bump(&self.stats.frames_submitted);
+                Ok(())
+            }
+            Err((err, reply)) => {
+                reply.cancel();
                 ServiceStats::bump(&self.stats.admission_rejected);
                 Err(err)
             }
@@ -368,6 +417,21 @@ impl RenderService {
     /// (`Batch` sheds first, `Interactive` last — see [`QueueBounds`]).
     pub fn try_submit(&self, request: SceneRequest) -> Result<FrameTicket, AdmissionError> {
         self.inner.try_submit(request)
+    }
+
+    /// [`RenderService::try_submit`] with a completion hook instead of a
+    /// ticket: `on_done` runs exactly once with the [`FrameResult`] — on the
+    /// resolving worker's thread, or immediately on the caller's for a frame
+    /// cache hit. This is the admission path for event-driven front-ends: no
+    /// waiter thread parks per frame; completions land wherever the hook
+    /// puts them (a completion queue, typically). On [`AdmissionError`] the
+    /// hook never runs — the caller reports the shed itself.
+    pub fn try_submit_with(
+        &self,
+        request: SceneRequest,
+        on_done: impl FnOnce(FrameResult) + Send + 'static,
+    ) -> Result<(), AdmissionError> {
+        self.inner.try_submit_with(request, Reply::hook(on_done))
     }
 
     /// Stop popping jobs (submissions still accepted and queued).

@@ -26,7 +26,80 @@ use std::time::Instant;
 use crossbeam::channel::Sender;
 
 use crate::batch::BatchKey;
-use crate::{FrameResult, SceneRequest};
+use crate::{FrameError, FrameResult, SceneRequest};
+
+/// Where a job's [`FrameResult`] goes when a worker resolves it: either a
+/// ticket channel (the [`crate::FrameTicket`] path) or a completion hook —
+/// an arbitrary `FnOnce` invoked on the worker thread. Hooks are what an
+/// event-driven front-end hands in so render completions land in *its*
+/// completion queue instead of parking a waiter thread per frame (see
+/// [`crate::RenderService::try_submit_with`]).
+pub struct Reply(ReplyKind);
+
+enum ReplyKind {
+    Channel(Sender<FrameResult>),
+    /// `Option` so delivery can move the closure out; if the job is dropped
+    /// without delivering, `Drop` fires the hook with [`FrameError::lost`]
+    /// so a front-end waiting on the completion never hangs.
+    Hook(Option<Box<dyn FnOnce(FrameResult) + Send>>),
+}
+
+impl Reply {
+    /// Deliver through a bounded(1) ticket channel.
+    pub fn channel(tx: Sender<FrameResult>) -> Reply {
+        Reply(ReplyKind::Channel(tx))
+    }
+
+    /// Deliver by invoking `hook` on the resolving worker thread. Keep the
+    /// hook cheap and non-blocking-ish (push to a queue, wake a loop): it
+    /// runs inside the render worker's loop.
+    pub fn hook(hook: impl FnOnce(FrameResult) + Send + 'static) -> Reply {
+        Reply(ReplyKind::Hook(Some(Box::new(hook))))
+    }
+
+    /// Discard without delivering: the caller reports the outcome
+    /// out-of-band (e.g. a typed admission rejection), so the lost-job
+    /// guard must not fire.
+    pub fn cancel(mut self) {
+        if let ReplyKind::Hook(hook) = &mut self.0 {
+            hook.take();
+        }
+    }
+
+    /// Resolve the job. A dropped ticket receiver is fine (the frame is
+    /// cached anyway); a hook always runs exactly once.
+    pub fn deliver(mut self, result: FrameResult) {
+        match &mut self.0 {
+            ReplyKind::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplyKind::Hook(hook) => {
+                if let Some(hook) = hook.take() {
+                    hook(result);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        if let ReplyKind::Hook(hook) = &mut self.0 {
+            if let Some(hook) = hook.take() {
+                hook(Err(FrameError::lost()));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            ReplyKind::Channel(_) => f.write_str("Reply::Channel"),
+            ReplyKind::Hook(_) => f.write_str("Reply::Hook"),
+        }
+    }
+}
 
 /// Scheduling class of a job. Higher pops first; FIFO within a class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -124,7 +197,7 @@ impl std::fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
-/// One queued frame request with its reply channel and bookkeeping.
+/// One queued frame request with its reply destination and bookkeeping.
 #[derive(Debug)]
 pub struct QueuedJob {
     pub seq: u64,
@@ -132,7 +205,7 @@ pub struct QueuedJob {
     pub enqueued: Instant,
     pub request: SceneRequest,
     pub batch_key: BatchKey,
-    pub reply: Sender<FrameResult>,
+    pub reply: Reply,
 }
 
 #[derive(Debug, Default)]
@@ -207,12 +280,7 @@ impl JobQueue {
     /// Panics if the queue is closed (the service is shutting down) — before
     /// or while blocked. Note that a *paused* queue never frees capacity, so
     /// a bounded, paused queue should be fed through [`JobQueue::try_push`].
-    pub fn push(
-        &self,
-        request: SceneRequest,
-        batch_key: BatchKey,
-        reply: Sender<FrameResult>,
-    ) -> u64 {
+    pub fn push(&self, request: SceneRequest, batch_key: BatchKey, reply: Reply) -> u64 {
         let limit = self.bounds.limit(request.priority);
         let mut state = self.state.lock().unwrap();
         loop {
@@ -225,24 +293,29 @@ impl JobQueue {
     }
 
     /// Enqueue a request, rejecting immediately with [`AdmissionError`] if
-    /// this priority class is at its admission bound.
+    /// this priority class is at its admission bound. Rejection hands the
+    /// reply back so the caller decides how to fail it (a hook must not
+    /// fire its lost-job guard for a job that was never accepted).
     ///
     /// Panics if the queue is closed (the service is shutting down).
     pub fn try_push(
         &self,
         request: SceneRequest,
         batch_key: BatchKey,
-        reply: Sender<FrameResult>,
-    ) -> Result<u64, AdmissionError> {
+        reply: Reply,
+    ) -> Result<u64, (AdmissionError, Reply)> {
         let limit = self.bounds.limit(request.priority);
         let mut state = self.state.lock().unwrap();
         assert!(!state.closed, "cannot submit to a shut-down render service");
         if state.jobs.len() >= limit {
-            return Err(AdmissionError {
-                priority: request.priority,
-                queued: state.jobs.len(),
-                limit,
-            });
+            return Err((
+                AdmissionError {
+                    priority: request.priority,
+                    queued: state.jobs.len(),
+                    limit,
+                },
+                reply,
+            ));
         }
         Ok(self.enqueue(&mut state, request, batch_key, reply))
     }
@@ -252,7 +325,7 @@ impl JobQueue {
         state: &mut QueueState,
         request: SceneRequest,
         batch_key: BatchKey,
-        reply: Sender<FrameResult>,
+        reply: Reply,
     ) -> u64 {
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -376,12 +449,24 @@ mod tests {
     fn push(q: &JobQueue, priority: Priority, key: &str) -> u64 {
         // The receiver drops immediately: queue tests never send replies.
         let (tx, _rx) = crossbeam::channel::bounded(1);
-        q.push(request(priority), BatchKey::synthetic(key), tx)
+        q.push(
+            request(priority),
+            BatchKey::synthetic(key),
+            Reply::channel(tx),
+        )
     }
 
     fn try_push(q: &JobQueue, priority: Priority, key: &str) -> Result<u64, AdmissionError> {
         let (tx, _rx) = crossbeam::channel::bounded(1);
-        q.try_push(request(priority), BatchKey::synthetic(key), tx)
+        q.try_push(
+            request(priority),
+            BatchKey::synthetic(key),
+            Reply::channel(tx),
+        )
+        .map_err(|(err, reply)| {
+            reply.cancel();
+            err
+        })
     }
 
     fn unbounded(paused: bool) -> JobQueue {

@@ -150,6 +150,18 @@ impl ShardedService {
         self.shards[self.shard_for(&key)].try_submit(request)
     }
 
+    /// [`RenderService::try_submit_with`] routed to the owning shard: the
+    /// completion hook runs on that shard's worker (or inline on a cache
+    /// hit). On [`AdmissionError`] the hook never runs.
+    pub fn try_submit_with(
+        &self,
+        request: SceneRequest,
+        on_done: impl FnOnce(crate::FrameResult) + Send + 'static,
+    ) -> Result<(), AdmissionError> {
+        let key = BatchKey::of(&request);
+        self.shards[self.shard_for(&key)].try_submit_with(request, on_done)
+    }
+
     pub fn pause(&self) {
         for s in &self.shards {
             s.pause();

@@ -65,7 +65,7 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
             frame.from_cache = true;
             ServiceStats::bump(&stats.cache_hits);
             ServiceStats::bump(&stats.frames_completed);
-            let _ = job.reply.send(Ok(frame));
+            job.reply.deliver(Ok(frame));
             continue;
         }
 
@@ -97,9 +97,8 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
                 // Contain the panic: fail this job explicitly, keep the
                 // worker (and the rest of the batch) alive.
                 ServiceStats::bump(&stats.frames_failed);
-                let _ = job
-                    .reply
-                    .send(Err(FrameError::from_panic(payload.as_ref())));
+                job.reply
+                    .deliver(Err(FrameError::from_panic(payload.as_ref())));
                 continue;
             }
         };
@@ -121,6 +120,6 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
         };
         inner.cache.insert(key, frame.clone());
         // A dropped ticket is fine: the frame is already cached.
-        let _ = job.reply.send(Ok(frame));
+        job.reply.deliver(Ok(frame));
     }
 }

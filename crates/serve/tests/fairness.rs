@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 
 use mgpu_cluster::ClusterSpec;
-use mgpu_serve::queue::{JobQueue, Priority, QueueBounds, QueuedJob};
+use mgpu_serve::queue::{JobQueue, Priority, QueueBounds, QueuedJob, Reply};
 use mgpu_serve::{BatchKey, SceneRequest};
 use mgpu_voldata::Dataset;
 use mgpu_volren::camera::Scene;
@@ -33,7 +33,11 @@ fn request(priority: Priority) -> SceneRequest {
 
 fn push(q: &JobQueue, priority: Priority, key: u32) -> u64 {
     let (tx, _rx) = crossbeam::channel::bounded(1);
-    q.push(request(priority), BatchKey::synthetic(key), tx)
+    q.push(
+        request(priority),
+        BatchKey::synthetic(key),
+        Reply::channel(tx),
+    )
 }
 
 /// One simulated worker: a batch is formed atomically (pop + drain, exactly
@@ -182,13 +186,15 @@ proptest! {
                 }
             };
             let (tx, _rx) = crossbeam::channel::bounded(1);
-            let outcome = q.try_push(request(priority), BatchKey::synthetic(0u32), tx);
+            let outcome =
+                q.try_push(request(priority), BatchKey::synthetic(0u32), Reply::channel(tx));
             let limit = bounds.limit(priority);
             if depth < limit {
                 prop_assert!(outcome.is_ok(), "{priority:?} under its bound must admit");
                 depth += 1;
             } else {
-                let err = outcome.expect_err("at or over the bound must shed");
+                let (err, reply) = outcome.expect_err("at or over the bound must shed");
+                reply.cancel();
                 prop_assert_eq!(err.priority, priority);
                 prop_assert_eq!(err.queued, depth);
                 prop_assert_eq!(err.limit, limit);

@@ -102,7 +102,7 @@ fn main() {
     let merged = skull_backend.report().expect("report over the socket");
     assert_eq!(merged.frames_completed, (rendered + 1) as u64);
     assert_eq!(merged.cache_hits, cache_hits as u64);
-    let mut stats_client = RenderClient::connect(server.addr()).expect("stats connection");
+    let stats_client = RenderClient::connect(server.addr()).expect("stats connection");
     let stats = stats_client.stats().expect("stats over the socket");
     println!("server stats as seen over the wire:\n{stats}\n");
     assert!(
@@ -130,7 +130,7 @@ fn main() {
         ..ServerConfig::default()
     })
     .expect("bind throttle demo server");
-    let mut hasty = RenderClient::connect(throttled_server.addr()).expect("connect");
+    let hasty = RenderClient::connect(throttled_server.addr()).expect("connect");
     let tiny =
         NetSceneRequest::orbit_dataset(Dataset::Skull, 16, 1, 0.0, 0.0, &TransferFunction::bone())
             .with_config(RenderConfig::test_size(32));

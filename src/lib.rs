@@ -50,8 +50,8 @@ pub mod prelude {
     pub use mgpu_cluster::topology::ClusterSpec;
     pub use mgpu_net::{
         ClientConfig, ClientError, Directory, NetFrame, NetSceneRequest, NetStats, NetTicket,
-        NodePool, NodePoolConfig, PoolTicket, RateLimitConfig, RemoteBackend, RenderClient,
-        RenderServer, RetryBudget, ServerConfig, WireError,
+        NodePool, NodePoolConfig, PendingRender, PoolTicket, RateLimitConfig, RemoteBackend,
+        RenderClient, RenderServer, RetryBudget, ServerConfig, WireError,
     };
     pub use mgpu_serve::{
         AdmissionError, BackendError, BackendFrame, CacheSnapshot, FrameError, FrameTicket,

@@ -440,3 +440,67 @@ fn ticket_redemption_edge_cases() {
     }
     nodes[1 - owner].take().unwrap().shutdown();
 }
+
+/// Wire v3 pipelined submission: the same bit-identity contract holds when
+/// a single connection holds many renders in flight and collects them out
+/// of order — multiplexing changes delivery order, never pixels.
+#[test]
+fn pipelined_submissions_are_bit_identical_to_direct_renders() {
+    let server = RenderServer::start(ServerConfig {
+        shards: 2,
+        service: service_config(),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    let client = RenderClient::connect(server.addr()).expect("connect");
+
+    // At least nine distinct views, all issued before any reply is read:
+    // the mixed workload, topped up with extra orbit angles.
+    let mut requests: Vec<SceneRequest> = workload();
+    let skull = Dataset::Skull.volume(16);
+    let mut extra = 0.0f32;
+    while requests.len() < 9 {
+        extra += 41.0;
+        requests.push(SceneRequest {
+            spec: ClusterSpec::accelerator_cluster(2),
+            scene: Scene::orbit(&skull, extra, 7.0, TransferFunction::bone()),
+            volume: skull.clone(),
+            config: RenderConfig::test_size(16),
+            priority: Priority::Normal,
+        });
+    }
+    let pending: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            let net = NetSceneRequest::from_request(request).expect("portable request");
+            client.begin_render(&net).expect("issue render")
+        })
+        .collect();
+    assert!(
+        pending.len() >= 8,
+        "the pipelining claim needs ≥ 8 in flight"
+    );
+
+    // Collect out of order: middle-out (4, 5, 3, 6, 2, 7, 1, 8, 0).
+    let mut order: Vec<usize> = (0..pending.len()).collect();
+    order.sort_by_key(|i| (*i as i64 - 4).unsigned_abs());
+    let mut slots: Vec<Option<gpumr::net::PendingRender>> = pending.into_iter().map(Some).collect();
+    for i in order {
+        let handle = slots[i].take().expect("collected once");
+        let frame = client.finish_render(handle).expect("collect render");
+        let request = &requests[i];
+        let direct = render(
+            &request.spec,
+            &request.volume,
+            &request.scene,
+            &request.config,
+        );
+        assert_eq!(
+            frame.image, direct.image,
+            "pipelined request {i} diverged from the direct render"
+        );
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.frames_failed, 0);
+}

@@ -33,7 +33,7 @@ fn test_server(shards: usize, rate: Option<RateLimitConfig>) -> RenderServer {
 fn socket_frames_are_bit_identical_to_direct_renders() {
     // Rate limiter ON (generous): every frame below passes through it.
     let server = test_server(2, Some(RateLimitConfig::new(500.0, 64)));
-    let mut client = RenderClient::connect(server.addr()).expect("connect");
+    let client = RenderClient::connect(server.addr()).expect("connect");
     assert_eq!(client.shards(), 2);
 
     let cfg = RenderConfig::test_size(24);
@@ -91,7 +91,7 @@ fn socket_frames_are_bit_identical_to_direct_renders() {
 #[test]
 fn shipped_voxels_and_custom_transfers_render_bit_identically() {
     let server = test_server(2, None);
-    let mut client = RenderClient::connect(server.addr()).expect("connect");
+    let client = RenderClient::connect(server.addr()).expect("connect");
 
     let dims = [6u32, 6, 6];
     let voxels: Vec<f32> = (0..216).map(|i| (i as f32) / 215.0).collect();
@@ -144,7 +144,7 @@ fn shipped_voxels_and_custom_transfers_render_bit_identically() {
 #[test]
 fn submit_and_redeem_out_of_order() {
     let server = test_server(2, None);
-    let mut client = RenderClient::connect(server.addr()).expect("connect");
+    let client = RenderClient::connect(server.addr()).expect("connect");
     let cfg = RenderConfig::test_size(16);
     let azimuths = [10.0f32, 100.0, 250.0];
 
@@ -191,7 +191,7 @@ fn submit_and_redeem_out_of_order() {
 fn typed_errors_round_trip() {
     // 1 frame burst, 1 frame/min steady: the second render throttles.
     let server = test_server(1, Some(RateLimitConfig::new(1.0 / 60.0, 1)));
-    let mut client = RenderClient::connect(server.addr()).expect("connect");
+    let client = RenderClient::connect(server.addr()).expect("connect");
     let ok =
         NetSceneRequest::orbit_dataset(Dataset::Skull, 8, 1, 0.0, 0.0, &TransferFunction::bone())
             .with_config(RenderConfig::test_size(8));
@@ -225,7 +225,7 @@ fn typed_errors_round_trip() {
         ..ServerConfig::default()
     })
     .expect("bind");
-    let mut client = RenderClient::connect(server.addr()).expect("connect");
+    let client = RenderClient::connect(server.addr()).expect("connect");
     client.submit(&ok).expect("first submit fills the queue");
     match client.submit(&ok.clone().with_azimuth(45.0)) {
         Err(ClientError::Admission(err)) => {
@@ -240,7 +240,7 @@ fn typed_errors_round_trip() {
     // Render failure: a 0×0 image makes the render panic server-side; the
     // worker catches it and the message crosses the wire as a FrameError.
     let server = test_server(1, None);
-    let mut client = RenderClient::connect(server.addr()).expect("connect");
+    let client = RenderClient::connect(server.addr()).expect("connect");
     let poison = ok.clone().with_config(RenderConfig {
         image: (0, 0),
         ..RenderConfig::test_size(8)
