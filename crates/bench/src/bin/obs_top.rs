@@ -1,0 +1,249 @@
+//! `obs_top` — a live dashboard over the observability pipeline: starts a
+//! local [`RenderServer`], drives a pipelined render workload against it,
+//! and redraws per-stage latency quantiles, cache hit rates, wire traffic
+//! and the most recent request traces from the server's **STATS v2**
+//! snapshot and **TRACES** ring each tick — the same data any remote
+//! `obs_top` would see, fetched through the same wire requests.
+//!
+//!     cargo run --release -p mgpu-bench --bin obs_top [-- --smoke] [--json] [--ticks N]
+//!
+//! `--smoke` (or `--json`) also dumps `BENCH_obs.json` with per-stage
+//! p50/p99 for queue wait, brick staging, kernel and composite — the
+//! bench-trend artifact CI tracks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mgpu_bench::JsonObject;
+use mgpu_cluster::ClusterSpec;
+use mgpu_net::{NetSceneRequest, RenderClient, RenderServer, ServerConfig};
+use mgpu_obs::{CompletedTrace, Snapshot};
+use mgpu_serve::{Priority, SceneRequest, ServiceConfig};
+use mgpu_volren::camera::Scene;
+use mgpu_volren::{RenderConfig, TransferFunction};
+
+/// The stage histograms the dashboard (and the JSON artifact) report,
+/// as `(label, snapshot key)` in pipeline order.
+const STAGES: [(&str, &str); 6] = [
+    ("queue wait", "serve.queue_wait_ns"),
+    ("plan prepare", "volren.plan_prepare_ns"),
+    ("brick staging", "volren.staging_ns"),
+    ("kernel", "volren.kernel_ns"),
+    ("composite", "volren.composite_ns"),
+    ("render total", "serve.render_ns"),
+];
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+fn draw(label: &str, snap: &Snapshot, traces: &[CompletedTrace]) {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    println!("\n━━ obs_top — {label} ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
+    println!(
+        "frames: {} submitted, {} rendered, {} completed, {} failed   queue depth {}",
+        c("serve.frames_submitted"),
+        c("serve.frames_rendered"),
+        c("serve.frames_completed"),
+        c("serve.frames_failed"),
+        snap.gauge("serve.queue_depth").unwrap_or(0),
+    );
+    println!(
+        "caches: frame {:.1}% hit, plan {:.1}% hit   batches {} ({} frames)   stagings {} / reuses {}",
+        rate(c("serve.frame_cache_hits"), c("serve.frame_cache_misses")) * 100.0,
+        rate(c("serve.plan_cache_hits"), c("serve.plan_cache_misses")) * 100.0,
+        c("serve.batches"),
+        c("serve.batched_frames"),
+        c("serve.brick_stagings"),
+        c("serve.brick_reuses"),
+    );
+    println!(
+        "net:    {} frames in / {} out, {} B read / {} B written   {} conns, {} wakeups, {} throttled",
+        c("net.frames_in"),
+        c("net.frames_out"),
+        c("net.bytes_read"),
+        c("net.bytes_written"),
+        snap.gauge("net.connections").unwrap_or(0),
+        c("net.loop_wakeups"),
+        c("net.throttled"),
+    );
+    println!(
+        "\n{:>14} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50 ms", "p90 ms", "p99 ms"
+    );
+    for (label, key) in STAGES {
+        let count = snap
+            .histogram(key)
+            .map(|b| b.iter().sum::<u64>())
+            .unwrap_or(0);
+        let q = |q: f64| snap.hist_quantile(key, q).map(ms).unwrap_or(0.0);
+        println!(
+            "{label:>14} {count:>8} {:>10.3} {:>10.3} {:>10.3}",
+            q(0.5),
+            q(0.9),
+            q(0.99)
+        );
+    }
+    println!("\nrecent traces (newest first):");
+    for trace in traces.iter().take(4) {
+        let mut spans = trace.spans.clone();
+        spans.sort_by_key(|s| s.start_ns);
+        let line: Vec<String> = spans
+            .iter()
+            .map(|s| format!("{} {:.2}ms", s.name, s.nanos() as f64 / 1e6))
+            .collect();
+        println!("  #{:<6} {}", trace.id, line.join(" → "));
+    }
+    if traces.is_empty() {
+        println!("  (none completed yet)");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = smoke || args.iter().any(|a| a == "--json");
+    let ticks = args
+        .iter()
+        .position(|a| a == "--ticks")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(if smoke { 3 } else { 8 });
+    let (volume_size, image, clients, frames_each, tick_wait) = if smoke {
+        (16u32, 64u32, 2usize, 8usize, Duration::from_millis(150))
+    } else {
+        (32, 128, 4, 24, Duration::from_millis(400))
+    };
+
+    let server = RenderServer::start(ServerConfig {
+        shards: 2,
+        service: ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("bind obs_top server");
+    let addr = server.addr();
+    println!(
+        "obs_top — {clients} pipelined clients × {frames_each} frames \
+         ({volume_size}³ volumes, {image}² frames) against {addr}"
+    );
+
+    // The workload: each client pipelines its frames on one connection.
+    // Every 4th view repeats so the frame cache sees hits.
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let client = Arc::new(RenderClient::connect(addr).expect("connect workload"));
+                let volume = mgpu_voldata::Dataset::Skull.volume(volume_size);
+                let pending: Vec<_> = (0..frames_each)
+                    .map(|f| {
+                        let view = if f % 4 == 3 { 0 } else { f };
+                        let request = SceneRequest {
+                            spec: ClusterSpec::accelerator_cluster(1 + (c % 2) as u32),
+                            scene: Scene::orbit(
+                                &volume,
+                                view as f32 * 13.0,
+                                20.0,
+                                TransferFunction::bone(),
+                            ),
+                            volume: volume.clone(),
+                            config: RenderConfig::test_size(image),
+                            priority: Priority::Normal,
+                        };
+                        let net = NetSceneRequest::from_request(&request).expect("portable");
+                        client.begin_render(&net).expect("begin render")
+                    })
+                    .collect();
+                for p in pending {
+                    client.finish_render(p).expect("finish render");
+                }
+            })
+        })
+        .collect();
+
+    // The dashboard: a separate observer connection polling STATS v2 and
+    // TRACES — exactly what a remote operator console would do.
+    let observer = RenderClient::connect(addr).expect("connect observer");
+    for tick in 1..=ticks {
+        std::thread::sleep(tick_wait);
+        let stats = observer.stats().expect("stats");
+        let traces = observer.traces(8).expect("traces");
+        draw(&format!("tick {tick}/{ticks}"), &stats.obs, &traces);
+    }
+    for w in workers {
+        w.join().expect("workload thread");
+    }
+
+    // Final snapshot after the workload fully drains.
+    let stats = observer.stats().expect("final stats");
+    let traces = observer.traces(16).expect("final traces");
+    draw("final (workload drained)", &stats.obs, &traces);
+    let snap = &stats.obs;
+    let completed = snap.counter("serve.frames_completed").unwrap_or(0);
+    assert_eq!(
+        completed,
+        (clients * frames_each) as u64,
+        "every workload frame must complete"
+    );
+    assert!(
+        traces.iter().any(|t| t.span("kernel").is_some()),
+        "traces must carry renderer stage spans"
+    );
+
+    // In-process bonus: the trace ring's exact drop accounting.
+    let ring = mgpu_obs::ring();
+    println!(
+        "\ntrace ring: {} pushed, {} held, {} dropped (exact: pushed == held + dropped)",
+        ring.pushed(),
+        ring.held(),
+        ring.dropped()
+    );
+
+    if json {
+        let mut out = JsonObject::new();
+        out = out
+            .str("bench", "obs_top")
+            .int("frames", completed)
+            .num(
+                "frame_cache_hit_rate",
+                rate(
+                    snap.counter("serve.frame_cache_hits").unwrap_or(0),
+                    snap.counter("serve.frame_cache_misses").unwrap_or(0),
+                ),
+            )
+            .int(
+                "loop_wakeups",
+                snap.counter("net.loop_wakeups").unwrap_or(0),
+            )
+            .int("traces_pushed", ring.pushed())
+            .int("traces_dropped", ring.dropped());
+        for (key, name) in [
+            ("serve.queue_wait_ns", "queue_wait"),
+            ("volren.staging_ns", "staging"),
+            ("volren.kernel_ns", "kernel"),
+            ("volren.composite_ns", "composite"),
+        ] {
+            let q = |q: f64| {
+                snap.hist_quantile(key, q)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0)
+            };
+            out = out
+                .int(&format!("{name}_p50_ns"), q(0.5))
+                .int(&format!("{name}_p99_ns"), q(0.99));
+        }
+        out.write("BENCH_obs.json").expect("write BENCH_obs.json");
+    }
+    server.shutdown();
+}

@@ -33,13 +33,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use mgpu_obs::CompletedTrace;
 use mgpu_serve::{AdmissionError, FrameError};
 
 use crate::heat::{decode_stats, NetStats};
 use crate::wire::{
     decode_frame, decode_message, decode_pong, decode_rejected, decode_throttled, decode_ticket,
-    decode_tickets_full, decode_unsupported_version, encode_ping, encode_request, encode_ticket,
-    opcode, read_frame, write_frame, NetFrame, NetSceneRequest, WireError, DEFAULT_MAX_PAYLOAD,
+    decode_tickets_full, decode_traces, decode_unsupported_version, encode_ping, encode_request,
+    encode_ticket, encode_traces_request, opcode, read_frame, write_frame, NetFrame,
+    NetSceneRequest, WireError, DEFAULT_MAX_PAYLOAD,
 };
 
 /// Why a client call failed, with the server-side error types restored.
@@ -344,13 +346,27 @@ impl RenderClient {
         frame_response(op, &payload)
     }
 
-    /// Fetch the merged service report and per-shard heat metrics.
+    /// Fetch the merged service report, per-shard heat metrics and the
+    /// server's obs snapshot (STATS v2).
     pub fn stats(&self) -> Result<NetStats, ClientError> {
         let id = self.fresh_id();
         self.send(opcode::STATS, id, &[])?;
         let (op, payload) = self.await_reply(id)?;
         match op {
             opcode::STATS_REPORT => Ok(decode_stats(&payload)?),
+            other => Err(unexpected(other, &payload)),
+        }
+    }
+
+    /// Fetch the server's most recently completed request traces, newest
+    /// first, at most `max`. Trace ids are the `request_id`s the requests
+    /// were submitted under, so a client can find its own.
+    pub fn traces(&self, max: u32) -> Result<Vec<CompletedTrace>, ClientError> {
+        let id = self.fresh_id();
+        self.send(opcode::TRACES, id, &encode_traces_request(max))?;
+        let (op, payload) = self.await_reply(id)?;
+        match op {
+            opcode::TRACES_REPLY => Ok(decode_traces(&payload)?),
             other => Err(unexpected(other, &payload)),
         }
     }

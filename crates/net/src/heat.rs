@@ -5,17 +5,24 @@
 
 use std::time::Duration;
 
+use mgpu_obs::{Snapshot, HIST_BUCKETS};
 use mgpu_serve::{CacheSnapshot, ServiceReport, ShardHeat, WAIT_BUCKETS};
 
 use crate::wire::{Reader, WireError, Writer};
 
-/// What `STATS` returns: cluster-wide accounting plus per-shard heat.
+/// What `STATS` returns: cluster-wide accounting plus per-shard heat —
+/// and, since STATS v2, the node's full [`mgpu_obs`] registry snapshot
+/// (per-stage histograms, cache counters, event-loop wakeups, …), which
+/// merges exactly across nodes via [`Snapshot::merge`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetStats {
     /// All shards folded together (see [`ServiceReport::merged`]).
     pub merged: ServiceReport,
     /// Per-shard heat, indexed by shard.
     pub shards: Vec<ShardHeat>,
+    /// The node's observability snapshot (STATS v2): every registered
+    /// counter, gauge and histogram under its stable name.
+    pub obs: Snapshot,
 }
 
 impl NetStats {
@@ -187,7 +194,75 @@ fn get_heat(r: &mut Reader) -> Result<ShardHeat, WireError> {
     })
 }
 
-/// Encode a `STATS_REPORT` payload.
+/// Encode an [`mgpu_obs::Snapshot`] — name-keyed counters, gauges and
+/// histograms. Names are written in the snapshot's stable sorted order, so
+/// equal snapshots encode to equal bytes.
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    put_snapshot(&mut w, snap);
+    w.into_bytes()
+}
+
+fn put_snapshot(w: &mut Writer, snap: &Snapshot) {
+    let counters = snap.counters();
+    w.u32(counters.len() as u32);
+    for (name, value) in counters {
+        w.str(name);
+        w.u64(*value);
+    }
+    let gauges = snap.gauges();
+    w.u32(gauges.len() as u32);
+    for (name, value) in gauges {
+        w.str(name);
+        w.u64(*value as u64); // i64 by bit pattern
+    }
+    let histograms = snap.histograms();
+    w.u32(histograms.len() as u32);
+    for (name, buckets) in histograms {
+        w.str(name);
+        for bucket in buckets {
+            w.u64(*bucket);
+        }
+    }
+}
+
+/// Decode an [`mgpu_obs::Snapshot`] payload; consumes the whole payload.
+pub fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, WireError> {
+    let mut r = Reader::new(payload);
+    let snap = get_snapshot(&mut r)?;
+    r.finish()?;
+    Ok(snap)
+}
+
+fn get_snapshot(r: &mut Reader) -> Result<Snapshot, WireError> {
+    let mut snap = Snapshot::new();
+    // Each entry is at least a name length prefix plus one u64.
+    let counters = r.count(4 + 8)?;
+    for _ in 0..counters {
+        let name = r.str()?;
+        let value = r.u64()?;
+        snap.add_counter(&name, value);
+    }
+    let gauges = r.count(4 + 8)?;
+    for _ in 0..gauges {
+        let name = r.str()?;
+        let value = r.u64()? as i64; // i64 by bit pattern
+        snap.add_gauge(&name, value);
+    }
+    let histograms = r.count(4 + 8 * HIST_BUCKETS)?;
+    for _ in 0..histograms {
+        let name = r.str()?;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for bucket in &mut buckets {
+            *bucket = r.u64()?;
+        }
+        snap.add_histogram(&name, &buckets);
+    }
+    Ok(snap)
+}
+
+/// Encode a `STATS_REPORT` payload (STATS v2: report + shard heat + the
+/// node's observability snapshot).
 pub fn encode_stats(stats: &NetStats) -> Vec<u8> {
     let mut w = Writer::new();
     put_report(&mut w, &stats.merged);
@@ -195,6 +270,7 @@ pub fn encode_stats(stats: &NetStats) -> Vec<u8> {
     for h in &stats.shards {
         put_heat(&mut w, h);
     }
+    put_snapshot(&mut w, &stats.obs);
     w.into_bytes()
 }
 
@@ -207,8 +283,13 @@ pub fn decode_stats(payload: &[u8]) -> Result<NetStats, WireError> {
     for _ in 0..n {
         shards.push(get_heat(&mut r)?);
     }
+    let obs = get_snapshot(&mut r)?;
     r.finish()?;
-    Ok(NetStats { merged, shards })
+    Ok(NetStats {
+        merged,
+        shards,
+        obs,
+    })
 }
 
 #[cfg(test)]
@@ -250,9 +331,18 @@ mod tests {
         merged.queue_wait_hist[12] = 20;
         merged.mean_queue_wait = Duration::from_micros(900);
         merged.wall_elapsed = Duration::from_secs(2);
+        let mut obs = Snapshot::new();
+        obs.add_counter("net.frames_in", 24);
+        obs.add_counter("serve.frames_rendered", 20);
+        obs.add_gauge("serve.queue_depth", -1); // negative survives the cast
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[12] = 20;
+        buckets[HIST_BUCKETS - 1] = 1;
+        obs.add_histogram("serve.queue_wait_ns", &buckets);
         NetStats {
             merged,
             shards: vec![sample_heat(0, 18), sample_heat(1, 6)],
+            obs,
         }
     }
 
@@ -261,6 +351,21 @@ mod tests {
         let stats = sample_stats();
         let decoded = decode_stats(&encode_stats(&stats)).unwrap();
         assert_eq!(decoded, stats);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_reencodes_byte_equal() {
+        let stats = sample_stats();
+        let bytes = encode_snapshot(&stats.obs);
+        let decoded = decode_snapshot(&bytes).unwrap();
+        assert_eq!(decoded, stats.obs);
+        // Stable sorted keys: re-encoding the decoded snapshot reproduces
+        // the exact bytes, which is what lets merged pool snapshots be
+        // compared bit-for-bit.
+        assert_eq!(encode_snapshot(&decoded), bytes);
+        for cut in 0..bytes.len() {
+            assert!(decode_snapshot(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
     }
 
     #[test]
@@ -280,6 +385,7 @@ mod tests {
         let empty = NetStats {
             merged: ServiceReport::merged([]),
             shards: vec![],
+            obs: Snapshot::new(),
         };
         assert_eq!(empty.imbalance(), 1.0);
         assert!(empty.hottest().is_none());

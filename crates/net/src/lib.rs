@@ -45,10 +45,16 @@
 //! * **Rate limiting** — [`ratelimit`]: a per-session token bucket at the
 //!   server door, ahead of admission control; throttled requests carry an
 //!   exact retry-after.
-//! * **Heat** — [`heat`]: the `STATS` request returns the merged
-//!   [`mgpu_serve::ServiceReport`] plus per-shard
+//! * **Heat + observability** — [`heat`]: the `STATS` request (v2)
+//!   returns the merged [`mgpu_serve::ServiceReport`], per-shard
 //!   [`mgpu_serve::ShardHeat`] (queue depth, frames/sec, cache occupancy)
-//!   — the observability a shard rebalancer builds on.
+//!   *and* the server's [`mgpu_obs::Snapshot`] — `net.*` wire metrics
+//!   merged with the global `serve.*`/`volren.*` registry, in a canonical
+//!   sorted-key wire form that re-encodes bit-exactly. The `TRACES`
+//!   request returns the newest completed request traces (stage spans
+//!   `admit → queue → plan → stage → kernel → composite → render →
+//!   reply`, seeded from the wire `request_id`); `NodePool::obs_snapshot`
+//!   fetches and exactly merges every reachable node's snapshot.
 //! * **Backends** — [`remote::RemoteBackend`] puts one server behind the
 //!   [`mgpu_serve::RenderBackend`] trait; [`pool::NodePool`] puts N servers
 //!   behind it with a rendezvous [`pool::Directory`] (the same placement

@@ -309,13 +309,52 @@ impl NodePool {
         }
     }
 
-    /// Per-node stats (merged report + per-shard heat), indexed like the
-    /// directory; unreachable nodes report their error instead.
+    /// Per-node stats (merged report + per-shard heat + obs snapshot),
+    /// indexed like the directory; unreachable nodes report their error
+    /// instead.
     pub fn node_stats(&self) -> Vec<Result<NetStats, BackendError>> {
         (0..self.node_count())
             .map(|node| {
                 self.on_node(node, |client| client.stats())
                     .map(|(_, stats)| stats)
+                    .map_err(backend_error)
+            })
+            .collect()
+    }
+
+    /// One pool-wide obs snapshot: every reachable node's STATS v2
+    /// snapshot folded together. Counters, gauges and histogram buckets
+    /// add *exactly* (no sketch error), so pool-level quantiles are as
+    /// trustworthy as a single node's. Fails only when no node answers.
+    pub fn obs_snapshot(&self) -> Result<mgpu_obs::Snapshot, BackendError> {
+        let mut merged = mgpu_obs::Snapshot::new();
+        let mut reached = false;
+        let mut last_err = None;
+        for stats in self.node_stats() {
+            match stats {
+                Ok(stats) => {
+                    merged.merge(&stats.obs);
+                    reached = true;
+                }
+                Err(err) => last_err = Some(err),
+            }
+        }
+        match (reached, last_err) {
+            (false, Some(err)) => Err(err),
+            _ => Ok(merged),
+        }
+    }
+
+    /// Each node's most recent completed request traces (newest first, at
+    /// most `max` per node), indexed like the directory.
+    pub fn node_traces(
+        &self,
+        max: u32,
+    ) -> Vec<Result<Vec<mgpu_obs::CompletedTrace>, BackendError>> {
+        (0..self.node_count())
+            .map(|node| {
+                self.on_node(node, |client| client.traces(max))
+                    .map(|(_, traces)| traces)
                     .map_err(backend_error)
             })
             .collect()

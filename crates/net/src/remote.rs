@@ -92,6 +92,17 @@ impl RemoteBackend {
     pub fn shards(&self) -> u32 {
         self.client.shards()
     }
+
+    /// The server's obs snapshot (STATS v2): merged `net.*` / `serve.*` /
+    /// `volren.*` metrics, mergeable across nodes.
+    pub fn obs_snapshot(&self) -> Result<mgpu_obs::Snapshot, ClientError> {
+        self.client.stats().map(|stats| stats.obs)
+    }
+
+    /// The server's most recent completed request traces (newest first).
+    pub fn traces(&self, max: u32) -> Result<Vec<mgpu_obs::CompletedTrace>, ClientError> {
+        self.client.traces(max)
+    }
 }
 
 impl RenderBackend for RemoteBackend {

@@ -33,11 +33,12 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use mgpu_obs::{Counter, Gauge, Registry, Trace};
 use mgpu_serve::{FrameResult, SceneRequest, ServiceConfig, ServiceReport, ShardedService};
 
 use crate::heat::{encode_stats, NetStats};
@@ -233,6 +234,9 @@ struct Completion {
     request_id: u64,
     mode: Done,
     result: FrameResult,
+    /// The request's trace, carried through the render so the event loop
+    /// can stamp the `reply` span before the last `Arc` drop publishes it.
+    trace: Arc<Trace>,
 }
 
 /// What a render worker's completion hook reaches: the queue plus the
@@ -310,6 +314,29 @@ enum TicketState {
     Ready(FrameResult),
 }
 
+/// `Arc` handles into the server's per-instance [`Registry`], cloned into
+/// every connection so the hot read/write paths record lock-free.
+#[derive(Clone)]
+struct ConnObs {
+    bytes_read: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    connections: Arc<Gauge>,
+}
+
+impl ConnObs {
+    fn new(reg: &Registry) -> ConnObs {
+        ConnObs {
+            bytes_read: reg.counter("net.bytes_read"),
+            bytes_written: reg.counter("net.bytes_written"),
+            frames_in: reg.counter("net.frames_in"),
+            frames_out: reg.counter("net.frames_out"),
+            connections: reg.gauge("net.connections"),
+        }
+    }
+}
+
 /// One connection in the registry: socket, partial-frame reader, pending
 /// writes, and the session state (rate bucket, in-flight request ids,
 /// parked tickets) that used to live on a dedicated thread.
@@ -329,10 +356,12 @@ struct Conn {
     redeems: HashMap<u64, u64>,
     /// Stop reading; flush the write buffer, then drop the connection.
     closing: bool,
+    obs: ConnObs,
 }
 
 impl Conn {
-    fn new(stream: TcpStream, rate: Option<RateLimitConfig>) -> Conn {
+    fn new(stream: TcpStream, rate: Option<RateLimitConfig>, obs: ConnObs) -> Conn {
+        obs.connections.inc();
         Conn {
             stream,
             read: ReadPhase::start(),
@@ -343,6 +372,7 @@ impl Conn {
             tickets: HashMap::new(),
             redeems: HashMap::new(),
             closing: false,
+            obs,
         }
     }
 
@@ -374,7 +404,10 @@ impl Conn {
                 ReadPhase::Header { buf, have } => {
                     let n = *have;
                     match read_some(&mut self.stream, &mut buf[n..]) {
-                        Fill::Bytes(got) => *have += got,
+                        Fill::Bytes(got) => {
+                            *have += got;
+                            self.obs.bytes_read.add(got as u64);
+                        }
                         Fill::WouldBlock => return ReadStep::NotYet,
                         Fill::Closed => return ReadStep::Gone,
                     }
@@ -396,7 +429,10 @@ impl Conn {
                 ReadPhase::RequestId { op, len, buf, have } => {
                     let n = *have;
                     match read_some(&mut self.stream, &mut buf[n..]) {
-                        Fill::Bytes(got) => *have += got,
+                        Fill::Bytes(got) => {
+                            *have += got;
+                            self.obs.bytes_read.add(got as u64);
+                        }
                         Fill::WouldBlock => return ReadStep::NotYet,
                         Fill::Closed => return ReadStep::Gone,
                     }
@@ -420,7 +456,10 @@ impl Conn {
                     if *have < buf.len() {
                         let n = *have;
                         match read_some(&mut self.stream, &mut buf[n..]) {
-                            Fill::Bytes(got) => *have += got,
+                            Fill::Bytes(got) => {
+                                *have += got;
+                                self.obs.bytes_read.add(got as u64);
+                            }
                             Fill::WouldBlock => return ReadStep::NotYet,
                             Fill::Closed => return ReadStep::Gone,
                         }
@@ -431,6 +470,7 @@ impl Conn {
                     let (op, request_id) = (*op, *request_id);
                     let payload = std::mem::take(buf);
                     self.read = ReadPhase::start();
+                    self.obs.frames_in.inc();
                     return ReadStep::Frame(op, request_id, payload);
                 }
             }
@@ -445,9 +485,11 @@ impl Conn {
                 Ok(0) => return Err(()),
                 Ok(n) => {
                     self.out_pos += n;
+                    self.obs.bytes_written.add(n as u64);
                     if self.out_pos == front.len() {
                         self.out.pop_front();
                         self.out_pos = 0;
+                        self.obs.frames_out.inc();
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
@@ -456,6 +498,12 @@ impl Conn {
             }
         }
         Ok(())
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.obs.connections.dec();
     }
 }
 
@@ -484,10 +532,18 @@ struct Shared {
     config: ServerConfig,
     shutdown: AtomicBool,
     notifier: Arc<Notifier>,
+    /// Per-*server-instance* metrics (`net.*`): wakeups and traffic must
+    /// not mix across servers sharing a process (the idle-wakeup test runs
+    /// next to busy servers), so these live here rather than in the
+    /// process-global registry. `STATS` merges both into one snapshot.
+    obs: Registry,
     /// Times the event loop's `poll` returned — the "CPU wakeups" an idle
     /// server costs. A sleep-polling loop burns hundreds per second; this
     /// one stays at zero while nothing happens (a unit test asserts it).
-    wakeups: AtomicU64,
+    /// Lives in `obs` as `net.loop_wakeups`; this is the cached handle.
+    wakeups: Arc<Counter>,
+    /// `net.throttled`: requests refused by the per-session rate limiter.
+    throttled: Arc<Counter>,
 }
 
 /// The TCP render server. Dropping it (or calling
@@ -512,6 +568,9 @@ impl RenderServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let (waker_tx, waker_rx) = waker_pair()?;
+        let obs = Registry::new();
+        let wakeups = obs.counter("net.loop_wakeups");
+        let throttled = obs.counter("net.throttled");
         let shared = Arc::new(Shared {
             sharded: ShardedService::start(config.shards, config.service.clone()),
             config,
@@ -520,7 +579,9 @@ impl RenderServer {
                 completions: Mutex::new(Vec::new()),
                 waker: Waker { tx: waker_tx },
             }),
-            wakeups: AtomicU64::new(0),
+            obs,
+            wakeups,
+            throttled,
         });
         let event_loop = {
             let shared = Arc::clone(&shared);
@@ -545,16 +606,17 @@ impl RenderServer {
     /// returns exactly this).
     pub fn stats(&self) -> NetStats {
         let shared = self.shared.as_ref().expect("server is running");
-        net_stats(&shared.sharded)
+        net_stats(shared)
     }
 
     /// How many times the event loop has woken since start — diagnostic
     /// for the no-sleep-polling guarantee: an idle server's count stays
     /// flat, because the loop blocks in `poll` with no timeout instead of
-    /// waking on a timer.
+    /// waking on a timer. Reads the same `net.loop_wakeups` counter the
+    /// `STATS` snapshot exports — one source of truth for both.
     pub fn loop_wakeups(&self) -> u64 {
         let shared = self.shared.as_ref().expect("server is running");
-        shared.wakeups.load(Ordering::Relaxed)
+        shared.wakeups.get()
     }
 
     fn stop_event_loop(&mut self) {
@@ -592,10 +654,18 @@ impl Drop for RenderServer {
 
 /// One coherent stats snapshot (heat and merged report derive from the
 /// same per-shard reports, so shard counters sum to the merged counters
-/// even under live traffic).
-fn net_stats(sharded: &ShardedService) -> NetStats {
-    let (shards, merged) = sharded.heat_and_merged();
-    NetStats { merged, shards }
+/// even under live traffic). The obs snapshot is the server's private
+/// `net.*` registry merged with the process-global one (`serve.*`,
+/// `volren.*`) — STATS v2 carries the union.
+fn net_stats(shared: &Shared) -> NetStats {
+    let (shards, merged) = shared.sharded.heat_and_merged();
+    let mut obs = shared.obs.snapshot();
+    obs.merge(&mgpu_obs::global().snapshot());
+    NetStats {
+        merged,
+        shards,
+        obs,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -608,16 +678,20 @@ struct EventLoop {
     shared: Arc<Shared>,
     conns: HashMap<u64, Conn>,
     next_token: u64,
+    /// Handle bundle cloned into each accepted connection.
+    conn_obs: ConnObs,
 }
 
 impl EventLoop {
     fn new(listener: TcpListener, waker_rx: TcpStream, shared: Arc<Shared>) -> EventLoop {
+        let conn_obs = ConnObs::new(&shared.obs);
         EventLoop {
             listener,
             waker_rx,
             shared,
             conns: HashMap::new(),
             next_token: 1,
+            conn_obs,
         }
     }
 
@@ -681,7 +755,7 @@ impl EventLoop {
             if readiness::wait(&mut fds, -1).is_err() {
                 return; // poll itself failed: the loop cannot continue
             }
-            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.shared.wakeups.inc();
 
             if fds[0].readable() {
                 self.drain_waker();
@@ -726,8 +800,10 @@ impl EventLoop {
                     let _ = stream.set_nodelay(true);
                     let token = self.next_token;
                     self.next_token += 1;
-                    self.conns
-                        .insert(token, Conn::new(stream, self.shared.config.rate_limit));
+                    self.conns.insert(
+                        token,
+                        Conn::new(stream, self.shared.config.rate_limit, self.conn_obs.clone()),
+                    );
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -744,6 +820,11 @@ impl EventLoop {
             let Some(conn) = self.conns.get_mut(&done.conn) else {
                 continue;
             };
+            // The `reply` span covers frame encoding and write-buffer
+            // enqueue (for tickets: parking the result); dropping `done`
+            // at the end of this arm releases the last trace `Arc`, which
+            // publishes the finished trace into the ring.
+            let reply_start = Instant::now();
             match done.mode {
                 Done::Render => {
                     conn.in_flight.remove(&done.request_id);
@@ -760,6 +841,7 @@ impl EventLoop {
                     }
                 }
             }
+            done.trace.record_since("reply", reply_start);
         }
     }
 
@@ -841,24 +923,45 @@ impl EventLoop {
                 Err(err) => bad_request(conn, request_id, &err),
             },
             opcode::STATS => {
-                let stats = net_stats(&shared.sharded);
+                let stats = net_stats(&shared);
                 conn.send(frame_bytes(
                     opcode::STATS_REPORT,
                     request_id,
                     &encode_stats(&stats),
                 ));
             }
+            opcode::TRACES => match wire::decode_traces_request(payload) {
+                Ok(max) => {
+                    let traces = mgpu_obs::ring().recent(max as usize);
+                    conn.send(frame_bytes(
+                        opcode::TRACES_REPLY,
+                        request_id,
+                        &wire::encode_traces(&traces),
+                    ));
+                }
+                Err(err) => bad_request(conn, request_id, &err),
+            },
             opcode::RENDER => {
+                let admit_start = Instant::now();
                 if let Some(request) = admit(&shared, conn, token, request_id, payload) {
+                    // The trace id IS the wire request id: a client can
+                    // correlate a TRACES row with its own request.
+                    let trace = Trace::start(request_id);
+                    trace.record_since("admit", admit_start);
                     let notifier = Arc::clone(&shared.notifier);
-                    let submitted = shared.sharded.try_submit_with(request, move |result| {
-                        notifier.complete(Completion {
-                            conn: token,
-                            request_id,
-                            mode: Done::Render,
-                            result,
-                        })
-                    });
+                    let reply_trace = Arc::clone(&trace);
+                    let submitted =
+                        shared
+                            .sharded
+                            .try_submit_traced(request, trace, move |result| {
+                                notifier.complete(Completion {
+                                    conn: token,
+                                    request_id,
+                                    mode: Done::Render,
+                                    result,
+                                    trace: reply_trace,
+                                })
+                            });
                     match submitted {
                         Ok(()) => {
                             conn.in_flight.insert(request_id);
@@ -872,16 +975,24 @@ impl EventLoop {
                 }
             }
             opcode::SUBMIT => {
+                let admit_start = Instant::now();
                 if let Some(request) = admit(&shared, conn, token, request_id, payload) {
+                    let trace = Trace::start(request_id);
+                    trace.record_since("admit", admit_start);
                     let notifier = Arc::clone(&shared.notifier);
-                    let submitted = shared.sharded.try_submit_with(request, move |result| {
-                        notifier.complete(Completion {
-                            conn: token,
-                            request_id,
-                            mode: Done::Ticket,
-                            result,
-                        })
-                    });
+                    let reply_trace = Arc::clone(&trace);
+                    let submitted =
+                        shared
+                            .sharded
+                            .try_submit_traced(request, trace, move |result| {
+                                notifier.complete(Completion {
+                                    conn: token,
+                                    request_id,
+                                    mode: Done::Ticket,
+                                    result,
+                                    trace: reply_trace,
+                                })
+                            });
                     match submitted {
                         Ok(()) => {
                             conn.tickets.insert(request_id, TicketState::Pending);
@@ -990,6 +1101,7 @@ fn admit(
     };
     if let Some(bucket) = &mut conn.bucket {
         if let Err(retry_after) = bucket.try_take() {
+            shared.throttled.inc();
             conn.send(frame_bytes(
                 opcode::THROTTLED,
                 request_id,

@@ -86,6 +86,9 @@ pub mod opcode {
     pub const SUBMIT: u8 = 0x03;
     pub const REDEEM: u8 = 0x04;
     pub const STATS: u8 = 0x05;
+    /// Fetch the last N completed request traces from the server's trace
+    /// ring; payload is the maximum count as a u32.
+    pub const TRACES: u8 = 0x06;
 
     pub const PONG: u8 = 0x81;
     pub const FRAME: u8 = 0x82;
@@ -100,6 +103,9 @@ pub mod opcode {
     /// speak; payload is `(got, want)` and the connection closes after the
     /// reply flushes. New in v3 — the migration path for v2 clients.
     pub const UNSUPPORTED_VERSION: u8 = 0x89;
+    /// Reply to [`TRACES`]: the newest completed traces, newest first (see
+    /// [`crate::wire::encode_traces`]).
+    pub const TRACES_REPLY: u8 = 0x8A;
     pub const BAD_REQUEST: u8 = 0xFF;
 }
 
@@ -1148,6 +1154,73 @@ pub fn decode_message(payload: &[u8]) -> Result<String, WireError> {
     Ok(message)
 }
 
+// ---------------------------------------------------------------------------
+// Trace payloads (`TRACES` / `TRACES_REPLY`)
+// ---------------------------------------------------------------------------
+
+/// `TRACES`: ask for the server's newest `max` completed request traces.
+pub fn encode_traces_request(max: u32) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(max);
+    w.into_bytes()
+}
+
+pub fn decode_traces_request(payload: &[u8]) -> Result<u32, WireError> {
+    let mut r = Reader::new(payload);
+    let max = r.u32()?;
+    r.finish()?;
+    Ok(max)
+}
+
+/// `TRACES_REPLY`: the completed traces, newest first. Each trace is its
+/// wire `request_id`-seeded trace id plus the named stage spans as
+/// nanosecond offsets from the trace's start.
+pub fn encode_traces(traces: &[mgpu_obs::CompletedTrace]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(traces.len() as u32);
+    for trace in traces {
+        w.u64(trace.id);
+        w.u32(trace.spans.len() as u32);
+        for span in &trace.spans {
+            w.str(&span.name);
+            w.u64(span.start_ns);
+            w.u64(span.end_ns);
+        }
+    }
+    w.into_bytes()
+}
+
+pub fn decode_traces(payload: &[u8]) -> Result<Vec<mgpu_obs::CompletedTrace>, WireError> {
+    let mut r = Reader::new(payload);
+    // A trace is at least an id and a span count; a span at least a name
+    // length and two offsets.
+    let count = r.count(8 + 4)?;
+    let mut traces = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.u64()?;
+        let spans_len = r.count(4 + 8 + 8)?;
+        let mut spans = Vec::with_capacity(spans_len);
+        for _ in 0..spans_len {
+            let name = r.str()?;
+            let start_ns = r.u64()?;
+            let end_ns = r.u64()?;
+            if end_ns < start_ns {
+                return Err(WireError::Malformed(format!(
+                    "span {name:?} ends ({end_ns}) before it starts ({start_ns})"
+                )));
+            }
+            spans.push(mgpu_obs::SpanRecord {
+                name,
+                start_ns,
+                end_ns,
+            });
+        }
+        traces.push(mgpu_obs::CompletedTrace { id, spans });
+    }
+    r.finish()?;
+    Ok(traces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1457,6 +1530,49 @@ mod tests {
         exotic.spec.disk = mgpu_sim::LinkModel::new(1.0, 1.0);
         let err = NetSceneRequest::from_request(&exotic).expect_err("not portable");
         assert!(err.contains("accelerator-cluster"), "{err}");
+    }
+
+    #[test]
+    fn traces_roundtrip_and_truncations_are_typed() {
+        let traces = vec![
+            mgpu_obs::CompletedTrace {
+                id: 7,
+                spans: vec![
+                    mgpu_obs::SpanRecord {
+                        name: "queue".into(),
+                        start_ns: 10,
+                        end_ns: 20,
+                    },
+                    mgpu_obs::SpanRecord {
+                        name: "render".into(),
+                        start_ns: 20,
+                        end_ns: 90,
+                    },
+                ],
+            },
+            mgpu_obs::CompletedTrace {
+                id: u64::MAX,
+                spans: vec![],
+            },
+        ];
+        let bytes = encode_traces(&traces);
+        assert_eq!(decode_traces(&bytes).unwrap(), traces);
+        assert_eq!(decode_traces_request(&encode_traces_request(32)), Ok(32));
+        for cut in 0..bytes.len() {
+            match decode_traces(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) | Err(WireError::Malformed(_)) => {}
+                Ok(_) => panic!("prefix of {cut} bytes decoded successfully"),
+                Err(other) => panic!("prefix of {cut} bytes: unexpected {other:?}"),
+            }
+        }
+        // A span that ends before it starts is malformed, not accepted.
+        let mut backwards = traces.clone();
+        backwards[0].spans[0].start_ns = 50;
+        backwards[0].spans[0].end_ns = 40;
+        assert!(matches!(
+            decode_traces(&encode_traces(&backwards)),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

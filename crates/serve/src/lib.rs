@@ -56,11 +56,13 @@
 //! direct [`mgpu_volren::render`] call with the same request, regardless of
 //! worker count, batching, caching, plan reuse, sharding or interleaving.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver};
+use mgpu_obs::Trace;
 
 use mgpu_cluster::ClusterSpec;
 use mgpu_voldata::Volume;
@@ -88,6 +90,14 @@ pub use session::{SceneSession, SessionTicket};
 pub use shard::{ShardHeat, ShardedService};
 
 use report::ServiceStats;
+
+/// A fresh trace for a request submitted through the local API (no wire
+/// `request_id` to inherit). The top bit is set so locally minted ids never
+/// collide with client-chosen wire ids in a shared trace ring.
+fn local_trace() -> Arc<Trace> {
+    static LOCAL_IDS: AtomicU64 = AtomicU64::new(0);
+    Trace::start(LOCAL_IDS.fetch_add(1, Ordering::Relaxed) | 1 << 63)
+}
 
 /// Everything needed to render one frame, as submitted by a client.
 #[derive(Debug, Clone)]
@@ -259,13 +269,30 @@ impl ServiceInner {
         );
         self.cache.get(&key).map(|mut frame| {
             frame.from_cache = true;
-            ServiceStats::bump(&self.stats.frames_submitted);
-            ServiceStats::bump(&self.stats.cache_hits);
-            ServiceStats::bump(&self.stats.frames_completed);
+            self.bump_cache_hit();
             let (tx, rx) = bounded(1);
             tx.send(Ok(frame)).expect("fresh ticket channel");
             FrameTicket { rx, seq: None }
         })
+    }
+
+    /// Counter bumps shared by both cache fast paths: the per-instance
+    /// stats and their process-global obs mirrors move in lockstep.
+    fn bump_cache_hit(&self) {
+        ServiceStats::bump(&self.stats.frames_submitted);
+        ServiceStats::bump(&self.stats.cache_hits);
+        ServiceStats::bump(&self.stats.frames_completed);
+        self.stats.obs.frames_submitted.inc();
+        self.stats.obs.frame_cache_hits.inc();
+        self.stats.obs.frames_completed.inc();
+    }
+
+    /// Counter bumps for a request the frame cache could not answer and the
+    /// queue accepted.
+    fn bump_queued_submit(&self) {
+        ServiceStats::bump(&self.stats.frames_submitted);
+        self.stats.obs.frames_submitted.inc();
+        self.stats.obs.frame_cache_misses.inc();
     }
 
     fn assert_open(&self) {
@@ -290,9 +317,7 @@ impl ServiceInner {
         );
         self.cache.get(&key).map(|mut frame| {
             frame.from_cache = true;
-            ServiceStats::bump(&self.stats.frames_submitted);
-            ServiceStats::bump(&self.stats.cache_hits);
-            ServiceStats::bump(&self.stats.frames_completed);
+            self.bump_cache_hit();
             frame
         })
     }
@@ -306,8 +331,8 @@ impl ServiceInner {
         let (tx, rx) = bounded(1);
         let seq = self
             .queue
-            .push(request, batch_key, queue::Reply::channel(tx));
-        ServiceStats::bump(&self.stats.frames_submitted);
+            .push(request, batch_key, queue::Reply::channel(tx), local_trace());
+        self.bump_queued_submit();
         FrameTicket { rx, seq: Some(seq) }
     }
 
@@ -323,15 +348,16 @@ impl ServiceInner {
         let (tx, rx) = bounded(1);
         match self
             .queue
-            .try_push(request, batch_key, queue::Reply::channel(tx))
+            .try_push(request, batch_key, queue::Reply::channel(tx), local_trace())
         {
             Ok(seq) => {
-                ServiceStats::bump(&self.stats.frames_submitted);
+                self.bump_queued_submit();
                 Ok(FrameTicket { rx, seq: Some(seq) })
             }
             Err((err, reply)) => {
                 reply.cancel();
                 ServiceStats::bump(&self.stats.admission_rejected);
+                self.stats.obs.admission_rejected.inc();
                 Err(err)
             }
         }
@@ -342,20 +368,33 @@ impl ServiceInner {
         request: SceneRequest,
         reply: queue::Reply,
     ) -> Result<(), AdmissionError> {
+        self.try_submit_traced(request, reply, local_trace())
+    }
+
+    /// The traced admission path: a network front-end passes the trace it
+    /// seeded from the wire `request_id`, so the spans the worker and the
+    /// renderer record land on the request's own end-to-end trace.
+    pub(crate) fn try_submit_traced(
+        self: &Arc<Self>,
+        request: SceneRequest,
+        reply: queue::Reply,
+        trace: Arc<Trace>,
+    ) -> Result<(), AdmissionError> {
         self.assert_open();
         if let Some(frame) = self.cached_hit(&request) {
             reply.deliver(Ok(frame));
             return Ok(());
         }
         let batch_key = BatchKey::of(&request);
-        match self.queue.try_push(request, batch_key, reply) {
+        match self.queue.try_push(request, batch_key, reply, trace) {
             Ok(_) => {
-                ServiceStats::bump(&self.stats.frames_submitted);
+                self.bump_queued_submit();
                 Ok(())
             }
             Err((err, reply)) => {
                 reply.cancel();
                 ServiceStats::bump(&self.stats.admission_rejected);
+                self.stats.obs.admission_rejected.inc();
                 Err(err)
             }
         }
@@ -432,6 +471,21 @@ impl RenderService {
         on_done: impl FnOnce(FrameResult) + Send + 'static,
     ) -> Result<(), AdmissionError> {
         self.inner.try_submit_with(request, Reply::hook(on_done))
+    }
+
+    /// [`RenderService::try_submit_with`] with a caller-provided
+    /// [`mgpu_obs::Trace`]: the queue/plan/render (and, inside the renderer,
+    /// stage/kernel/composite) spans are recorded onto `trace` instead of a
+    /// fresh one. A network front-end seeds the trace from the wire
+    /// `request_id` so one request is followable end to end.
+    pub fn try_submit_traced(
+        &self,
+        request: SceneRequest,
+        trace: Arc<Trace>,
+        on_done: impl FnOnce(FrameResult) + Send + 'static,
+    ) -> Result<(), AdmissionError> {
+        self.inner
+            .try_submit_traced(request, Reply::hook(on_done), trace)
     }
 
     /// Stop popping jobs (submissions still accepted and queued).

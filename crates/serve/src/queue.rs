@@ -20,10 +20,11 @@
 //! so draining is a single order-preserving pass — no quadratic rescans
 //! under the lock.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
+use mgpu_obs::{Gauge, Trace};
 
 use crate::batch::BatchKey;
 use crate::{FrameError, FrameResult, SceneRequest};
@@ -206,6 +207,10 @@ pub struct QueuedJob {
     pub request: SceneRequest,
     pub batch_key: BatchKey,
     pub reply: Reply,
+    /// The request's end-to-end trace: the worker records the queue/plan/
+    /// render spans into it, and the renderer adds stage/kernel/composite
+    /// via the thread-local [`mgpu_obs::trace::scope`].
+    pub trace: Arc<Trace>,
 }
 
 #[derive(Debug, Default)]
@@ -254,6 +259,10 @@ pub struct JobQueue {
     /// Signalled when capacity frees up (pop/drain) or the queue closes.
     space: Condvar,
     bounds: QueueBounds,
+    /// Process-global `serve.queue_depth` gauge: incremented on enqueue,
+    /// decremented on pop/drain, so `obs_top` sees the live backlog across
+    /// every queue in the process.
+    depth_gauge: Arc<Gauge>,
 }
 
 impl JobQueue {
@@ -267,6 +276,7 @@ impl JobQueue {
             ready: Condvar::new(),
             space: Condvar::new(),
             bounds,
+            depth_gauge: mgpu_obs::global().gauge("serve.queue_depth"),
         }
     }
 
@@ -280,13 +290,19 @@ impl JobQueue {
     /// Panics if the queue is closed (the service is shutting down) — before
     /// or while blocked. Note that a *paused* queue never frees capacity, so
     /// a bounded, paused queue should be fed through [`JobQueue::try_push`].
-    pub fn push(&self, request: SceneRequest, batch_key: BatchKey, reply: Reply) -> u64 {
+    pub fn push(
+        &self,
+        request: SceneRequest,
+        batch_key: BatchKey,
+        reply: Reply,
+        trace: Arc<Trace>,
+    ) -> u64 {
         let limit = self.bounds.limit(request.priority);
         let mut state = self.state.lock().unwrap();
         loop {
             assert!(!state.closed, "cannot submit to a shut-down render service");
             if state.jobs.len() < limit {
-                return self.enqueue(&mut state, request, batch_key, reply);
+                return self.enqueue(&mut state, request, batch_key, reply, trace);
             }
             state = self.space.wait(state).unwrap();
         }
@@ -303,6 +319,7 @@ impl JobQueue {
         request: SceneRequest,
         batch_key: BatchKey,
         reply: Reply,
+        trace: Arc<Trace>,
     ) -> Result<u64, (AdmissionError, Reply)> {
         let limit = self.bounds.limit(request.priority);
         let mut state = self.state.lock().unwrap();
@@ -317,7 +334,7 @@ impl JobQueue {
                 reply,
             ));
         }
-        Ok(self.enqueue(&mut state, request, batch_key, reply))
+        Ok(self.enqueue(&mut state, request, batch_key, reply, trace))
     }
 
     fn enqueue(
@@ -326,6 +343,7 @@ impl JobQueue {
         request: SceneRequest,
         batch_key: BatchKey,
         reply: Reply,
+        trace: Arc<Trace>,
     ) -> u64 {
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -337,7 +355,9 @@ impl JobQueue {
             request,
             batch_key,
             reply,
+            trace,
         });
+        self.depth_gauge.inc();
         self.ready.notify_one();
         seq
     }
@@ -354,6 +374,7 @@ impl JobQueue {
             if runnable {
                 if let Some(i) = state.best() {
                     let job = state.remove(i);
+                    self.depth_gauge.dec();
                     self.space.notify_all();
                     return Some(job);
                 }
@@ -387,6 +408,7 @@ impl JobQueue {
             state.depths[job.priority.index()] -= 1;
         }
         if !picked.is_empty() {
+            self.depth_gauge.add(-(picked.len() as i64));
             self.space.notify_all();
         }
         picked
@@ -453,6 +475,7 @@ mod tests {
             request(priority),
             BatchKey::synthetic(key),
             Reply::channel(tx),
+            Trace::detached(0),
         )
     }
 
@@ -462,6 +485,7 @@ mod tests {
             request(priority),
             BatchKey::synthetic(key),
             Reply::channel(tx),
+            Trace::detached(0),
         )
         .map_err(|(err, reply)| {
             reply.cancel();

@@ -8,62 +8,69 @@
 //! shedding, failures, wall-clock throughput.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use mgpu_obs::{Counter, Histogram};
 
 use crate::cache::CacheSnapshot;
 
 /// Number of log₂ buckets in the queue-wait histogram: bucket `i` counts
-/// waits in `[2^i, 2^(i+1))` nanoseconds. 64 buckets span the whole `u64`
-/// nanosecond range, so even pathological multi-minute overload waits land
-/// in a bucket whose edge reflects them instead of saturating early.
-pub const WAIT_BUCKETS: usize = 64;
+/// waits in `[2^i, 2^(i+1))` nanoseconds. The bucketing itself now lives in
+/// [`mgpu_obs::Histogram`]; this alias keeps the serve API (and the wire
+/// heat payloads) stable.
+pub const WAIT_BUCKETS: usize = mgpu_obs::HIST_BUCKETS;
 
-/// A lock-free log₂ histogram of queue-wait times. The mean hides overload
-/// tails; percentiles (p50/p90 per shard) are what the heat metrics and the
-/// bench-trend JSON need, and summing buckets merges exactly across shards.
+/// Cached handles into the process-global [`mgpu_obs`] registry, resolved
+/// once per service instance so hot paths touch only atomics. These
+/// aggregate across every service in the process (all shards of a
+/// [`crate::ShardedService`] included) and feed the `STATS` v2 snapshot and
+/// the `obs_top` dashboard; the per-instance counters in [`ServiceStats`]
+/// remain the source for this service's own [`ServiceReport`].
 #[derive(Debug)]
-pub(crate) struct WaitHistogram {
-    buckets: [AtomicU64; WAIT_BUCKETS],
+pub(crate) struct ObsHandles {
+    pub frames_submitted: Arc<Counter>,
+    pub frames_completed: Arc<Counter>,
+    pub frames_rendered: Arc<Counter>,
+    pub frames_failed: Arc<Counter>,
+    pub frame_cache_hits: Arc<Counter>,
+    pub frame_cache_misses: Arc<Counter>,
+    pub plan_cache_hits: Arc<Counter>,
+    pub plan_cache_misses: Arc<Counter>,
+    pub admission_rejected: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub batched_frames: Arc<Counter>,
+    pub jobs_popped: Arc<Counter>,
+    pub brick_stagings: Arc<Counter>,
+    pub brick_reuses: Arc<Counter>,
+    pub queue_wait_ns: Arc<Histogram>,
+    pub plan_prepare_ns: Arc<Histogram>,
+    pub render_ns: Arc<Histogram>,
 }
 
-impl Default for WaitHistogram {
-    fn default() -> WaitHistogram {
-        WaitHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+impl Default for ObsHandles {
+    fn default() -> ObsHandles {
+        let reg = mgpu_obs::global();
+        ObsHandles {
+            frames_submitted: reg.counter("serve.frames_submitted"),
+            frames_completed: reg.counter("serve.frames_completed"),
+            frames_rendered: reg.counter("serve.frames_rendered"),
+            frames_failed: reg.counter("serve.frames_failed"),
+            frame_cache_hits: reg.counter("serve.frame_cache_hits"),
+            frame_cache_misses: reg.counter("serve.frame_cache_misses"),
+            plan_cache_hits: reg.counter("serve.plan_cache_hits"),
+            plan_cache_misses: reg.counter("serve.plan_cache_misses"),
+            admission_rejected: reg.counter("serve.admission_rejected"),
+            batches: reg.counter("serve.batches"),
+            batched_frames: reg.counter("serve.batched_frames"),
+            jobs_popped: reg.counter("serve.jobs_popped"),
+            brick_stagings: reg.counter("serve.brick_stagings"),
+            brick_reuses: reg.counter("serve.brick_reuses"),
+            queue_wait_ns: reg.histogram("serve.queue_wait_ns"),
+            plan_prepare_ns: reg.histogram("serve.plan_prepare_ns"),
+            render_ns: reg.histogram("serve.render_ns"),
         }
     }
-}
-
-impl WaitHistogram {
-    fn bucket_of(nanos: u64) -> usize {
-        (nanos.max(1).ilog2() as usize).min(WAIT_BUCKETS - 1)
-    }
-
-    pub fn record(&self, nanos: u64) {
-        self.buckets[WaitHistogram::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn load(&self) -> [u64; WAIT_BUCKETS] {
-        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
-    }
-}
-
-/// Quantile over a loaded histogram: the inclusive upper edge of the bucket
-/// holding the q-th sample (conservative: never under-reports a wait).
-pub(crate) fn histogram_quantile(buckets: &[u64; WAIT_BUCKETS], q: f64) -> Duration {
-    let total: u64 = buckets.iter().sum();
-    if total == 0 {
-        return Duration::ZERO;
-    }
-    let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
-    let mut seen = 0;
-    for (i, count) in buckets.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            return Duration::from_nanos(1u64 << (i + 1).min(63));
-        }
-    }
-    Duration::from_nanos(u64::MAX)
 }
 
 /// Monotonic service counters (all relaxed: they are statistics, not
@@ -90,14 +97,17 @@ pub(crate) struct ServiceStats {
     pub jobs_popped: AtomicU64,
     /// Total time jobs spent queued before a worker picked them up.
     pub queue_wait_nanos: AtomicU64,
-    /// Per-job queue-wait distribution (log₂ buckets, see [`WaitHistogram`]).
-    pub wait_hist: WaitHistogram,
+    /// Per-job queue-wait distribution (log₂ buckets, see
+    /// [`mgpu_obs::Histogram`]).
+    pub wait_hist: Histogram,
     /// Bricks materialized by the shared stores (staging work actually paid).
     pub brick_stagings: AtomicU64,
     /// Brick fetches answered by a warm shared store (staging work avoided).
     pub brick_reuses: AtomicU64,
     /// Sum of simulated per-frame runtimes (DES makespans), nanoseconds.
     pub sim_frame_nanos: AtomicU64,
+    /// Process-global observability mirrors (see [`ObsHandles`]).
+    pub obs: ObsHandles,
 }
 
 impl ServiceStats {
@@ -109,11 +119,13 @@ impl ServiceStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record one job's queue wait: the running total (for the mean) and the
-    /// histogram bucket (for the percentiles) stay in lockstep.
+    /// Record one job's queue wait: the running total (for the mean), the
+    /// histogram bucket (for the percentiles) and the process-global
+    /// `serve.queue_wait_ns` histogram stay in lockstep.
     pub fn record_wait(&self, nanos: u64) {
         ServiceStats::add(&self.queue_wait_nanos, nanos);
         self.wait_hist.record(nanos);
+        self.obs.queue_wait_ns.record(nanos);
     }
 }
 
@@ -290,7 +302,7 @@ impl ServiceReport {
     /// bucket holding the q-th popped job, so it never under-reports. Zero
     /// while nothing has been popped.
     pub fn queue_wait_quantile(&self, q: f64) -> Duration {
-        histogram_quantile(&self.queue_wait_hist, q)
+        mgpu_obs::quantile(&self.queue_wait_hist, q)
     }
 
     /// Median queue wait (see [`ServiceReport::queue_wait_quantile`]).
@@ -479,27 +491,34 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_and_quantiles() {
-        let hist = WaitHistogram::default();
-        // 0 clamps into bucket 0; huge waits clamp into the last bucket.
-        hist.record(0);
-        hist.record(1);
-        hist.record(u64::MAX);
-        let loaded = hist.load();
-        assert_eq!(loaded[0], 2);
-        assert_eq!(loaded[WAIT_BUCKETS - 1], 1);
-
-        let hist = WaitHistogram::default();
+    fn quantiles_are_thin_views_over_the_obs_histogram() {
+        // Bucketing and quantile math live in mgpu-obs (tested there); this
+        // checks the report plumbing: record_wait keeps the mean total, the
+        // instance histogram and the quantile views in lockstep.
+        let stats = ServiceStats::default();
         for _ in 0..9 {
-            hist.record(1_000); // bucket 9 (512..1024ns): wait ≈ 1 µs
+            stats.record_wait(1_000); // ≈ 1 µs
         }
-        hist.record(1_000_000_000); // one 1 s outlier
-        let loaded = hist.load();
-        let p50 = histogram_quantile(&loaded, 0.5);
-        let p99 = histogram_quantile(&loaded, 0.99);
+        stats.record_wait(1_000_000_000); // one 1 s outlier
+        ServiceStats::add(&stats.jobs_popped, 10);
+        let r = ServiceReport::from_stats(
+            &stats,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+            Duration::from_secs(1),
+        );
+        assert_eq!(r.queue_wait_hist.iter().sum::<u64>(), 10);
+        assert_eq!(WAIT_BUCKETS, mgpu_obs::HIST_BUCKETS);
+        let p50 = r.queue_wait_p50();
         assert!(p50 <= Duration::from_nanos(2048), "median ignores outlier");
-        assert!(p99 >= Duration::from_millis(500), "tail sees the outlier");
-        // q = 0 clamps to the first recorded sample's bucket.
-        assert_eq!(histogram_quantile(&loaded, 0.0), p50);
+        assert!(
+            r.queue_wait_quantile(0.99) >= Duration::from_millis(500),
+            "tail sees the outlier"
+        );
+        assert_eq!(
+            r.queue_wait_quantile(0.0),
+            p50,
+            "q=0 clamps to first bucket"
+        );
     }
 }

@@ -162,6 +162,19 @@ impl ShardedService {
         self.shards[self.shard_for(&key)].try_submit_with(request, on_done)
     }
 
+    /// [`RenderService::try_submit_traced`] routed to the owning shard: the
+    /// caller-provided trace travels with the job, so the shard's worker and
+    /// renderer record their spans onto the request's end-to-end trace.
+    pub fn try_submit_traced(
+        &self,
+        request: SceneRequest,
+        trace: std::sync::Arc<mgpu_obs::Trace>,
+        on_done: impl FnOnce(crate::FrameResult) + Send + 'static,
+    ) -> Result<(), AdmissionError> {
+        let key = BatchKey::of(&request);
+        self.shards[self.shard_for(&key)].try_submit_traced(request, trace, on_done)
+    }
+
     pub fn pause(&self) {
         for s in &self.shards {
             s.pause();

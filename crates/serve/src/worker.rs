@@ -18,7 +18,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
+use mgpu_obs::trace;
 use mgpu_volren::renderer::{render_planned, FramePlan};
 
 use crate::cache::FrameKey;
@@ -42,6 +44,8 @@ pub(crate) fn worker_loop(inner: Arc<ServiceInner>) {
                 .stats
                 .record_wait(job.enqueued.elapsed().as_nanos() as u64);
             ServiceStats::bump(&inner.stats.jobs_popped);
+            inner.stats.obs.jobs_popped.inc();
+            job.trace.record_since("queue", job.enqueued);
         }
         render_batch(&inner, jobs);
     }
@@ -65,6 +69,8 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
             frame.from_cache = true;
             ServiceStats::bump(&stats.cache_hits);
             ServiceStats::bump(&stats.frames_completed);
+            stats.obs.frame_cache_hits.inc();
+            stats.obs.frames_completed.inc();
             job.reply.deliver(Ok(frame));
             continue;
         }
@@ -74,22 +80,48 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
         // bricked the volume (its warm store then answers stagings).
         let acquired = match &plan {
             Some(shared) => Ok(Arc::clone(shared)),
-            None => catch_unwind(AssertUnwindSafe(|| match inner.plans.get(&job.batch_key) {
-                Some(shared) => shared,
-                None => {
-                    let fresh = Arc::new(FramePlan::prepare(&req.spec, &req.volume, &req.config));
-                    inner
-                        .plans
-                        .insert(job.batch_key.clone(), Arc::clone(&fresh));
-                    fresh
-                }
-            })),
+            None => {
+                let plan_start = Instant::now();
+                let got =
+                    catch_unwind(AssertUnwindSafe(|| match inner.plans.get(&job.batch_key) {
+                        Some(shared) => {
+                            stats.obs.plan_cache_hits.inc();
+                            shared
+                        }
+                        None => {
+                            stats.obs.plan_cache_misses.inc();
+                            // The scope lets the renderer stamp its staging
+                            // span onto this request's trace.
+                            let fresh = Arc::new(trace::scope(&job.trace, || {
+                                FramePlan::prepare(&req.spec, &req.volume, &req.config)
+                            }));
+                            stats
+                                .obs
+                                .plan_prepare_ns
+                                .record_duration(plan_start.elapsed());
+                            inner
+                                .plans
+                                .insert(job.batch_key.clone(), Arc::clone(&fresh));
+                            fresh
+                        }
+                    }));
+                job.trace.record_since("plan", plan_start);
+                got
+            }
         };
         let outcome = acquired.and_then(|shared| {
             plan = Some(Arc::clone(&shared));
-            catch_unwind(AssertUnwindSafe(|| {
-                render_planned(&req.spec, &shared, &req.scene, &req.config)
-            }))
+            let render_start = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                trace::scope(&job.trace, || {
+                    render_planned(&req.spec, &shared, &req.scene, &req.config)
+                })
+            }));
+            if result.is_ok() {
+                job.trace.record_since("render", render_start);
+                stats.obs.render_ns.record_duration(render_start.elapsed());
+            }
+            result
         });
         let outcome = match outcome {
             Ok(outcome) => outcome,
@@ -97,6 +129,7 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
                 // Contain the panic: fail this job explicitly, keep the
                 // worker (and the rest of the batch) alive.
                 ServiceStats::bump(&stats.frames_failed);
+                stats.obs.frames_failed.inc();
                 job.reply
                     .deliver(Err(FrameError::from_panic(payload.as_ref())));
                 continue;
@@ -104,6 +137,7 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
         };
         if !batch_counted {
             ServiceStats::bump(&stats.batches);
+            stats.obs.batches.inc();
             batch_counted = true;
         }
         ServiceStats::add(&stats.brick_stagings, outcome.report.store.misses);
@@ -112,6 +146,11 @@ fn render_batch(inner: &ServiceInner, jobs: Vec<QueuedJob>) {
         ServiceStats::bump(&stats.batched_frames);
         ServiceStats::bump(&stats.frames_rendered);
         ServiceStats::bump(&stats.frames_completed);
+        stats.obs.brick_stagings.add(outcome.report.store.misses);
+        stats.obs.brick_reuses.add(outcome.report.store.hits);
+        stats.obs.batched_frames.inc();
+        stats.obs.frames_rendered.inc();
+        stats.obs.frames_completed.inc();
 
         let frame = RenderedFrame {
             image: Arc::new(outcome.image),

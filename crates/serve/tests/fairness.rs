@@ -37,6 +37,7 @@ fn push(q: &JobQueue, priority: Priority, key: u32) -> u64 {
         request(priority),
         BatchKey::synthetic(key),
         Reply::channel(tx),
+        mgpu_obs::Trace::detached(0),
     )
 }
 
@@ -187,7 +188,12 @@ proptest! {
             };
             let (tx, _rx) = crossbeam::channel::bounded(1);
             let outcome =
-                q.try_push(request(priority), BatchKey::synthetic(0u32), Reply::channel(tx));
+                q.try_push(
+                request(priority),
+                BatchKey::synthetic(0u32),
+                Reply::channel(tx),
+                mgpu_obs::Trace::detached(0),
+            );
             let limit = bounds.limit(priority);
             if depth < limit {
                 prop_assert!(outcome.is_ok(), "{priority:?} under its bound must admit");

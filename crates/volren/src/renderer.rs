@@ -1,10 +1,12 @@
 //! The high-level renderer: brick the volume, run the MapReduce job for
 //! real, replay its trace on the modeled cluster, stitch the image.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use mgpu_cluster::ClusterSpec;
 use mgpu_mapreduce::{build_trace, run_job, CostBook, JobConfig, JobStats, Key};
+use mgpu_obs::{trace, Histogram};
 use mgpu_sim::{account, simulate, PhaseBreakdown, RunAccounting, SimDuration};
 use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, StoreSnapshot, Volume};
 
@@ -20,6 +22,32 @@ use crate::stitch::stitch;
 /// Modeled host memory per node (the Accelerator Cluster's 8 GB), used by
 /// the automatic residency decision.
 const HOST_BYTES_PER_NODE: u64 = 8 << 30;
+
+/// Handles into the process-global [`mgpu_obs`] registry for the renderer's
+/// stage timings, resolved once so the per-frame cost is a clock read and an
+/// atomic increment. Wall-clock here, not DES time: these measure what the
+/// host actually spends bricking, ray-casting and compositing, feeding the
+/// `STATS` v2 snapshot and the `obs_top` dashboard. (The *modeled* cluster
+/// times stay in [`RenderReport::accounting`].)
+struct RendererObs {
+    staging_ns: Arc<Histogram>,
+    plan_prepare_ns: Arc<Histogram>,
+    kernel_ns: Arc<Histogram>,
+    composite_ns: Arc<Histogram>,
+}
+
+fn obs() -> &'static RendererObs {
+    static OBS: OnceLock<RendererObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = mgpu_obs::global();
+        RendererObs {
+            staging_ns: reg.histogram("volren.staging_ns"),
+            plan_prepare_ns: reg.histogram("volren.plan_prepare_ns"),
+            kernel_ns: reg.histogram("volren.kernel_ns"),
+            composite_ns: reg.histogram("volren.composite_ns"),
+        }
+    })
+}
 
 /// Everything measured about one rendered frame.
 #[derive(Debug, Clone)]
@@ -117,6 +145,7 @@ impl FramePlan {
     /// `spec` and `cfg` — a mismatch would silently break its bit-identical
     /// guarantee.
     pub fn prepare(spec: &ClusterSpec, volume: &Volume, cfg: &RenderConfig) -> FramePlan {
+        let prepare_start = Instant::now();
         let gpus = spec.gpus;
 
         // Brick the volume: ~2 bricks per GPU, capped so a brick (with
@@ -157,6 +186,9 @@ impl FramePlan {
             Staging::HostResident
         };
 
+        // Build the shared store and chunk handles — the staging setup this
+        // plan amortizes across every frame rendered against it.
+        let stage_start = Instant::now();
         let store = Arc::new(BrickStore::new(
             volume.clone(),
             grid.clone(),
@@ -166,7 +198,12 @@ impl FramePlan {
         let bricks: Vec<RenderBrick> = (0..grid.brick_count())
             .map(|i| RenderBrick::new(Arc::clone(&store), i, staging))
             .collect();
+        obs().staging_ns.record_duration(stage_start.elapsed());
+        trace::record_current("stage", stage_start);
 
+        obs()
+            .plan_prepare_ns
+            .record_duration(prepare_start.elapsed());
         FramePlan {
             grid,
             staging,
@@ -258,6 +295,9 @@ pub fn render_planned(
         ..JobConfig::new(gpus, width * height)
     };
 
+    // Kernel phase: the real map/sort/reduce execution (every texture
+    // sample and blend), staged brick reads included.
+    let kernel_start = Instant::now();
     let output = run_job(
         &plan.bricks,
         &mapper,
@@ -268,8 +308,13 @@ pub fn render_planned(
         spec,
         &job_cfg,
     );
+    obs().kernel_ns.record_duration(kernel_start.elapsed());
+    trace::record_current("kernel", kernel_start);
     debug_assert!(output.stats.conserved(), "fragment conservation violated");
 
+    // Composite phase: DES accounting of the modeled compositing plus the
+    // actual stitch into the final image.
+    let composite_start = Instant::now();
     let accounting = match cfg.compositor {
         Compositor::DirectSend => {
             let book = CostBook::from_cluster(spec);
@@ -291,6 +336,10 @@ pub fn render_planned(
         height,
         scene.background,
     );
+    obs()
+        .composite_ns
+        .record_duration(composite_start.elapsed());
+    trace::record_current("composite", composite_start);
 
     let report = RenderReport {
         volume_label: volume.meta.label(),

@@ -19,7 +19,12 @@
 //!   limiting, per-shard heat stats, plus the remote backends —
 //!   [`net::RemoteBackend`] (one server) and [`net::NodePool`] (N servers
 //!   behind a placement [`net::Directory`] with retry budgets and
-//!   failover) — behind the same trait.
+//!   failover) — behind the same trait;
+//! * [`obs`] — the observability layer: the unified metrics
+//!   [`obs::Registry`] (counters, gauges, log₂ histograms) with exactly
+//!   mergeable [`obs::Snapshot`]s, and per-request [`obs::Trace`]s whose
+//!   stage spans land in a bounded ring served by the `TRACES` wire
+//!   request and the `obs_top` dashboard.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +45,7 @@ pub use mgpu_cluster as cluster;
 pub use mgpu_gpu as gpu;
 pub use mgpu_mapreduce as mapreduce;
 pub use mgpu_net as net;
+pub use mgpu_obs as obs;
 pub use mgpu_serve as serve;
 pub use mgpu_sim as sim;
 pub use mgpu_voldata as voldata;
@@ -53,6 +59,7 @@ pub mod prelude {
         NodePool, NodePoolConfig, PendingRender, PoolTicket, RateLimitConfig, RemoteBackend,
         RenderClient, RenderServer, RetryBudget, ServerConfig, WireError,
     };
+    pub use mgpu_obs::{CompletedTrace, Counter, Gauge, Histogram, Registry, Snapshot, Trace};
     pub use mgpu_serve::{
         AdmissionError, BackendError, BackendFrame, CacheSnapshot, FrameError, FrameTicket,
         Priority, QueueBounds, RenderBackend, RenderService, RenderedFrame, SceneRequest,
