@@ -19,7 +19,11 @@
 //! (frames/sec, cache hit rate, p50 queue wait, p50/p90 round trip, pooled
 //! frames/sec) for the per-PR perf-trend artifact.
 //!
-//!     cargo run --release -p mgpu-bench --bin net_throughput -- [--smoke] [--shards N]
+//!     cargo run --release -p mgpu-bench --bin net_throughput -- [--smoke] [--rebalance] [--shards N]
+//!
+//! `--rebalance` adds an elastic-pool pass: traffic skewed onto one batch
+//! key, one `rebalance_once` tick migrating it (pre-warm before cutover,
+//! epoch bump), with the migration delta recorded in `BENCH_net.json`.
 
 use std::time::{Duration, Instant};
 
@@ -158,7 +162,8 @@ fn node_sweep(
             })
             .collect();
         let pool = NodePool::new(
-            Directory::new(servers.iter().map(RenderServer::addr).collect()),
+            Directory::new(servers.iter().map(RenderServer::addr).collect())
+                .expect("distinct loopback nodes"),
             NodePoolConfig::default(),
         );
         let started = Instant::now();
@@ -264,9 +269,120 @@ fn knee_point(
     (fps, p50, p99)
 }
 
+/// What the `--rebalance` pass measured, for the trend artifact.
+struct RebalanceSmoke {
+    imbalance: f64,
+    moves: u64,
+    owner_before: usize,
+    owner_after: usize,
+    prewarmed: bool,
+    epoch: u64,
+    /// Frames the destination served for the migrated key after cutover.
+    migrated_frames: u64,
+}
+
+/// Part 4 (`--rebalance`): skew all traffic onto one key so its owner
+/// runs hot, then let a single rebalance pass move the key — pre-warm
+/// before cutover, epoch bump, and the migration visible in the
+/// destination's frame delta.
+fn rebalance_smoke(shards: usize, volume_size: u32, image: u32) -> RebalanceSmoke {
+    use mgpu_net::{rebalance_once, RebalanceConfig};
+    let servers: Vec<RenderServer> = (0..2)
+        .map(|_| {
+            RenderServer::start(ServerConfig {
+                shards,
+                service: ServiceConfig {
+                    workers: 2,
+                    ..ServiceConfig::default()
+                },
+                ..ServerConfig::default()
+            })
+            .expect("bind loopback node")
+        })
+        .collect();
+    let pool = NodePool::try_new(
+        servers.iter().map(RenderServer::addr).collect(),
+        NodePoolConfig::default(),
+    )
+    .expect("validated pool");
+
+    // One batch key carries every frame: its owner runs hot, the other
+    // node sits idle — the canonical imbalance.
+    for f in 0..10 {
+        pool.render(request_for(
+            Dataset::Skull,
+            volume_size,
+            1,
+            f as f32 * 33.0,
+            image,
+        ))
+        .expect("skewed render");
+    }
+    let probe = request_for(Dataset::Skull, volume_size, 1, 0.0, image);
+    let owner_before = pool.node_for(&probe);
+    let frames_before: Vec<u64> = pool
+        .node_stats()
+        .iter()
+        .map(|s| s.as_ref().map(|s| s.merged.frames_completed).unwrap_or(0))
+        .collect();
+
+    let outcome = rebalance_once(
+        &pool,
+        &RebalanceConfig {
+            band: 1.2,
+            min_frames: 4,
+            ..RebalanceConfig::default()
+        },
+    );
+    let owner_after = pool.node_for(&probe);
+    assert_eq!(outcome.moves.len(), 1, "the skewed key must migrate");
+    assert_ne!(owner_after, owner_before, "migration must change the owner");
+    assert!(
+        outcome.moves[0].prewarmed,
+        "the destination plan cache must be pre-warmed before cutover"
+    );
+
+    // Post-cutover traffic lands on the new owner (plan already warm).
+    for f in 0..4 {
+        pool.render(request_for(
+            Dataset::Skull,
+            volume_size,
+            1,
+            500.0 + f as f32 * 33.0,
+            image,
+        ))
+        .expect("post-migration render");
+    }
+    let frames_after: Vec<u64> = pool
+        .node_stats()
+        .iter()
+        .map(|s| s.as_ref().map(|s| s.merged.frames_completed).unwrap_or(0))
+        .collect();
+    let migrated_frames = frames_after[owner_after].saturating_sub(frames_before[owner_after]);
+    assert!(
+        migrated_frames >= 4,
+        "post-cutover frames must land on the destination"
+    );
+    let smoke = RebalanceSmoke {
+        imbalance: outcome.imbalance,
+        moves: outcome.moves.len() as u64,
+        owner_before,
+        owner_after,
+        prewarmed: outcome.moves[0].prewarmed,
+        epoch: outcome.epoch,
+        migrated_frames,
+    };
+    drop(pool);
+    for server in servers {
+        server.shutdown();
+    }
+    smoke
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let rebalance = args.iter().any(|a| a == "--rebalance");
     let shards = args
         .iter()
         .position(|a| a == "--shards")
@@ -376,6 +492,18 @@ fn main() {
         knee_widest = Some((total, fps, p50, p99));
     }
 
+    let rebalance_summary = if rebalance {
+        let r = rebalance_smoke(shards, volume_size, image);
+        println!(
+            "\nrebalance — skewed key, one pass: imbalance {:.2}, {} move(s) \
+             node {} → node {} (pre-warmed: {}), epoch {}, {} post-cutover frames on the destination",
+            r.imbalance, r.moves, r.owner_before, r.owner_after, r.prewarmed, r.epoch, r.migrated_frames
+        );
+        Some(r)
+    } else {
+        None
+    };
+
     if let Some(result) = smoke_summary {
         let json = JsonObject::new()
             .str("bench", "net_throughput")
@@ -403,6 +531,17 @@ fn main() {
                 .num("knee_frames_per_sec", fps)
                 .num("knee_p50_rtt_ms", p50.as_secs_f64() * 1e3)
                 .num("knee_p99_rtt_ms", p99.as_secs_f64() * 1e3)
+        } else {
+            json
+        };
+        let json = if let Some(r) = &rebalance_summary {
+            json.num("rebalance_imbalance", r.imbalance)
+                .int("rebalance_moves", r.moves)
+                .int("rebalance_owner_before", r.owner_before as u64)
+                .int("rebalance_owner_after", r.owner_after as u64)
+                .int("rebalance_prewarmed", r.prewarmed as u64)
+                .int("rebalance_epoch", r.epoch)
+                .int("rebalance_migrated_frames", r.migrated_frames)
         } else {
             json
         };

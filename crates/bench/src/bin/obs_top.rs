@@ -16,9 +16,12 @@ use std::time::Duration;
 
 use mgpu_bench::JsonObject;
 use mgpu_cluster::ClusterSpec;
-use mgpu_net::{NetSceneRequest, RenderClient, RenderServer, ServerConfig};
+use mgpu_net::{
+    rebalance_once, NetSceneRequest, NodePool, NodePoolConfig, RebalanceConfig, RenderClient,
+    RenderServer, ServerConfig,
+};
 use mgpu_obs::{CompletedTrace, Snapshot};
-use mgpu_serve::{Priority, SceneRequest, ServiceConfig};
+use mgpu_serve::{Priority, RenderBackend, SceneRequest, ServiceConfig};
 use mgpu_volren::camera::Scene;
 use mgpu_volren::{RenderConfig, TransferFunction};
 
@@ -201,6 +204,110 @@ fn main() {
         "traces must carry renderer stage spans"
     );
 
+    // Cluster-ops episode: a two-node pool in-process — skewed traffic,
+    // one rebalance pass, a graceful drain/resume, and a crash hand-off —
+    // so the `pool.rebalance.*` / `pool.drain.*` control-plane counters
+    // and the `rebalance` trace span show up on this dashboard next to
+    // the data plane they steer.
+    let mut nodes: Vec<Option<RenderServer>> = (0..2)
+        .map(|_| {
+            Some(
+                RenderServer::start(ServerConfig {
+                    shards: 2,
+                    service: ServiceConfig {
+                        workers: 2,
+                        ..ServiceConfig::default()
+                    },
+                    ..ServerConfig::default()
+                })
+                .expect("bind pool node"),
+            )
+        })
+        .collect();
+    let pool = NodePool::try_new(
+        nodes.iter().map(|n| n.as_ref().unwrap().addr()).collect(),
+        NodePoolConfig::default(),
+    )
+    .expect("validated pool");
+    let volume = mgpu_voldata::Dataset::Plume.volume(volume_size);
+    let pool_request = |az: f32| SceneRequest {
+        spec: ClusterSpec::accelerator_cluster(1),
+        scene: Scene::orbit(&volume, az, 10.0, TransferFunction::smoke()),
+        volume: volume.clone(),
+        config: RenderConfig::test_size(image),
+        priority: Priority::Normal,
+    };
+    // All traffic on one key: its owner runs hot, the other node idles.
+    for f in 0..6 {
+        pool.render(pool_request(f as f32 * 19.0))
+            .expect("pool render");
+    }
+    let owner_before = pool.node_for(&pool_request(0.0));
+    let outcome = rebalance_once(
+        &pool,
+        &RebalanceConfig {
+            band: 1.2,
+            min_frames: 4,
+            ..RebalanceConfig::default()
+        },
+    );
+    let dest = pool.node_for(&pool_request(0.0));
+    // Graceful drain + resume of the now-cold node.
+    pool.drain_node(owner_before).expect("drain");
+    while !pool.node_drained(owner_before) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    pool.resume_node(owner_before).expect("resume");
+    // Crash hand-off: park a ticket on the new owner, kill it, redeem —
+    // the frame re-renders on the survivor instead of being lost.
+    let parked = pool.submit(pool_request(777.0)).expect("park ticket");
+    nodes[dest].take().unwrap().shutdown();
+    pool.redeem(parked).expect("zero-loss hand-off redemption");
+
+    let ops = mgpu_obs::global().snapshot();
+    let oc = |name: &str| ops.counter(name).unwrap_or(0);
+    println!(
+        "\ncluster ops: rebalance {} tick(s), {} migration(s) (imbalance {:.2}, \
+         node {} → {}), {} prewarm(s); drains {} initiated / {} resumed, \
+         {} hand-off(s); epoch {}",
+        oc("pool.rebalance.ticks"),
+        oc("pool.rebalance.migrations"),
+        outcome.imbalance,
+        owner_before,
+        dest,
+        oc("pool.rebalance.prewarms"),
+        oc("pool.drain.initiated"),
+        oc("pool.drain.resumed"),
+        oc("pool.drain.handoffs"),
+        pool.epoch(),
+    );
+    assert!(
+        oc("pool.rebalance.migrations") >= 1 && oc("pool.drain.handoffs") >= 1,
+        "the cluster-ops episode must migrate and hand off"
+    );
+    let local_traces = mgpu_obs::ring().recent(32);
+    let rebalance_trace = local_traces
+        .iter()
+        .find(|t| t.span("rebalance").is_some())
+        .expect("the rebalance pass must leave a trace span");
+    let mut spans = rebalance_trace.spans.clone();
+    spans.sort_by_key(|sp| sp.start_ns);
+    let line: Vec<String> = spans
+        .iter()
+        .map(|sp| format!("{} {:.2}ms", sp.name, sp.nanos() as f64 / 1e6))
+        .collect();
+    println!(
+        "rebalance trace #{}: {}",
+        rebalance_trace.id,
+        line.join(" → ")
+    );
+    let pool_migrations = oc("pool.rebalance.migrations");
+    let pool_handoffs = oc("pool.drain.handoffs");
+    drop(pool);
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+
     // In-process bonus: the trace ring's exact drop accounting.
     let ring = mgpu_obs::ring();
     println!(
@@ -227,7 +334,9 @@ fn main() {
                 snap.counter("net.loop_wakeups").unwrap_or(0),
             )
             .int("traces_pushed", ring.pushed())
-            .int("traces_dropped", ring.dropped());
+            .int("traces_dropped", ring.dropped())
+            .int("pool_migrations", pool_migrations)
+            .int("pool_drain_handoffs", pool_handoffs);
         for (key, name) in [
             ("serve.queue_wait_ns", "queue_wait"),
             ("volren.staging_ns", "staging"),

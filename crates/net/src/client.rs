@@ -38,9 +38,10 @@ use mgpu_serve::{AdmissionError, FrameError};
 
 use crate::heat::{decode_stats, NetStats};
 use crate::wire::{
-    decode_frame, decode_message, decode_pong, decode_rejected, decode_throttled, decode_ticket,
-    decode_tickets_full, decode_traces, decode_unsupported_version, encode_ping, encode_request,
-    encode_ticket, encode_traces_request, opcode, read_frame, write_frame, NetFrame,
+    decode_drain_state, decode_epoch, decode_frame, decode_message, decode_pong, decode_prewarmed,
+    decode_rejected, decode_throttled, decode_ticket, decode_tickets_full, decode_traces,
+    decode_unsupported_version, encode_epoch, encode_ping, encode_prewarm, encode_request,
+    encode_ticket, encode_traces_request, opcode, read_frame, write_frame, DrainState, NetFrame,
     NetSceneRequest, WireError, DEFAULT_MAX_PAYLOAD,
 };
 
@@ -61,6 +62,14 @@ pub enum ClientError {
     TicketsFull { outstanding: u64, limit: u64 },
     /// The render itself failed server-side (e.g. a caught render panic).
     Render(FrameError),
+    /// The node is draining (wire v4): it refuses new work but still
+    /// answers in-flight renders and parked redeems. `epoch` is the
+    /// directory epoch the drain was announced under — a client routing
+    /// here is using stale placement.
+    Draining { epoch: u64 },
+    /// The node finished draining and said `GOODBYE` — every outstanding
+    /// request was answered and the connection is done for good.
+    Goodbye,
     /// The server answered something this client cannot interpret.
     Protocol(String),
 }
@@ -85,6 +94,13 @@ impl std::fmt::Display for ClientError {
                 )
             }
             ClientError::Render(err) => write!(f, "render failed: {err}"),
+            ClientError::Draining { epoch } => {
+                write!(
+                    f,
+                    "node is draining (directory epoch {epoch}): route elsewhere"
+                )
+            }
+            ClientError::Goodbye => write!(f, "node drained and said goodbye"),
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }
@@ -334,6 +350,9 @@ impl RenderClient {
                 let (outstanding, limit) = decode_tickets_full(&payload)?;
                 Err(ClientError::TicketsFull { outstanding, limit })
             }
+            opcode::DRAINING => Err(ClientError::Draining {
+                epoch: decode_epoch(&payload)?,
+            }),
             other => Err(unexpected(other, &payload)),
         }
     }
@@ -367,6 +386,53 @@ impl RenderClient {
         let (op, payload) = self.await_reply(id)?;
         match op {
             opcode::TRACES_REPLY => Ok(decode_traces(&payload)?),
+            other => Err(unexpected(other, &payload)),
+        }
+    }
+
+    /// Ask the node to drain (wire v4): stop accepting new RENDER/SUBMIT,
+    /// keep answering in-flight work and parked redeems, `GOODBYE` when
+    /// empty. `epoch` is the directory epoch the drain belongs to — the
+    /// node echoes it in STATS so stale clients are detectable. Draining
+    /// an already-draining node is idempotent. Returns the node's drain
+    /// state (including how much work is still outstanding).
+    pub fn drain(&self, epoch: u64) -> Result<DrainState, ClientError> {
+        self.drain_control(opcode::DRAIN, epoch)
+    }
+
+    /// Undo a drain: the node accepts new work again. Resuming a node that
+    /// is not draining is idempotent.
+    pub fn resume(&self, epoch: u64) -> Result<DrainState, ClientError> {
+        self.drain_control(opcode::RESUME, epoch)
+    }
+
+    fn drain_control(&self, op: u8, epoch: u64) -> Result<DrainState, ClientError> {
+        let id = self.fresh_id();
+        self.send(op, id, &encode_epoch(epoch))?;
+        let (op, payload) = self.await_reply(id)?;
+        match op {
+            opcode::DRAIN_STATE => Ok(decode_drain_state(&payload)?),
+            other => Err(unexpected(other, &payload)),
+        }
+    }
+
+    /// Hint the node to populate its plan cache for `request`'s batch key
+    /// off the hot path (the migration pre-warm of the elastic pool), and
+    /// announce directory `epoch` while at it. Returns the shard routed to
+    /// and whether a plan was actually built (`false` = already warm).
+    pub fn prewarm(
+        &self,
+        epoch: u64,
+        request: &NetSceneRequest,
+    ) -> Result<(u32, bool), ClientError> {
+        let id = self.fresh_id();
+        self.send(opcode::PREWARM, id, &encode_prewarm(epoch, request))?;
+        let (op, payload) = self.await_reply(id)?;
+        match op {
+            opcode::PREWARMED => Ok(decode_prewarmed(&payload)?),
+            opcode::DRAINING => Err(ClientError::Draining {
+                epoch: decode_epoch(&payload)?,
+            }),
             other => Err(unexpected(other, &payload)),
         }
     }
@@ -420,7 +486,13 @@ impl RenderClient {
             mail.reading = false;
             match result {
                 Ok((op, reply_id, payload)) => self.file(&mut mail, op, reply_id, payload),
-                Err(err) => mail.dead = Some(ClientError::Wire(err)),
+                // The first verdict wins: a read error after a GOODBYE is
+                // just the drained node closing, not a new failure.
+                Err(err) => {
+                    if mail.dead.is_none() {
+                        mail.dead = Some(ClientError::Wire(err));
+                    }
+                }
             }
             self.delivered.notify_all();
         }
@@ -435,6 +507,9 @@ impl RenderClient {
             mail.inbox.insert(reply_id, (op, payload));
             return;
         }
+        if mail.dead.is_some() {
+            return; // the first verdict wins
+        }
         mail.dead = Some(match op {
             opcode::UNSUPPORTED_VERSION => match decode_unsupported_version(&payload) {
                 Ok((got, want)) => ClientError::Protocol(format!(
@@ -446,6 +521,10 @@ impl RenderClient {
                 Ok(echo) => ClientError::Protocol(format!("server rejected request: {echo}")),
                 Err(err) => ClientError::Wire(err),
             },
+            // The drained node answered everything and is closing; every
+            // later call on this connection gets the typed goodbye rather
+            // than a confusing EOF.
+            opcode::GOODBYE => ClientError::Goodbye,
             other => ClientError::Protocol(format!(
                 "unsolicited frame with opcode {other:#04x} and request id 0"
             )),
@@ -467,6 +546,9 @@ fn frame_response(op: u8, payload: &[u8]) -> Result<NetFrame, ClientError> {
             let (outstanding, limit) = decode_tickets_full(payload)?;
             Err(ClientError::TicketsFull { outstanding, limit })
         }
+        opcode::DRAINING => Err(ClientError::Draining {
+            epoch: decode_epoch(payload)?,
+        }),
         other => Err(unexpected(other, payload)),
     }
 }

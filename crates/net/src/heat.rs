@@ -16,6 +16,13 @@ use crate::wire::{Reader, WireError, Writer};
 /// merges exactly across nodes via [`Snapshot::merge`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetStats {
+    /// The directory epoch this node last heard about (wire v4). Every
+    /// placement change — a node joining or leaving the pool, a
+    /// `BatchKey` migration, a drain — bumps the pool's epoch, and the
+    /// pool announces it with `DRAIN`/`RESUME`/`PREWARM`. A client whose
+    /// directory epoch lags the value echoed here is routing on a stale
+    /// placement.
+    pub epoch: u64,
     /// All shards folded together (see [`ServiceReport::merged`]).
     pub merged: ServiceReport,
     /// Per-shard heat, indexed by shard.
@@ -53,6 +60,7 @@ impl NetStats {
 
 impl std::fmt::Display for NetStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "epoch {}", self.epoch)?;
         writeln!(f, "{}", self.merged)?;
         writeln!(
             f,
@@ -265,6 +273,7 @@ fn get_snapshot(r: &mut Reader) -> Result<Snapshot, WireError> {
 /// node's observability snapshot).
 pub fn encode_stats(stats: &NetStats) -> Vec<u8> {
     let mut w = Writer::new();
+    w.u64(stats.epoch);
     put_report(&mut w, &stats.merged);
     w.u32(stats.shards.len() as u32);
     for h in &stats.shards {
@@ -277,6 +286,7 @@ pub fn encode_stats(stats: &NetStats) -> Vec<u8> {
 /// Decode a `STATS_REPORT` payload; consumes the whole payload.
 pub fn decode_stats(payload: &[u8]) -> Result<NetStats, WireError> {
     let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
     let merged = get_report(&mut r)?;
     let n = r.count(1)?;
     let mut shards = Vec::with_capacity(n);
@@ -286,6 +296,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<NetStats, WireError> {
     let obs = get_snapshot(&mut r)?;
     r.finish()?;
     Ok(NetStats {
+        epoch,
         merged,
         shards,
         obs,
@@ -340,6 +351,7 @@ mod tests {
         buckets[HIST_BUCKETS - 1] = 1;
         obs.add_histogram("serve.queue_wait_ns", &buckets);
         NetStats {
+            epoch: 7,
             merged,
             shards: vec![sample_heat(0, 18), sample_heat(1, 6)],
             obs,
@@ -383,6 +395,7 @@ mod tests {
         // max 18, mean 12 → 1.5
         assert!((stats.imbalance() - 1.5).abs() < 1e-12);
         let empty = NetStats {
+            epoch: 0,
             merged: ServiceReport::merged([]),
             shards: vec![],
             obs: Snapshot::new(),

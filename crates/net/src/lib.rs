@@ -63,19 +63,41 @@
 //!   [`pool::RetryBudget`] that honors server `retry_after`, and failover
 //!   to the next-ranked node on connection loss that re-issues only the
 //!   lost request ids.
+//! * **Elastic membership** — since **v4** the directory is *live*:
+//!   nodes join ([`NodePool::add_node`]), drain
+//!   ([`NodePool::drain_node`]: the node answers everything it owes,
+//!   refuses new work with a typed `DRAINING` reply, and says `GOODBYE`
+//!   when empty) and leave ([`NodePool::remove_node`]) under traffic;
+//!   every placement change bumps an **epoch** the nodes echo in STATS,
+//!   so stale routing is observable. Pool tickets are backed by a
+//!   pending-request table: a ticket whose issuing connection died is
+//!   **handed off** — re-rendered bit-identically on a survivor — so a
+//!   drain or crash loses zero admitted frames. [`rebalance`] adds the
+//!   control loop: heat-driven key migration ([`NodePool::migrate`]) with
+//!   `PREWARM`-before-cutover so the destination's plan cache is warm
+//!   before the first migrated frame arrives.
 
 pub mod client;
 pub mod heat;
 pub mod pool;
 pub mod ratelimit;
+pub mod rebalance;
 pub mod remote;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, NetTicket, PendingRender, RenderClient};
 pub use heat::NetStats;
-pub use pool::{Directory, NodePool, NodePoolConfig, PoolTicket, RetryBudget};
+pub use pool::{
+    Directory, DirectoryError, NodeError, NodePool, NodePoolConfig, PoolConfigError, PoolTicket,
+    RetryBudget,
+};
 pub use ratelimit::{RateLimitConfig, TokenBucket};
+pub use rebalance::{
+    rebalance_once, MigrationReport, RebalanceConfig, RebalanceOutcome, Rebalancer,
+};
 pub use remote::RemoteBackend;
 pub use server::{RenderServer, ServerConfig};
-pub use wire::{CameraSpec, NetFrame, NetSceneRequest, TransferSpec, VolumeSpec, WireError};
+pub use wire::{
+    CameraSpec, DrainState, NetFrame, NetSceneRequest, TransferSpec, VolumeSpec, WireError,
+};

@@ -1,17 +1,17 @@
-//! [`NodePool`]: the first multi-node rung — N [`crate::RenderServer`]s
-//! behind one [`RenderBackend`], with placement, connection reuse, retry
-//! budgets and failover.
+//! [`NodePool`]: N [`crate::RenderServer`]s behind one [`RenderBackend`],
+//! with placement, connection reuse, retry budgets, failover — and, since
+//! wire v4, **elastic membership**: nodes join, drain and leave under live
+//! traffic, hot keys migrate, and no admitted frame is ever lost.
 //!
 //! ```text
 //!                    NodePool (RenderBackend)
-//!   BatchKey ──► Directory (rendezvous, same policy as ShardedService)
+//!   BatchKey ──► Directory (rendezvous + migration pins, epoch-versioned)
 //!                     │ preferred node, then failover order
 //!                     ▼
 //!     per-node slot: one shared pipelined RenderClient connection
 //!                     │   (all in-flight work multiplexes on it)
 //!                     │   Throttled → sleep exact retry_after (budgeted)
-//!                     │   connection loss → re-issue only the lost
-//!                     │   request ids on the next-ranked node
+//!                     │   connection loss / DRAINING → next-ranked node
 //!                     ▼
 //!              RenderServer … RenderServer   (N processes / hosts)
 //! ```
@@ -21,13 +21,28 @@
 //! key's node across processes and its shard within a process are chosen by
 //! one consistent rule, so a key keeps hitting the node (and shard) whose
 //! plan cache is warm, and growing the directory from N to N+1 nodes only
-//! moves ~1/(N+1) of the keys.
+//! moves ~1/(N+1) of the keys. A [`Directory::migrate`] pin overrides the
+//! hash for one key (the rebalancer's lever); every placement change bumps
+//! the directory **epoch**, which the pool announces to its nodes with
+//! `DRAIN`/`RESUME`/`PREWARM` and the nodes echo in STATS — so a client
+//! routing on a stale directory is detectable, not just wrong.
+//!
+//! **Zero-loss drain.** Every pool ticket is backed by a pending-request
+//! table entry pinning the issuing connection (and its generation). A
+//! redeem first tries the issuing connection — a *draining* node still
+//! answers parked redeems — and if that connection is gone (node crashed,
+//! said `GOODBYE`, or was decommissioned), the pool **re-renders the same
+//! request on a survivor** instead of reporting loss. Renders are
+//! bit-identical across nodes, so the handed-off frame is indistinguishable
+//! from the original.
 
+use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use mgpu_serve::shard::{ranked, route};
 use mgpu_serve::{
@@ -37,23 +52,76 @@ use mgpu_serve::{
 use crate::client::{ClientConfig, ClientError, NetTicket, RenderClient};
 use crate::heat::NetStats;
 use crate::remote::{backend_error, backend_frame, portable};
+use crate::wire::{DrainState, NetSceneRequest};
+
+/// Why a [`Directory`] could not be built or changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// A directory needs at least one node.
+    Empty,
+    /// The same address appeared twice (or was added twice).
+    Duplicate(SocketAddr),
+    /// The named node index is not in the directory.
+    UnknownNode { node: usize, nodes: usize },
+    /// The last node cannot be removed — an empty pool routes nothing.
+    LastNode,
+}
+
+impl std::fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryError::Empty => write!(f, "a node directory needs at least one node"),
+            DirectoryError::Duplicate(addr) => {
+                write!(f, "node address {addr} appears more than once")
+            }
+            DirectoryError::UnknownNode { node, nodes } => {
+                write!(f, "node {node} is not in the directory ({nodes} nodes)")
+            }
+            DirectoryError::LastNode => {
+                write!(f, "the last node cannot be removed from the directory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
 
 /// The placement directory: which render nodes exist, and which one owns a
 /// given [`BatchKey`]. Rendezvous-hashed with the exact policy
-/// [`mgpu_serve::ShardedService`] uses for in-process shards.
+/// [`mgpu_serve::ShardedService`] uses for in-process shards, overridden
+/// per key by migration **pins**, and versioned by an **epoch** that bumps
+/// on every membership or placement change.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Directory {
     addrs: Vec<SocketAddr>,
+    /// Migration pins: key → owning node, overriding the rendezvous hash.
+    /// Sparse — only rebalanced keys appear; everything else routes by
+    /// hash, so pins survive membership changes with index remapping.
+    pins: BTreeMap<BatchKey, usize>,
+    /// Placement version. Every change (node added/removed, key migrated,
+    /// drain initiated) bumps it; nodes echo the highest epoch they have
+    /// heard in STATS, so stale routing is observable.
+    epoch: u64,
 }
 
 impl Directory {
-    /// A directory over the given node addresses (at least one).
-    pub fn new(addrs: Vec<SocketAddr>) -> Directory {
-        assert!(
-            !addrs.is_empty(),
-            "a node directory needs at least one node"
-        );
-        Directory { addrs }
+    /// A directory over the given node addresses (at least one, no
+    /// duplicates) — a typed [`DirectoryError`] otherwise, caught at
+    /// construction instead of panicking at first use.
+    pub fn new(addrs: Vec<SocketAddr>) -> Result<Directory, DirectoryError> {
+        if addrs.is_empty() {
+            return Err(DirectoryError::Empty);
+        }
+        for (i, addr) in addrs.iter().enumerate() {
+            if addrs[..i].contains(addr) {
+                return Err(DirectoryError::Duplicate(*addr));
+            }
+        }
+        Ok(Directory {
+            addrs,
+            pins: BTreeMap::new(),
+            epoch: 0,
+        })
     }
 
     pub fn len(&self) -> usize {
@@ -61,7 +129,7 @@ impl Directory {
     }
 
     pub fn is_empty(&self) -> bool {
-        false // construction requires ≥ 1 node
+        false // construction and removal both keep ≥ 1 node
     }
 
     pub fn addr(&self, node: usize) -> SocketAddr {
@@ -72,16 +140,98 @@ impl Directory {
         &self.addrs
     }
 
-    /// The node that owns this key (deterministic; every client with the
-    /// same directory agrees without coordination).
-    pub fn node_for(&self, key: &BatchKey) -> usize {
-        route(key, self.addrs.len())
+    /// The placement version (see struct docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Every node in preference order for this key: `[0]` is the owner,
-    /// the tail is the failover order when the owner is unreachable.
+    pub(crate) fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The node that owns this key: its migration pin if one exists, the
+    /// rendezvous hash otherwise (deterministic; every client with the
+    /// same directory agrees without coordination).
+    pub fn node_for(&self, key: &BatchKey) -> usize {
+        match self.pins.get(key) {
+            Some(&pin) => pin,
+            None => route(key, self.addrs.len()),
+        }
+    }
+
+    /// Every node in preference order for this key: `[0]` is the owner
+    /// (pin-aware), the tail is the failover order when the owner is
+    /// unreachable.
     pub fn ranked(&self, key: &BatchKey) -> Vec<usize> {
-        ranked(key, self.addrs.len())
+        let mut order = ranked(key, self.addrs.len());
+        if let Some(&pin) = self.pins.get(key) {
+            if let Some(pos) = order.iter().position(|&node| node == pin) {
+                order.remove(pos);
+            }
+            order.insert(0, pin);
+        }
+        order
+    }
+
+    /// Add a node at the end of the directory. Returns its index. Bumps
+    /// the epoch; rendezvous hashing means only ~1/(N+1) of unpinned keys
+    /// move — all of them to the new node.
+    pub fn add_node(&mut self, addr: SocketAddr) -> Result<usize, DirectoryError> {
+        if self.addrs.contains(&addr) {
+            return Err(DirectoryError::Duplicate(addr));
+        }
+        self.addrs.push(addr);
+        self.epoch += 1;
+        Ok(self.addrs.len() - 1)
+    }
+
+    /// Remove a node. Pins pointing at it dissolve (those keys fall back
+    /// to the hash); pins past it slide down with the indices. Bumps the
+    /// epoch. The last node cannot be removed.
+    pub fn remove_node(&mut self, node: usize) -> Result<SocketAddr, DirectoryError> {
+        if node >= self.addrs.len() {
+            return Err(DirectoryError::UnknownNode {
+                node,
+                nodes: self.addrs.len(),
+            });
+        }
+        if self.addrs.len() == 1 {
+            return Err(DirectoryError::LastNode);
+        }
+        let addr = self.addrs.remove(node);
+        self.pins = std::mem::take(&mut self.pins)
+            .into_iter()
+            .filter_map(|(key, pin)| match pin.cmp(&node) {
+                std::cmp::Ordering::Less => Some((key, pin)),
+                std::cmp::Ordering::Equal => None,
+                std::cmp::Ordering::Greater => Some((key, pin - 1)),
+            })
+            .collect();
+        self.epoch += 1;
+        Ok(addr)
+    }
+
+    /// Migrate one key to `node`: pin it there, or — when `node` is the
+    /// key's natural rendezvous owner — just dissolve any existing pin.
+    /// Returns whether placement actually changed (the epoch bumps only
+    /// then, so repeated migrations are idempotent).
+    pub fn migrate(&mut self, key: &BatchKey, node: usize) -> Result<bool, DirectoryError> {
+        if node >= self.addrs.len() {
+            return Err(DirectoryError::UnknownNode {
+                node,
+                nodes: self.addrs.len(),
+            });
+        }
+        let changed = if route(key, self.addrs.len()) == node {
+            self.pins.remove(key).is_some()
+        } else {
+            self.pins.insert(key.clone(), node) != Some(node)
+        };
+        if changed {
+            self.epoch += 1;
+        }
+        Ok(changed)
     }
 }
 
@@ -89,9 +239,10 @@ impl Directory {
 /// typed contract for "the pool retries so the caller doesn't".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryBudget {
-    /// Transport failures (connection refused/lost, protocol violation)
-    /// tolerated per operation; each one fails over to the next node in
-    /// the key's preference order. At least 1 (the first try itself).
+    /// Transport failures (connection refused/lost, protocol violation,
+    /// a node answering `DRAINING`/`GOODBYE`) tolerated per operation;
+    /// each one fails over to the next node in the key's preference
+    /// order. At least 1 (the first try itself).
     pub attempts: u32,
     /// Largest single server `retry_after` the pool honors by sleeping;
     /// anything longer is returned to the caller as
@@ -140,134 +291,290 @@ impl Default for NodePoolConfig {
     }
 }
 
+/// Why a [`NodePool`] could not be built: configuration problems are typed
+/// and caught at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolConfigError {
+    /// The node set itself is invalid (empty, duplicates).
+    Directory(DirectoryError),
+    /// `retry.attempts` must be at least 1 — the first try is an attempt.
+    ZeroAttempts,
+}
+
+impl std::fmt::Display for PoolConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolConfigError::Directory(err) => write!(f, "invalid node directory: {err}"),
+            PoolConfigError::ZeroAttempts => {
+                write!(
+                    f,
+                    "retry.attempts must be ≥ 1 (the first try is an attempt)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolConfigError {}
+
+impl From<DirectoryError> for PoolConfigError {
+    fn from(err: DirectoryError) -> PoolConfigError {
+        PoolConfigError::Directory(err)
+    }
+}
+
+/// A pool operation failed against one specific node — the index and
+/// address say *which*, so an operator can tell a dead node from a hot
+/// one when scanning per-node results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeError {
+    /// Directory index at the time of the call.
+    pub node: usize,
+    /// The node's address (stable across index remaps).
+    pub addr: SocketAddr,
+    pub error: BackendError,
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node {} ({}): {}", self.node, self.addr, self.error)
+    }
+}
+
+impl std::error::Error for NodeError {}
+
 /// One pooled connection slot. `generation` counts (re)connects, so a
 /// ticket issued on a connection that later died can never redeem against
 /// the replacement connection's unrelated ticket table. The client is held
 /// in an `Arc`: callers clone the handle out and release the slot lock, so
 /// one pooled connection carries every caller's in-flight work
 /// concurrently — the pipelined wire multiplexes them by `request_id`.
+/// Slots themselves are `Arc`-shared: pending tickets pin their issuing
+/// slot directly, so a slot outlives its directory index (a decommissioned
+/// node's parked frames stay redeemable while its connection lives).
 struct NodeSlot {
     client: Option<Arc<RenderClient>>,
     generation: u64,
 }
 
-/// A redeemable handle from the pool's submit paths: pinned to the node
-/// *and the exact connection* that issued it — server-side ticket tables
-/// are per-connection, so a ticket does not survive its connection.
+/// What a successful `drive` pass yields: the answering node's directory
+/// index, its connection slot, the slot generation at issue time, and the
+/// operation's value.
+type Driven<T> = (usize, Arc<Mutex<NodeSlot>>, u64, T);
+
+/// A redeemable handle from the pool's submit paths. Backed by a
+/// pool-side pending entry that remembers the request and the issuing
+/// connection — if that connection is gone by redeem time (node crashed,
+/// drained away, or was removed), the pool re-renders on a survivor
+/// instead of reporting loss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolTicket {
+    id: u64,
     node: usize,
-    generation: u64,
-    ticket: NetTicket,
 }
 
 impl PoolTicket {
-    /// The node this ticket's frame is parked on.
+    /// The node this ticket's frame was submitted to (directory index at
+    /// submit time — informational; redemption follows the connection,
+    /// not the index).
     pub fn node(&self) -> usize {
         self.node
     }
 }
+
+/// What a pool ticket is backed by: enough to redeem directly, and enough
+/// to re-render elsewhere when the issuing connection is gone.
+struct PendingEntry {
+    key: BatchKey,
+    net: NetSceneRequest,
+    slot: Arc<Mutex<NodeSlot>>,
+    generation: u64,
+    ticket: NetTicket,
+}
+
+/// Per-key traffic the pool has observed — what the rebalancer reads to
+/// find hot keys, and the request it replays to pre-warm a destination.
+struct KeyTraffic {
+    frames: u64,
+    last: NetSceneRequest,
+}
+
+/// Bound on distinct keys tracked for rebalancing; the coldest entry is
+/// evicted when a new key arrives at the cap.
+const KEY_HEAT_CAP: usize = 64;
 
 /// Poll interval for the blocking submit while the owning node sheds for
 /// admission (mirrors the in-process blocking submit, which parks on the
 /// queue's condvar — the wire has no condvar to park on).
 const ADMISSION_RETRY: Duration = Duration::from_millis(2);
 
+/// Membership + placement, mutated together under one lock so routing
+/// never sees a directory/slot mismatch.
+struct PoolState {
+    directory: Directory,
+    nodes: Vec<Arc<Mutex<NodeSlot>>>,
+    /// Nodes being drained: excluded from new-work routing (they would
+    /// refuse with `DRAINING` anyway — skipping saves the round-trip).
+    draining: Vec<bool>,
+}
+
+fn fresh_slot() -> Arc<Mutex<NodeSlot>> {
+    Arc::new(Mutex::new(NodeSlot {
+        client: None,
+        generation: 0,
+    }))
+}
+
 /// N render servers behind one [`RenderBackend`]. Connections are opened
 /// lazily and reused per node; requests route by batch key through the
 /// [`Directory`]; throttling and node loss are absorbed within the
-/// [`RetryBudget`].
+/// [`RetryBudget`]. The directory is *live*: [`NodePool::add_node`],
+/// [`NodePool::remove_node`], [`NodePool::migrate`] and
+/// [`NodePool::drain_node`] reshape the pool under traffic.
 pub struct NodePool {
-    directory: Directory,
+    state: RwLock<PoolState>,
     config: NodePoolConfig,
-    nodes: Vec<Mutex<NodeSlot>>,
+    /// Un-redeemed pool tickets, keyed by [`PoolTicket`] id.
+    pending: Mutex<HashMap<u64, PendingEntry>>,
+    next_ticket: AtomicU64,
+    key_heat: Mutex<HashMap<BatchKey, KeyTraffic>>,
 }
 
 impl NodePool {
-    /// A pool over the directory. No I/O happens here: each node's
-    /// connection is dialed on first use (and re-dialed after a failure).
+    /// A pool over an already-validated directory. No I/O happens here:
+    /// each node's connection is dialed on first use (and re-dialed after
+    /// a failure).
     pub fn new(directory: Directory, config: NodePoolConfig) -> NodePool {
-        let nodes = (0..directory.len())
-            .map(|_| {
-                Mutex::new(NodeSlot {
-                    client: None,
-                    generation: 0,
-                })
-            })
-            .collect();
+        let nodes = (0..directory.len()).map(|_| fresh_slot()).collect();
+        let draining = vec![false; directory.len()];
         NodePool {
-            directory,
+            state: RwLock::new(PoolState {
+                directory,
+                nodes,
+                draining,
+            }),
             config,
-            nodes,
+            pending: Mutex::new(HashMap::new()),
+            next_ticket: AtomicU64::new(1),
+            key_heat: Mutex::new(HashMap::new()),
         }
     }
 
-    pub fn directory(&self) -> &Directory {
-        &self.directory
+    /// Build a pool straight from addresses, validating both the node set
+    /// and the config — every rejection a typed [`PoolConfigError`].
+    pub fn try_new(
+        addrs: Vec<SocketAddr>,
+        config: NodePoolConfig,
+    ) -> Result<NodePool, PoolConfigError> {
+        if config.retry.attempts == 0 {
+            return Err(PoolConfigError::ZeroAttempts);
+        }
+        Ok(NodePool::new(Directory::new(addrs)?, config))
+    }
+
+    /// A point-in-time copy of the placement directory (membership, pins,
+    /// epoch). The live directory can only be changed through the pool's
+    /// own methods.
+    pub fn directory(&self) -> Directory {
+        self.state.read().directory.clone()
+    }
+
+    /// The current placement epoch (see [`Directory::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.state.read().directory.epoch()
     }
 
     pub fn node_count(&self) -> usize {
-        self.directory.len()
+        self.state.read().directory.len()
     }
 
     /// Which node this request routes to (before any failover).
     pub fn node_for(&self, request: &SceneRequest) -> usize {
-        self.directory.node_for(&BatchKey::of(request))
+        self.state.read().directory.node_for(&BatchKey::of(request))
+    }
+
+    /// Address + shared slot for one node, if it is (still) in the
+    /// directory.
+    fn slot_for(&self, node: usize) -> Option<(SocketAddr, Arc<Mutex<NodeSlot>>)> {
+        let state = self.state.read();
+        let addr = *state.directory.addrs().get(node)?;
+        let slot = Arc::clone(state.nodes.get(node)?);
+        Some((addr, slot))
     }
 
     /// Run `op` on one node's pooled connection, dialing it if needed.
     /// The slot lock is held only to clone the connection handle out — the
     /// operation itself runs unlocked, so concurrent callers multiplex on
-    /// the same connection instead of queueing. Returns the slot
+    /// the same connection instead of queueing. Returns the slot and the
     /// generation the operation ran on; transport and protocol failures
-    /// poison the slot (the next use re-dials), unless a concurrent
-    /// failure already re-dialed it (generation moved on).
+    /// (and a `GOODBYE`) poison the slot so the next use re-dials, unless
+    /// a concurrent failure already re-dialed it (generation moved on).
     fn on_node<T>(
         &self,
         node: usize,
         op: impl FnOnce(&RenderClient) -> Result<T, ClientError>,
-    ) -> Result<(u64, T), ClientError> {
+    ) -> Result<(Arc<Mutex<NodeSlot>>, u64, T), ClientError> {
+        let Some((addr, slot)) = self.slot_for(node) else {
+            return Err(ClientError::Protocol(format!(
+                "node {node} is not in the directory"
+            )));
+        };
         let (client, generation) = {
-            let mut slot = self.nodes[node].lock();
-            if slot.client.is_none() {
-                let client =
-                    RenderClient::connect_with(self.directory.addr(node), self.config.client)?;
-                slot.client = Some(Arc::new(client));
-                slot.generation += 1;
+            let mut guard = slot.lock();
+            if guard.client.is_none() {
+                let client = RenderClient::connect_with(addr, self.config.client)?;
+                guard.client = Some(Arc::new(client));
+                guard.generation += 1;
             }
             (
-                Arc::clone(slot.client.as_ref().expect("slot dialed above")),
-                slot.generation,
+                Arc::clone(guard.client.as_ref().expect("slot dialed above")),
+                guard.generation,
             )
         };
         let result = op(&client);
         if matches!(
             result,
-            Err(ClientError::Wire(_)) | Err(ClientError::Protocol(_))
+            Err(ClientError::Wire(_)) | Err(ClientError::Protocol(_)) | Err(ClientError::Goodbye)
         ) {
             // The connection is no longer trustworthy. Only this caller's
             // own request is lost and re-issued by `drive`; other callers
             // sharing the connection observe their own typed errors and
             // retry their own request ids — nobody replays someone else's
             // work.
-            let mut slot = self.nodes[node].lock();
-            if slot.generation == generation {
-                slot.client = None;
+            let mut guard = slot.lock();
+            if guard.generation == generation {
+                guard.client = None;
             }
         }
-        result.map(|value| (generation, value))
+        result.map(|value| (slot, generation, value))
     }
 
     /// The retry loop shared by every submit flavour: walk the key's node
-    /// preference order on transport failures, honor throttle waits (and,
-    /// when `blocking`, poll out admission sheds) within the budget.
+    /// preference order (skipping nodes the pool is draining) on transport
+    /// failures and `DRAINING` refusals, honor throttle waits (and, when
+    /// `blocking`, poll out admission sheds) within the budget.
     fn drive<T>(
         &self,
         key: &BatchKey,
         blocking: bool,
         mut op: impl FnMut(&RenderClient) -> Result<T, ClientError>,
-    ) -> Result<(usize, u64, T), BackendError> {
-        let order = self.directory.ranked(key);
+    ) -> Result<Driven<T>, BackendError> {
+        let order = {
+            let state = self.state.read();
+            let order = state.directory.ranked(key);
+            let usable: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&node| !state.draining[node])
+                .collect();
+            // With the whole pool draining there is nowhere better to go;
+            // let the typed DRAINING refusals surface.
+            if usable.is_empty() {
+                order
+            } else {
+                usable
+            }
+        };
         let budget = self.config.retry;
         let mut attempts = budget.attempts.max(1);
         let mut waited = Duration::ZERO;
@@ -275,7 +582,7 @@ impl NodePool {
         loop {
             let node = order[rank % order.len()];
             match self.on_node(node, &mut op) {
-                Ok((generation, value)) => return Ok((node, generation, value)),
+                Ok((slot, generation, value)) => return Ok((node, slot, generation, value)),
                 Err(ClientError::Throttled { retry_after }) if blocking => {
                     if retry_after > budget.max_throttle_wait
                         || waited + retry_after > budget.total_wait
@@ -294,7 +601,17 @@ impl NodePool {
                     std::thread::sleep(ADMISSION_RETRY);
                     waited += ADMISSION_RETRY;
                 }
-                Err(err @ (ClientError::Wire(_) | ClientError::Protocol(_))) => {
+                Err(
+                    err @ (ClientError::Wire(_)
+                    | ClientError::Protocol(_)
+                    | ClientError::Draining { .. }
+                    | ClientError::Goodbye),
+                ) => {
+                    if matches!(err, ClientError::Draining { .. } | ClientError::Goodbye) {
+                        // The routing table lagged the drain; the refusal
+                        // itself is the re-route signal.
+                        mgpu_obs::global().counter("pool.drain.rerouted").inc();
+                    }
                     attempts -= 1;
                     if attempts == 0 {
                         return Err(backend_error(err));
@@ -309,15 +626,247 @@ impl NodePool {
         }
     }
 
-    /// Per-node stats (merged report + per-shard heat + obs snapshot),
-    /// indexed like the directory; unreachable nodes report their error
-    /// instead.
-    pub fn node_stats(&self) -> Vec<Result<NetStats, BackendError>> {
-        (0..self.node_count())
-            .map(|node| {
+    /// Note one frame of traffic for `key` (rebalancer fuel).
+    fn record_heat(&self, key: &BatchKey, net: &NetSceneRequest) {
+        let mut heat = self.key_heat.lock();
+        if let Some(traffic) = heat.get_mut(key) {
+            traffic.frames += 1;
+            traffic.last = net.clone();
+            return;
+        }
+        if heat.len() >= KEY_HEAT_CAP {
+            if let Some(coldest) = heat
+                .iter()
+                .min_by_key(|(_, traffic)| traffic.frames)
+                .map(|(key, _)| key.clone())
+            {
+                heat.remove(&coldest);
+            }
+        }
+        heat.insert(
+            key.clone(),
+            KeyTraffic {
+                frames: 1,
+                last: net.clone(),
+            },
+        );
+    }
+
+    /// Keys this pool has routed with their observed frame counts,
+    /// hottest first (bounded to the `KEY_HEAT_CAP` hottest keys).
+    pub fn key_heat(&self) -> Vec<(BatchKey, u64)> {
+        let heat = self.key_heat.lock();
+        let mut keys: Vec<(BatchKey, u64)> = heat
+            .iter()
+            .map(|(key, traffic)| (key.clone(), traffic.frames))
+            .collect();
+        keys.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        keys
+    }
+
+    /// The most recent request observed for `key` — what a rebalancer
+    /// replays as a `PREWARM` so the migration destination builds its
+    /// plan before the cutover.
+    pub fn last_request(&self, key: &BatchKey) -> Option<NetSceneRequest> {
+        self.key_heat.lock().get(key).map(|t| t.last.clone())
+    }
+
+    // --- elastic membership -----------------------------------------------
+
+    /// Control operations ride the same pooled connection as render
+    /// traffic. A completed drain seals that connection with `GOODBYE`,
+    /// so the first control attempt after it poisons the slot — retry
+    /// once on a fresh dial (which the server serves normally: only
+    /// sessions that carried render work are sealed).
+    fn control<T>(
+        &self,
+        node: usize,
+        mut op: impl FnMut(&RenderClient) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        match self.on_node(node, &mut op) {
+            Ok((_, _, value)) => Ok(value),
+            Err(ClientError::Goodbye) | Err(ClientError::Wire(_)) => {
+                self.on_node(node, &mut op).map(|(_, _, value)| value)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Join a new node (its connection dials lazily like any other).
+    /// Returns the new node's directory index; bumps the epoch.
+    pub fn add_node(&self, addr: SocketAddr) -> Result<usize, DirectoryError> {
+        let mut state = self.state.write();
+        let node = state.directory.add_node(addr)?;
+        state.nodes.push(fresh_slot());
+        state.draining.push(false);
+        Ok(node)
+    }
+
+    /// Drop a node from the directory. Its un-redeemed tickets stay
+    /// redeemable: they pin the slot's connection directly, and if that
+    /// connection dies too, redemption re-renders on a survivor. Bumps
+    /// the epoch. Use [`NodePool::drain_node`] first for a hitless
+    /// decommission.
+    pub fn remove_node(&self, node: usize) -> Result<SocketAddr, DirectoryError> {
+        let mut state = self.state.write();
+        let addr = state.directory.remove_node(node)?;
+        state.nodes.remove(node);
+        state.draining.remove(node);
+        Ok(addr)
+    }
+
+    /// Migrate one key to `node` (see [`Directory::migrate`]). The usual
+    /// sequence is [`NodePool::prewarm`] first, then migrate — so the
+    /// destination's plan cache is warm before traffic cuts over.
+    pub fn migrate(&self, key: &BatchKey, node: usize) -> Result<bool, DirectoryError> {
+        self.state.write().directory.migrate(key, node)
+    }
+
+    /// Start draining `node`: it leaves the routing tables immediately
+    /// (epoch bump), and the node itself is told to refuse new work while
+    /// answering everything it still owes. Idempotent. Returns the node's
+    /// drain state (with its outstanding-work count).
+    pub fn drain_node(&self, node: usize) -> Result<DrainState, NodeError> {
+        let (addr, epoch) = {
+            let mut state = self.state.write();
+            let Some(&addr) = state.directory.addrs().get(node) else {
+                let nodes = state.directory.len();
+                return Err(NodeError {
+                    node,
+                    addr: "0.0.0.0:0".parse().expect("literal addr"),
+                    error: BackendError::Transport(
+                        DirectoryError::UnknownNode { node, nodes }.to_string(),
+                    ),
+                });
+            };
+            if !state.draining[node] {
+                state.draining[node] = true;
+                state.directory.bump_epoch();
+                mgpu_obs::global().counter("pool.drain.initiated").inc();
+            }
+            (addr, state.directory.epoch())
+        };
+        self.control(node, |client| client.drain(epoch))
+            .map_err(|error| NodeError {
+                node,
+                addr,
+                error: backend_error(error),
+            })
+    }
+
+    /// Undo a drain: the node re-enters the routing tables (epoch bump)
+    /// and accepts new work again. Idempotent.
+    pub fn resume_node(&self, node: usize) -> Result<DrainState, NodeError> {
+        let (addr, epoch) = {
+            let mut state = self.state.write();
+            let Some(&addr) = state.directory.addrs().get(node) else {
+                let nodes = state.directory.len();
+                return Err(NodeError {
+                    node,
+                    addr: "0.0.0.0:0".parse().expect("literal addr"),
+                    error: BackendError::Transport(
+                        DirectoryError::UnknownNode { node, nodes }.to_string(),
+                    ),
+                });
+            };
+            if state.draining[node] {
+                state.draining[node] = false;
+                state.directory.bump_epoch();
+                mgpu_obs::global().counter("pool.drain.resumed").inc();
+            }
+            (addr, state.directory.epoch())
+        };
+        self.control(node, |client| client.resume(epoch))
+            .map_err(|error| NodeError {
+                node,
+                addr,
+                error: backend_error(error),
+            })
+    }
+
+    /// Has a draining node finished? True once it owes nothing (or has
+    /// already said `GOODBYE` / gone away entirely). Only meaningful
+    /// after [`NodePool::drain_node`]; a node the pool is not draining
+    /// reports `false`.
+    pub fn node_drained(&self, node: usize) -> bool {
+        let epoch = {
+            let state = self.state.read();
+            match state.draining.get(node) {
+                Some(true) => state.directory.epoch(),
+                // Not draining (or unknown): never "drained".
+                _ => return false,
+            }
+        };
+        // Re-sending DRAIN is idempotent and returns the live
+        // outstanding-work count (the control retry re-dials if the
+        // drain's GOODBYE sealed the old connection).
+        match self.control(node, |client| client.drain(epoch)) {
+            Ok(state) => state.draining && state.outstanding == 0,
+            // A refused or lost connection means the node is gone
+            // altogether — nothing left to wait for.
+            Err(ClientError::Goodbye) | Err(ClientError::Wire(_)) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// Is the pool currently draining `node`?
+    pub fn draining(&self, node: usize) -> bool {
+        self.state
+            .read()
+            .draining
+            .get(node)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Pre-warm `node`'s plan cache for one request (and announce the
+    /// current epoch). The staging happens off the node's hot path; the
+    /// reply says which shard was warmed and whether a plan was actually
+    /// built (`false` = already warm).
+    pub fn prewarm(&self, node: usize, net: &NetSceneRequest) -> Result<(u32, bool), NodeError> {
+        let addr = self
+            .slot_for(node)
+            .map(|(addr, _)| addr)
+            .unwrap_or_else(|| "0.0.0.0:0".parse().expect("literal addr"));
+        let epoch = self.epoch();
+        self.control(node, |client| client.prewarm(epoch, net))
+            .inspect(|_| {
+                mgpu_obs::global().counter("pool.rebalance.prewarms").inc();
+            })
+            .map_err(|error| NodeError {
+                node,
+                addr,
+                error: backend_error(error),
+            })
+    }
+
+    // --- observability ----------------------------------------------------
+
+    /// Per-node stats (merged report + per-shard heat + obs snapshot +
+    /// echoed epoch), indexed like the directory; unreachable nodes
+    /// report a [`NodeError`] that names the node and address, so a dead
+    /// node is distinguishable from a hot one.
+    pub fn node_stats(&self) -> Vec<Result<NetStats, NodeError>> {
+        let nodes: Vec<(usize, SocketAddr)> = {
+            let state = self.state.read();
+            state
+                .directory
+                .addrs()
+                .iter()
+                .copied()
+                .enumerate()
+                .collect()
+        };
+        nodes
+            .into_iter()
+            .map(|(node, addr)| {
                 self.on_node(node, |client| client.stats())
-                    .map(|(_, stats)| stats)
-                    .map_err(backend_error)
+                    .map(|(_, _, stats)| stats)
+                    .map_err(|error| NodeError {
+                        node,
+                        addr,
+                        error: backend_error(error),
+                    })
             })
             .collect()
     }
@@ -325,7 +874,8 @@ impl NodePool {
     /// One pool-wide obs snapshot: every reachable node's STATS v2
     /// snapshot folded together. Counters, gauges and histogram buckets
     /// add *exactly* (no sketch error), so pool-level quantiles are as
-    /// trustworthy as a single node's. Fails only when no node answers.
+    /// trustworthy as a single node's. Fails only when no node answers —
+    /// and then names the last node that refused.
     pub fn obs_snapshot(&self) -> Result<mgpu_obs::Snapshot, BackendError> {
         let mut merged = mgpu_obs::Snapshot::new();
         let mut reached = false;
@@ -340,24 +890,62 @@ impl NodePool {
             }
         }
         match (reached, last_err) {
-            (false, Some(err)) => Err(err),
+            (false, Some(err)) => Err(BackendError::Transport(err.to_string())),
             _ => Ok(merged),
         }
     }
 
     /// Each node's most recent completed request traces (newest first, at
     /// most `max` per node), indexed like the directory.
-    pub fn node_traces(
-        &self,
-        max: u32,
-    ) -> Vec<Result<Vec<mgpu_obs::CompletedTrace>, BackendError>> {
-        (0..self.node_count())
-            .map(|node| {
+    pub fn node_traces(&self, max: u32) -> Vec<Result<Vec<mgpu_obs::CompletedTrace>, NodeError>> {
+        let nodes: Vec<(usize, SocketAddr)> = {
+            let state = self.state.read();
+            state
+                .directory
+                .addrs()
+                .iter()
+                .copied()
+                .enumerate()
+                .collect()
+        };
+        nodes
+            .into_iter()
+            .map(|(node, addr)| {
                 self.on_node(node, |client| client.traces(max))
-                    .map(|(_, traces)| traces)
-                    .map_err(backend_error)
+                    .map(|(_, _, traces)| traces)
+                    .map_err(|error| NodeError {
+                        node,
+                        addr,
+                        error: backend_error(error),
+                    })
             })
             .collect()
+    }
+
+    /// Submit through `drive` and park a pending entry so the ticket can
+    /// be handed off if the issuing connection dies before redemption.
+    fn submit_pending(
+        &self,
+        request: &SceneRequest,
+        blocking: bool,
+    ) -> Result<PoolTicket, BackendError> {
+        let net = portable(request)?;
+        let key = BatchKey::of(request);
+        let (node, slot, generation, ticket) =
+            self.drive(&key, blocking, |client| client.submit(&net))?;
+        self.record_heat(&key, &net);
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.pending.lock().insert(
+            id,
+            PendingEntry {
+                key,
+                net,
+                slot,
+                generation,
+                ticket,
+            },
+        );
+        Ok(PoolTicket { id, node })
     }
 }
 
@@ -365,64 +953,71 @@ impl RenderBackend for NodePool {
     type Ticket = PoolTicket;
 
     fn submit(&self, request: SceneRequest) -> Result<PoolTicket, BackendError> {
-        let net = portable(&request)?;
-        let key = BatchKey::of(&request);
-        self.drive(&key, true, |client| client.submit(&net))
-            .map(|(node, generation, ticket)| PoolTicket {
-                node,
-                generation,
-                ticket,
-            })
+        self.submit_pending(&request, true)
     }
 
     fn try_submit(&self, request: SceneRequest) -> Result<PoolTicket, BackendError> {
-        let net = portable(&request)?;
-        let key = BatchKey::of(&request);
-        self.drive(&key, false, |client| client.submit(&net))
-            .map(|(node, generation, ticket)| PoolTicket {
-                node,
-                generation,
-                ticket,
-            })
+        self.submit_pending(&request, false)
     }
 
+    /// Redeem a pool ticket — **zero-loss**: first against the issuing
+    /// connection (a draining node still answers parked redeems), and if
+    /// that connection is gone, by re-rendering the same request on a
+    /// surviving node. Renders are bit-identical across nodes, so the
+    /// handed-off frame matches the one the lost node would have served.
     fn redeem(&self, ticket: PoolTicket) -> Result<BackendFrame, BackendError> {
-        let client = {
-            let slot = self.nodes[ticket.node].lock();
-            match &slot.client {
-                Some(client) if slot.generation == ticket.generation => Arc::clone(client),
+        let Some(entry) = self.pending.lock().remove(&ticket.id) else {
+            return Err(BackendError::Transport(format!(
+                "unknown or already redeemed pool ticket {}",
+                ticket.id
+            )));
+        };
+        let direct = {
+            let guard = entry.slot.lock();
+            match &guard.client {
+                Some(client) if guard.generation == entry.generation => Some(Arc::clone(client)),
                 // The issuing connection is gone; the server dropped its
                 // per-connection ticket table with it. Never redeem
                 // against a replacement connection: its ticket ids are
-                // unrelated.
-                _ => {
-                    return Err(BackendError::Transport(format!(
-                        "ticket {} was issued on a connection to node {} that has \
-                         since been lost; its frame cannot be recovered",
-                        ticket.ticket.id(),
-                        ticket.node
-                    )))
-                }
+                // unrelated. Fall through to the hand-off below.
+                _ => None,
             }
         };
-        let result = client.redeem(ticket.ticket);
-        if matches!(
-            result,
-            Err(ClientError::Wire(_)) | Err(ClientError::Protocol(_))
-        ) {
-            let mut slot = self.nodes[ticket.node].lock();
-            if slot.generation == ticket.generation {
-                slot.client = None;
+        if let Some(client) = direct {
+            match client.redeem(entry.ticket) {
+                Ok(frame) => return Ok(backend_frame(frame)),
+                // The render itself failed server-side; re-rendering would
+                // fail identically (renders are deterministic).
+                Err(ClientError::Render(err)) => return Err(BackendError::Render(err)),
+                Err(ClientError::Wire(_) | ClientError::Protocol(_) | ClientError::Goodbye) => {
+                    // Connection lost mid-redeem: poison the slot and hand
+                    // the ticket off.
+                    let mut guard = entry.slot.lock();
+                    if guard.generation == entry.generation {
+                        guard.client = None;
+                    }
+                }
+                Err(other) => return Err(backend_error(other)),
             }
         }
-        result.map(backend_frame).map_err(backend_error)
+        // Ticket hand-off: the issuing connection (and its parked frame)
+        // is unreachable, so re-render the remembered request on whichever
+        // node now owns the key. Same request, same deterministic kernel —
+        // bit-identical output, zero frames lost.
+        mgpu_obs::global().counter("pool.drain.handoffs").inc();
+        let net = entry.net;
+        self.drive(&entry.key, true, |client| client.render(&net))
+            .map(|(_, _, _, frame)| backend_frame(frame))
     }
 
     fn render(&self, request: SceneRequest) -> Result<BackendFrame, BackendError> {
         let net = portable(&request)?;
         let key = BatchKey::of(&request);
-        self.drive(&key, true, |client| client.render(&net))
-            .map(|(_, _, frame)| backend_frame(frame))
+        let frame = self
+            .drive(&key, true, |client| client.render(&net))
+            .map(|(_, _, _, frame)| backend_frame(frame))?;
+        self.record_heat(&key, &net);
+        Ok(frame)
     }
 
     /// Pool-level merged accounting: every reachable node's merged report
@@ -437,7 +1032,7 @@ impl RenderBackend for NodePool {
             }
         }
         match (reports.is_empty(), last_err) {
-            (true, Some(err)) => Err(err),
+            (true, Some(err)) => Err(BackendError::Transport(err.to_string())),
             _ => Ok(ServiceReport::merged(&reports)),
         }
     }
@@ -460,10 +1055,10 @@ mod tests {
     }
 
     /// The directory is the ShardedService policy verbatim: same owner,
-    /// same preference order, for every key.
+    /// same preference order, for every key (absent migrations).
     #[test]
     fn directory_routes_with_the_shard_policy() {
-        let dir = Directory::new(addrs(4));
+        let dir = Directory::new(addrs(4)).unwrap();
         for tag in 0..64 {
             let key = BatchKey::synthetic(tag);
             assert_eq!(dir.node_for(&key), route(&key, 4));
@@ -474,8 +1069,8 @@ mod tests {
 
     #[test]
     fn directory_growth_only_moves_keys_to_the_new_node() {
-        let four = Directory::new(addrs(4));
-        let five = Directory::new(addrs(5));
+        let four = Directory::new(addrs(4)).unwrap();
+        let five = Directory::new(addrs(5)).unwrap();
         let mut moved = 0;
         for tag in 0..256 {
             let key = BatchKey::synthetic(tag);
@@ -488,9 +1083,93 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
-    fn empty_directory_is_rejected() {
-        Directory::new(Vec::new());
+    fn empty_and_duplicate_directories_are_typed_errors() {
+        assert_eq!(Directory::new(Vec::new()), Err(DirectoryError::Empty));
+        let mut dupes = addrs(2);
+        dupes.push(dupes[0]);
+        assert_eq!(
+            Directory::new(dupes.clone()),
+            Err(DirectoryError::Duplicate(dupes[0]))
+        );
+        // The same rejections surface through pool construction, plus the
+        // config's own validation.
+        assert!(matches!(
+            NodePool::try_new(Vec::new(), NodePoolConfig::default()),
+            Err(PoolConfigError::Directory(DirectoryError::Empty))
+        ));
+        let zero = NodePoolConfig {
+            retry: RetryBudget {
+                attempts: 0,
+                ..RetryBudget::default()
+            },
+            ..NodePoolConfig::default()
+        };
+        assert!(matches!(
+            NodePool::try_new(addrs(2), zero),
+            Err(PoolConfigError::ZeroAttempts)
+        ));
+    }
+
+    #[test]
+    fn migration_pins_rule_placement_and_bump_the_epoch() {
+        let mut dir = Directory::new(addrs(3)).unwrap();
+        let key = BatchKey::synthetic(7);
+        let natural = dir.node_for(&key);
+        let dest = (natural + 1) % 3;
+        assert_eq!(dir.epoch(), 0);
+        assert!(dir.migrate(&key, dest).unwrap());
+        assert_eq!(dir.node_for(&key), dest);
+        assert_eq!(dir.ranked(&key)[0], dest, "pin leads the failover order");
+        assert_eq!(dir.epoch(), 1);
+        // Re-migrating to the same place is a no-op: no epoch bump.
+        assert!(!dir.migrate(&key, dest).unwrap());
+        assert_eq!(dir.epoch(), 1);
+        // Migrating back to the natural owner dissolves the pin.
+        assert!(dir.migrate(&key, natural).unwrap());
+        assert_eq!(dir.node_for(&key), natural);
+        assert_eq!(dir.ranked(&key), ranked(&key, 3));
+        assert_eq!(dir.epoch(), 2);
+        assert!(!dir.migrate(&key, natural).unwrap());
+        // Unknown destinations are typed errors.
+        assert_eq!(
+            dir.migrate(&key, 9),
+            Err(DirectoryError::UnknownNode { node: 9, nodes: 3 })
+        );
+    }
+
+    #[test]
+    fn membership_changes_remap_pins_and_bump_the_epoch() {
+        let mut dir = Directory::new(addrs(4)).unwrap();
+        let keys: Vec<BatchKey> = (0..64).map(BatchKey::synthetic).collect();
+        // One key pinned past the node we will remove, one pinned onto it.
+        let key_high = keys.iter().find(|k| dir.node_for(k) != 3).unwrap().clone();
+        dir.migrate(&key_high, 3).unwrap();
+        let key_onto = keys
+            .iter()
+            .find(|k| dir.node_for(k) != 1 && **k != key_high)
+            .unwrap()
+            .clone();
+        dir.migrate(&key_onto, 1).unwrap();
+        let before = dir.epoch();
+
+        let removed = dir.remove_node(1).unwrap();
+        assert_eq!(removed, addrs(4)[1]);
+        assert_eq!(dir.len(), 3);
+        assert!(dir.epoch() > before);
+        // The pin to node 3 slid down with the indices…
+        assert_eq!(dir.node_for(&key_high), 2);
+        // …and the pin onto the removed node dissolved back to the hash.
+        assert_eq!(dir.node_for(&key_onto), route(&key_onto, 3));
+
+        // Duplicates are rejected on join; the last node cannot leave.
+        let existing = dir.addr(0);
+        assert_eq!(
+            dir.add_node(existing),
+            Err(DirectoryError::Duplicate(existing))
+        );
+        dir.remove_node(0).unwrap();
+        dir.remove_node(0).unwrap();
+        assert_eq!(dir.remove_node(0), Err(DirectoryError::LastNode));
     }
 
     /// An unreachable node exhausts the budget with a typed transport
@@ -511,8 +1190,8 @@ mod tests {
                 listener.local_addr().unwrap()
             })
             .collect();
-        let pool = NodePool::new(
-            Directory::new(dead),
+        let pool = NodePool::try_new(
+            dead,
             NodePoolConfig {
                 retry: RetryBudget {
                     attempts: 2,
@@ -520,7 +1199,8 @@ mod tests {
                 },
                 ..NodePoolConfig::default()
             },
-        );
+        )
+        .unwrap();
         let volume = Dataset::Skull.volume(8);
         let request = SceneRequest {
             spec: ClusterSpec::accelerator_cluster(1),
@@ -532,6 +1212,18 @@ mod tests {
         match RenderBackend::render(&pool, request) {
             Err(BackendError::Transport(_)) => {}
             other => panic!("expected transport exhaustion, got {other:?}"),
+        }
+        // Per-node errors carry the node index and address.
+        let stats = pool.node_stats();
+        assert_eq!(stats.len(), 2);
+        for (node, result) in stats.into_iter().enumerate() {
+            let err = result.expect_err("dead node must error");
+            assert_eq!(err.node, node);
+            let text = err.to_string();
+            assert!(
+                text.contains(&format!("node {node} (127.0.0.1:")),
+                "error must name the node: {text}"
+            );
         }
         assert!(RenderBackend::report(&pool).is_err(), "no node reachable");
     }

@@ -34,6 +34,12 @@ pub(crate) fn backend_error(err: ClientError) -> BackendError {
         }
         ClientError::Render(err) => BackendError::Render(err),
         ClientError::Wire(err) => BackendError::Transport(err.to_string()),
+        ClientError::Draining { epoch } => BackendError::Transport(format!(
+            "node is draining (directory epoch {epoch}): route elsewhere"
+        )),
+        ClientError::Goodbye => {
+            BackendError::Transport("node drained and said goodbye".to_string())
+        }
         ClientError::Protocol(what) => BackendError::Transport(what),
     }
 }

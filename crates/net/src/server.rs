@@ -33,8 +33,8 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -44,8 +44,9 @@ use mgpu_serve::{FrameResult, SceneRequest, ServiceConfig, ServiceReport, Sharde
 use crate::heat::{encode_stats, NetStats};
 use crate::ratelimit::{RateLimitConfig, TokenBucket};
 use crate::wire::{
-    self, decode_ping, decode_request, decode_ticket, encode_frame, encode_message, encode_pong,
-    encode_rejected, encode_throttled, encode_ticket, frame_bytes, opcode, WireError,
+    self, decode_epoch, decode_ping, decode_prewarm, decode_request, decode_ticket,
+    encode_drain_state, encode_epoch, encode_frame, encode_message, encode_pong, encode_prewarmed,
+    encode_rejected, encode_throttled, encode_ticket, frame_bytes, opcode, DrainState, WireError,
     DEFAULT_MAX_PAYLOAD, HEADER_BYTES,
 };
 
@@ -245,6 +246,10 @@ struct Completion {
 /// cycle and break shutdown's sole-ownership teardown.
 struct Notifier {
     completions: Mutex<Vec<Completion>>,
+    /// Pre-encoded reply frames from off-loop workers (the pre-warm
+    /// thread): `(conn token, frame bytes)`, delivered by the next
+    /// `apply_completions` pass.
+    replies: Mutex<Vec<(u64, Vec<u8>)>>,
     waker: Waker,
 }
 
@@ -260,6 +265,26 @@ impl Notifier {
     fn drain(&self) -> Vec<Completion> {
         std::mem::take(&mut *self.completions.lock().expect("completion queue poisoned"))
     }
+
+    fn reply(&self, conn: u64, frame: Vec<u8>) {
+        self.replies
+            .lock()
+            .expect("reply queue poisoned")
+            .push((conn, frame));
+        self.waker.wake();
+    }
+
+    fn drain_replies(&self) -> Vec<(u64, Vec<u8>)> {
+        std::mem::take(&mut *self.replies.lock().expect("reply queue poisoned"))
+    }
+}
+
+/// One queued `PREWARM`: built off the event loop by the pre-warm worker
+/// thread, answered through [`Notifier::reply`].
+struct PrewarmJob {
+    conn: u64,
+    request_id: u64,
+    request: SceneRequest,
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +381,11 @@ struct Conn {
     redeems: HashMap<u64, u64>,
     /// Stop reading; flush the write buffer, then drop the connection.
     closing: bool,
+    /// Has this session ever been admitted render work (`RENDER` or
+    /// `SUBMIT`)? The soft-drain GOODBYE wave only seals such sessions;
+    /// pure control connections (PING/STATS/DRAIN/RESUME) stay readable,
+    /// so a drained node can still be resumed.
+    carried_work: bool,
     obs: ConnObs,
 }
 
@@ -372,6 +402,7 @@ impl Conn {
             tickets: HashMap::new(),
             redeems: HashMap::new(),
             closing: false,
+            carried_work: false,
             obs,
         }
     }
@@ -531,6 +562,17 @@ struct Shared {
     sharded: ShardedService,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// Soft drain (wire v4): refuse new RENDER/SUBMIT with a typed
+    /// `DRAINING` reply, keep answering everything already owed, `GOODBYE`
+    /// every connection once nothing is outstanding. Reversible with
+    /// `RESUME` — unlike `shutdown`, the sockets stay open and readable.
+    draining: AtomicBool,
+    /// Highest directory epoch any peer has announced (via `DRAIN` /
+    /// `RESUME` / `PREWARM`), echoed in STATS so a stale client can see
+    /// the placement moved under it. Monotone: `fetch_max` only.
+    epoch: AtomicU64,
+    /// Feed of the pre-warm worker thread; `None` once shutdown began.
+    prewarm_tx: Mutex<Option<mpsc::Sender<PrewarmJob>>>,
     notifier: Arc<Notifier>,
     /// Per-*server-instance* metrics (`net.*`): wakeups and traffic must
     /// not mix across servers sharing a process (the idle-wakeup test runs
@@ -554,6 +596,7 @@ pub struct RenderServer {
     addr: SocketAddr,
     shared: Option<Arc<Shared>>,
     event_loop: Option<JoinHandle<()>>,
+    prewarm_worker: Option<JoinHandle<()>>,
 }
 
 impl RenderServer {
@@ -571,12 +614,17 @@ impl RenderServer {
         let obs = Registry::new();
         let wakeups = obs.counter("net.loop_wakeups");
         let throttled = obs.counter("net.throttled");
+        let (prewarm_tx, prewarm_rx) = mpsc::channel::<PrewarmJob>();
         let shared = Arc::new(Shared {
             sharded: ShardedService::start(config.shards, config.service.clone()),
             config,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            prewarm_tx: Mutex::new(Some(prewarm_tx)),
             notifier: Arc::new(Notifier {
                 completions: Mutex::new(Vec::new()),
+                replies: Mutex::new(Vec::new()),
                 waker: Waker { tx: waker_tx },
             }),
             obs,
@@ -590,10 +638,35 @@ impl RenderServer {
                 .spawn(move || EventLoop::new(listener, waker_rx, shared).run())
                 .expect("spawn event loop")
         };
+        // Plan staging bricks the whole volume — milliseconds to seconds —
+        // so PREWARM must never run on the event loop. One worker serializes
+        // warm-ups (they are migration hints, not a hot path) and answers
+        // through the completion waker like a render worker would.
+        let prewarm_worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mgpu-net-prewarm".into())
+                .spawn(move || {
+                    while let Ok(job) = prewarm_rx.recv() {
+                        let (shard, built) = shared.sharded.prewarm(&job.request);
+                        shared.obs.counter("net.prewarms").inc();
+                        shared.notifier.reply(
+                            job.conn,
+                            frame_bytes(
+                                opcode::PREWARMED,
+                                job.request_id,
+                                &encode_prewarmed(shard as u32, built),
+                            ),
+                        );
+                    }
+                })
+                .expect("spawn prewarm worker")
+        };
         Ok(RenderServer {
             addr,
             shared: Some(shared),
             event_loop: Some(event_loop),
+            prewarm_worker: Some(prewarm_worker),
         })
     }
 
@@ -621,6 +694,14 @@ impl RenderServer {
 
     fn stop_event_loop(&mut self) {
         if let Some(shared) = &self.shared {
+            // Hang up on the pre-warm worker first (dropping its sender
+            // ends its recv loop) so it releases its `Arc<Shared>` before
+            // shutdown() claims sole ownership.
+            shared
+                .prewarm_tx
+                .lock()
+                .expect("prewarm sender poisoned")
+                .take();
             shared.shutdown.store(true, Ordering::SeqCst);
             // An in-flight reply against a *paused* service would never
             // resolve and the drain below would hang: resume so admitted
@@ -628,6 +709,9 @@ impl RenderServer {
             // the in-process service).
             shared.sharded.resume();
             shared.notifier.waker.wake();
+        }
+        if let Some(prewarm_worker) = self.prewarm_worker.take() {
+            let _ = prewarm_worker.join();
         }
         if let Some(event_loop) = self.event_loop.take() {
             let _ = event_loop.join();
@@ -662,6 +746,7 @@ fn net_stats(shared: &Shared) -> NetStats {
     let mut obs = shared.obs.snapshot();
     obs.merge(&mgpu_obs::global().snapshot());
     NetStats {
+        epoch: shared.epoch.load(Ordering::SeqCst),
         merged,
         shards,
         obs,
@@ -700,6 +785,26 @@ impl EventLoop {
             self.apply_completions();
 
             let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            if !draining && self.shared.draining.load(Ordering::SeqCst) {
+                // Soft drain: once no session holds anything — no in-flight
+                // renders, no un-redeemed tickets — tell every session that
+                // carried render work GOODBYE (request id 0, the
+                // unsolicited-verdict channel) and close after the flush.
+                // Pure control connections stay open and readable, so the
+                // drained node can still answer STATS and be RESUMEd; the
+                // GOODBYE on the data connections is the drained-node
+                // signal the pool keys off.
+                let empty = self.conns.values().all(|conn| conn.outstanding() == 0);
+                if empty {
+                    for conn in self.conns.values_mut() {
+                        if conn.carried_work && !conn.closing {
+                            conn.send(frame_bytes(opcode::GOODBYE, 0, &[]));
+                            conn.closing = true;
+                            self.shared.obs.counter("net.goodbyes").inc();
+                        }
+                    }
+                }
+            }
             if draining {
                 // Graceful shutdown: stop reading, keep delivering. A
                 // connection owing nothing more (no in-flight renders, no
@@ -816,6 +921,11 @@ impl EventLoop {
     /// ticket tables). Completions for connections that died in the
     /// meantime are dropped — the frame is in the render cache anyway.
     fn apply_completions(&mut self) {
+        for (token, frame) in self.shared.notifier.drain_replies() {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                conn.send(frame);
+            }
+        }
         for done in self.shared.notifier.drain() {
             let Some(conn) = self.conns.get_mut(&done.conn) else {
                 continue;
@@ -907,9 +1017,30 @@ impl EventLoop {
     /// connection's write buffer, tagged with the request's id.
     fn dispatch(&mut self, token: u64, op: u8, request_id: u64, payload: &[u8]) {
         let shared = Arc::clone(&self.shared);
+        // Drain-state replies report what the whole node still owes, which
+        // must be summed before the per-connection borrow below.
+        let total_outstanding: u64 = if op == opcode::DRAIN || op == opcode::RESUME {
+            self.conns.values().map(|c| c.outstanding() as u64).sum()
+        } else {
+            0
+        };
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        // A draining node refuses *new* work — typed, per-request, and the
+        // connection survives (in-flight replies and parked redeems still
+        // flow). The epoch tells the refused client how stale it is.
+        if (op == opcode::RENDER || op == opcode::SUBMIT) && shared.draining.load(Ordering::SeqCst)
+        {
+            shared.obs.counter("net.drain_refused").inc();
+            conn.send(frame_bytes(
+                opcode::DRAINING,
+                request_id,
+                &encode_epoch(shared.epoch.load(Ordering::SeqCst)),
+            ));
+            self.flush_conn(token);
+            return;
+        }
         match op {
             opcode::PING => match decode_ping(payload) {
                 Ok(echo) => {
@@ -965,6 +1096,7 @@ impl EventLoop {
                     match submitted {
                         Ok(()) => {
                             conn.in_flight.insert(request_id);
+                            conn.carried_work = true;
                         }
                         Err(admission) => conn.send(frame_bytes(
                             opcode::REJECTED,
@@ -996,6 +1128,7 @@ impl EventLoop {
                     match submitted {
                         Ok(()) => {
                             conn.tickets.insert(request_id, TicketState::Pending);
+                            conn.carried_work = true;
                             conn.send(frame_bytes(
                                 opcode::SUBMITTED,
                                 request_id,
@@ -1036,6 +1169,68 @@ impl EventLoop {
                         bad_request(conn, request_id, &err);
                     }
                 },
+                Err(err) => bad_request(conn, request_id, &err),
+            },
+            opcode::DRAIN | opcode::RESUME => match decode_epoch(payload) {
+                Ok(epoch) => {
+                    shared.epoch.fetch_max(epoch, Ordering::SeqCst);
+                    let draining = op == opcode::DRAIN;
+                    let was = shared.draining.swap(draining, Ordering::SeqCst);
+                    // Idempotent: repeating the current state is a no-op
+                    // (and not a counted transition).
+                    if draining && !was {
+                        shared.obs.counter("net.drains").inc();
+                    } else if !draining && was {
+                        shared.obs.counter("net.resumes").inc();
+                    }
+                    conn.send(frame_bytes(
+                        opcode::DRAIN_STATE,
+                        request_id,
+                        &encode_drain_state(DrainState {
+                            draining,
+                            outstanding: total_outstanding,
+                            epoch: shared.epoch.load(Ordering::SeqCst),
+                        }),
+                    ));
+                }
+                Err(err) => bad_request(conn, request_id, &err),
+            },
+            opcode::PREWARM => match decode_prewarm(payload) {
+                Ok((epoch, request)) => {
+                    shared.epoch.fetch_max(epoch, Ordering::SeqCst);
+                    match request.to_parts() {
+                        Ok((spec, volume, scene, config, priority)) => {
+                            let job = PrewarmJob {
+                                conn: token,
+                                request_id,
+                                request: SceneRequest {
+                                    spec,
+                                    volume,
+                                    scene,
+                                    config,
+                                    priority,
+                                },
+                            };
+                            let tx = shared
+                                .prewarm_tx
+                                .lock()
+                                .expect("prewarm sender poisoned")
+                                .clone();
+                            // The worker answers PREWARMED when the plan is
+                            // built; with the worker gone (shutdown racing
+                            // in) answer built=false so the peer never
+                            // hangs.
+                            if tx.map(|tx| tx.send(job).is_ok()) != Some(true) {
+                                conn.send(frame_bytes(
+                                    opcode::PREWARMED,
+                                    request_id,
+                                    &encode_prewarmed(0, false),
+                                ));
+                            }
+                        }
+                        Err(err) => bad_request(conn, request_id, &err),
+                    }
+                }
                 Err(err) => bad_request(conn, request_id, &err),
             },
             other => {

@@ -66,8 +66,11 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"MGPU");
 /// [`opcode::UNSUPPORTED_VERSION`] reply (and decoders fail with
 /// [`WireError::UnsupportedVersion`]). v2 replaced the orbit-only camera
 /// fields with [`CameraSpec`]; v3 added the per-request `request_id` that
-/// multiplexes many in-flight renders over one connection.
-pub const VERSION: u16 = 3;
+/// multiplexes many in-flight renders over one connection; v4 added the
+/// elastic-pool control opcodes ([`opcode::DRAIN`] / [`opcode::RESUME`] /
+/// [`opcode::PREWARM`] and their replies) and the directory epoch carried
+/// by the `STATS` payload.
+pub const VERSION: u16 = 4;
 /// Frame header bytes: magic + version + opcode + length.
 pub const HEADER_BYTES: usize = 4 + 2 + 1 + 4;
 /// Fixed-size frame prelude: the header plus the 8-byte request id. A
@@ -89,6 +92,22 @@ pub mod opcode {
     /// Fetch the last N completed request traces from the server's trace
     /// ring; payload is the maximum count as a u32.
     pub const TRACES: u8 = 0x06;
+    /// Put the server into the draining state (payload: the controller's
+    /// directory epoch as a u64): in-flight work and parked redeems still
+    /// answer, new `RENDER`/`SUBMIT`/`PREWARM` get a typed [`DRAINING`]
+    /// reply, and the server says [`GOODBYE`] once it owes nothing more.
+    /// Idempotent; answered with [`DRAIN_STATE`]. New in v4.
+    pub const DRAIN: u8 = 0x07;
+    /// Leave the draining state (payload: epoch, like [`DRAIN`]) — the
+    /// rejoin half of a drain that was called off. Idempotent; answered
+    /// with [`DRAIN_STATE`]. New in v4.
+    pub const RESUME: u8 = 0x08;
+    /// Populate the owning shard's plan cache for a request's `BatchKey`
+    /// *before* traffic moves there (payload: epoch + a full render
+    /// request), so a placement cutover never costs a cold start. The plan
+    /// builds off the event loop, on a dedicated pre-warm worker; answered
+    /// with [`PREWARMED`] when the plan is resident. New in v4.
+    pub const PREWARM: u8 = 0x09;
 
     pub const PONG: u8 = 0x81;
     pub const FRAME: u8 = 0x82;
@@ -106,6 +125,23 @@ pub mod opcode {
     /// Reply to [`TRACES`]: the newest completed traces, newest first (see
     /// [`crate::wire::encode_traces`]).
     pub const TRACES_REPLY: u8 = 0x8A;
+    /// Reply to [`DRAIN`] / [`RESUME`]: whether the server is draining,
+    /// how many requests it still owes (in-flight renders + un-redeemed
+    /// tickets + parked redeems, across all sessions), and the highest
+    /// directory epoch it has been told. New in v4.
+    pub const DRAIN_STATE: u8 = 0x8B;
+    /// Reply to [`PREWARM`]: the owning shard index and whether a plan was
+    /// newly built (`false` = the cache was already warm). New in v4.
+    pub const PREWARMED: u8 = 0x8C;
+    /// Unsolicited (request id 0) farewell from a draining server that
+    /// owes nothing more: every outstanding request has been answered and
+    /// the connection closes after this frame flushes. New in v4.
+    pub const GOODBYE: u8 = 0x8D;
+    /// Typed refusal of `RENDER`/`SUBMIT`/`PREWARM` while the server is
+    /// draining (payload: the server's directory epoch, so a stale client
+    /// learns placement moved on without it). The connection stays open —
+    /// redeems and stats still answer. New in v4.
+    pub const DRAINING: u8 = 0x8E;
     pub const BAD_REQUEST: u8 = 0xFF;
 }
 
@@ -1079,6 +1115,96 @@ pub fn decode_throttled(payload: &[u8]) -> Result<Duration, WireError> {
     Ok(Duration::from_nanos(nanos))
 }
 
+/// A draining server's answer to `DRAIN`/`RESUME`: its current mode, how
+/// much it still owes, and the newest directory epoch it has been told —
+/// what a drain controller polls until `outstanding` reaches zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainState {
+    /// New `RENDER`/`SUBMIT`/`PREWARM` are being refused with `DRAINING`.
+    pub draining: bool,
+    /// In-flight renders + un-redeemed tickets + parked redeems, across
+    /// every session on the server. Zero while draining means the server
+    /// is about to say `GOODBYE`.
+    pub outstanding: u64,
+    /// Highest directory epoch any controller has announced to this
+    /// server (echoed in STATS too): a client whose directory is older is
+    /// stale.
+    pub epoch: u64,
+}
+
+/// `DRAIN` / `RESUME` / `DRAINING`: a bare directory epoch.
+pub fn encode_epoch(epoch: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(epoch);
+    w.into_bytes()
+}
+
+pub fn decode_epoch(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
+    r.finish()?;
+    Ok(epoch)
+}
+
+/// `DRAIN_STATE`: draining flag + outstanding count + epoch.
+pub fn encode_drain_state(state: DrainState) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bool(state.draining);
+    w.u64(state.outstanding);
+    w.u64(state.epoch);
+    w.into_bytes()
+}
+
+pub fn decode_drain_state(payload: &[u8]) -> Result<DrainState, WireError> {
+    let mut r = Reader::new(payload);
+    let draining = r.bool()?;
+    let outstanding = r.u64()?;
+    let epoch = r.u64()?;
+    r.finish()?;
+    Ok(DrainState {
+        draining,
+        outstanding,
+        epoch,
+    })
+}
+
+/// `PREWARM`: the announcing controller's epoch, then a full render
+/// request (a `BatchKey` alone cannot rebuild a plan — the destination
+/// needs the spec, volume and config the key was derived from).
+pub fn encode_prewarm(epoch: u64, request: &NetSceneRequest) -> Vec<u8> {
+    let mut bytes = encode_epoch(epoch);
+    bytes.extend_from_slice(&encode_request(request));
+    bytes
+}
+
+pub fn decode_prewarm(payload: &[u8]) -> Result<(u64, NetSceneRequest), WireError> {
+    if payload.len() < 8 {
+        return Err(WireError::Truncated {
+            needed: 8,
+            have: payload.len(),
+        });
+    }
+    let epoch = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let request = decode_request(&payload[8..])?;
+    Ok((epoch, request))
+}
+
+/// `PREWARMED`: owning shard index + whether a plan was newly built.
+pub fn encode_prewarmed(shard: u32, built: bool) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(shard);
+    w.bool(built);
+    w.into_bytes()
+}
+
+pub fn decode_prewarmed(payload: &[u8]) -> Result<(u32, bool), WireError> {
+    let mut r = Reader::new(payload);
+    let shard = r.u32()?;
+    let built = r.bool()?;
+    r.finish()?;
+    Ok((shard, built))
+}
+
 /// A rendered frame as delivered across the socket: the exact image a
 /// direct render would produce (floats travel by bit pattern), plus the
 /// cache provenance and the simulated frame time of the modeled cluster.
@@ -1429,6 +1555,84 @@ mod tests {
             limit: usize::MAX,
         };
         assert_eq!(decode_rejected(&encode_rejected(&unbounded)), Ok(unbounded));
+    }
+
+    #[test]
+    fn drain_control_payloads_roundtrip() {
+        for epoch in [0u64, 1, 7, u64::MAX] {
+            assert_eq!(decode_epoch(&encode_epoch(epoch)), Ok(epoch));
+        }
+        let state = DrainState {
+            draining: true,
+            outstanding: 9,
+            epoch: 41,
+        };
+        assert_eq!(decode_drain_state(&encode_drain_state(state)), Ok(state));
+        let idle = DrainState {
+            draining: false,
+            outstanding: 0,
+            epoch: u64::MAX,
+        };
+        assert_eq!(decode_drain_state(&encode_drain_state(idle)), Ok(idle));
+        assert_eq!(decode_prewarmed(&encode_prewarmed(3, true)), Ok((3, true)));
+        assert_eq!(
+            decode_prewarmed(&encode_prewarmed(0, false)),
+            Ok((0, false))
+        );
+    }
+
+    #[test]
+    fn prewarm_carries_the_epoch_and_the_full_request() {
+        let req = sample_request();
+        let bytes = encode_prewarm(17, &req);
+        let (epoch, back) = decode_prewarm(&bytes).expect("round-trip");
+        assert_eq!(epoch, 17);
+        assert_eq!(back, req);
+        // Every truncation of the combined payload is a typed error — both
+        // inside the epoch prefix and inside the embedded request.
+        for cut in 0..bytes.len() {
+            match decode_prewarm(&bytes[..cut]) {
+                Err(WireError::Truncated { .. }) | Err(WireError::Malformed(_)) => {}
+                Ok(_) => panic!("prefix of {cut} bytes decoded successfully"),
+                Err(other) => panic!("prefix of {cut} bytes: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn drain_control_truncations_are_typed_errors() {
+        let payloads = [
+            encode_epoch(99),
+            encode_drain_state(DrainState {
+                draining: true,
+                outstanding: 2,
+                epoch: 5,
+            }),
+            encode_prewarmed(1, true),
+        ];
+        for bytes in &payloads {
+            for cut in 0..bytes.len() {
+                let slice = &bytes[..cut];
+                let results = [
+                    decode_epoch(slice).map(|_| ()),
+                    decode_drain_state(slice).map(|_| ()),
+                    decode_prewarmed(slice).map(|_| ()),
+                ];
+                for r in results {
+                    if let Err(e) = r {
+                        assert!(
+                            matches!(
+                                e,
+                                WireError::Truncated { .. }
+                                    | WireError::Malformed(_)
+                                    | WireError::TrailingBytes { .. }
+                            ),
+                            "unexpected {e:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ fn full_pipeline(trace: &CompletedTrace) -> bool {
 fn pool_render_leaves_a_full_pipeline_trace_on_some_node() {
     let (a, b) = (server(), server());
     let pool = NodePool::new(
-        Directory::new(vec![a.addr(), b.addr()]),
+        Directory::new(vec![a.addr(), b.addr()]).expect("two-node directory"),
         NodePoolConfig::default(),
     );
 
@@ -123,7 +123,7 @@ fn pool_render_leaves_a_full_pipeline_trace_on_some_node() {
 fn pool_merged_snapshot_roundtrips_bit_exactly() {
     let (a, b) = (server(), server());
     let pool = NodePool::new(
-        Directory::new(vec![a.addr(), b.addr()]),
+        Directory::new(vec![a.addr(), b.addr()]).expect("two-node directory"),
         NodePoolConfig::default(),
     );
     // Touch both nodes so the merged snapshot carries real counters and

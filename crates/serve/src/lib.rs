@@ -523,6 +523,26 @@ impl RenderService {
         self.inner.plans.snapshot()
     }
 
+    /// Populate the plan cache for `request`'s [`BatchKey`] off the hot
+    /// path: brick the volume and insert the shared [`mgpu_volren::FramePlan`] now, on
+    /// the caller's thread, so the first real render of this key after a
+    /// migration hits a warm cache instead of paying the staging cost.
+    /// Returns `true` when a plan was built, `false` on a cache hit.
+    pub fn prewarm(&self, request: &SceneRequest) -> bool {
+        let key = BatchKey::of(request);
+        if self.inner.plans.get(&key).is_some() {
+            return false;
+        }
+        let plan = Arc::new(mgpu_volren::FramePlan::prepare(
+            &request.spec,
+            &request.volume,
+            &request.config,
+        ));
+        self.inner.plans.insert(key, plan);
+        mgpu_obs::global().counter("serve.plan_prewarms").inc();
+        true
+    }
+
     /// Drain the queue, stop the workers and return the final report. Every
     /// ticket submitted before the call still resolves.
     pub fn shutdown(mut self) -> ServiceReport {

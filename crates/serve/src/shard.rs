@@ -136,6 +136,15 @@ impl ShardedService {
         &self.shards[index]
     }
 
+    /// Pre-warm the owning shard's plan cache for `request`'s batch key
+    /// (see [`RenderService::prewarm`]). Returns the shard routed to and
+    /// whether a plan was actually built (`false` = already warm).
+    pub fn prewarm(&self, request: &SceneRequest) -> (usize, bool) {
+        let key = BatchKey::of(request);
+        let shard = self.shard_for(&key);
+        (shard, self.shards[shard].prewarm(request))
+    }
+
     /// Submit one frame request to its owning shard (blocking form — see
     /// [`RenderService::submit`]).
     pub fn submit(&self, request: SceneRequest) -> FrameTicket {

@@ -2,8 +2,11 @@
 //! processes-worth of render capacity behind one [`NodePool`] — the same
 //! `RenderBackend` trait as a local [`RenderService`], but the frames come
 //! from whichever node the placement [`Directory`] owns each batch key on.
-//! The finale kills a node mid-run and the pool completes the next frame
-//! on the survivor, inside its [`RetryBudget`], bit-identical as ever.
+//! Two finales: a **graceful drain-and-rejoin** (tickets in flight when
+//! the drain starts, every one redeemed bit-identically, then the node
+//! RESUMEs back into service at a new epoch) and a **crash** (a node
+//! killed mid-run; the pool completes the next frame on the survivor,
+//! inside its [`RetryBudget`], bit-identical as ever).
 //!
 //!     cargo run --release --example node_pool
 
@@ -23,7 +26,8 @@ fn start_node() -> RenderServer {
 
 fn main() {
     let mut nodes: Vec<Option<RenderServer>> = vec![Some(start_node()), Some(start_node())];
-    let directory = Directory::new(nodes.iter().map(|n| n.as_ref().unwrap().addr()).collect());
+    let directory = Directory::new(nodes.iter().map(|n| n.as_ref().unwrap().addr()).collect())
+        .expect("two distinct loopback nodes");
     println!("node directory: {:?}\n", directory.addrs());
 
     let pool = NodePool::new(
@@ -99,6 +103,79 @@ fn main() {
             stats.shards.len()
         );
     }
+
+    // Drain-and-rejoin finale: park a burst of tickets on the skull's
+    // owner, drain it mid-flight, and redeem every ticket — a draining
+    // node answers everything it owes while new work routes around it,
+    // so not one admitted frame is lost. Then RESUME rejoins the node.
+    let skull = Dataset::Skull.volume(32);
+    let spec = ClusterSpec::accelerator_cluster(4);
+    let probe = SceneRequest {
+        spec: spec.clone(),
+        volume: skull.clone(),
+        scene: Scene::orbit(&skull, 200.0, 15.0, TransferFunction::bone()),
+        config: cfg.clone(),
+        priority: Priority::Normal,
+    };
+    let owner = pool.node_for(&probe);
+    println!("\ndraining node {owner} (owns the skull) with work in flight…");
+    let scenes: Vec<Scene> = (0..6)
+        .map(|i| {
+            Scene::orbit(
+                &skull,
+                200.0 + i as f32 * 7.0,
+                15.0,
+                TransferFunction::bone(),
+            )
+        })
+        .collect();
+    let tickets: Vec<PoolTicket> = scenes
+        .iter()
+        .map(|scene| {
+            pool.submit(SceneRequest {
+                spec: spec.clone(),
+                volume: skull.clone(),
+                scene: scene.clone(),
+                config: cfg.clone(),
+                priority: Priority::Normal,
+            })
+            .expect("submit before the drain")
+        })
+        .collect();
+    let state = pool.drain_node(owner).expect("drain the owner");
+    println!(
+        "  drain acknowledged: {} outstanding, epoch now {}",
+        state.outstanding,
+        pool.epoch()
+    );
+    for (scene, ticket) in scenes.iter().zip(tickets) {
+        let frame = pool.redeem(ticket).expect("redeem during the drain");
+        let direct = gpumr::volren::render(&spec, &skull, scene, &cfg);
+        assert_eq!(
+            *frame.image, direct.image,
+            "a redemption from a draining node must stay bit-identical"
+        );
+    }
+    while !pool.node_drained(owner) {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    println!(
+        "  all {} tickets redeemed bit-identically; node {owner} drained clean",
+        scenes.len()
+    );
+
+    pool.resume_node(owner).expect("resume the drained node");
+    println!("  node {owner} resumed — epoch {}", pool.epoch());
+    let frame = pool.render(probe.clone()).expect("render after rejoin");
+    let direct = gpumr::volren::render(&spec, &skull, &probe.scene, &cfg);
+    assert_eq!(
+        *frame.image, direct.image,
+        "post-rejoin render must stay bit-identical"
+    );
+    println!(
+        "  render after rejoin lands on node {}",
+        pool.node_for(&probe)
+    );
 
     // Failover finale: kill the skull's owning node, render again — the
     // pool absorbs the loss within its retry budget and the survivor

@@ -18,8 +18,9 @@
 //!   [`net::RenderServer`]/[`net::RenderClient`], per-session rate
 //!   limiting, per-shard heat stats, plus the remote backends —
 //!   [`net::RemoteBackend`] (one server) and [`net::NodePool`] (N servers
-//!   behind a placement [`net::Directory`] with retry budgets and
-//!   failover) — behind the same trait;
+//!   behind a live, epoch-versioned placement [`net::Directory`] with
+//!   retry budgets, failover, zero-loss graceful drains and heat-driven
+//!   [`net::rebalance`]) — behind the same trait;
 //! * [`obs`] — the observability layer: the unified metrics
 //!   [`obs::Registry`] (counters, gauges, log₂ histograms) with exactly
 //!   mergeable [`obs::Snapshot`]s, and per-request [`obs::Trace`]s whose
@@ -55,9 +56,11 @@ pub use mgpu_volren as volren;
 pub mod prelude {
     pub use mgpu_cluster::topology::ClusterSpec;
     pub use mgpu_net::{
-        ClientConfig, ClientError, Directory, NetFrame, NetSceneRequest, NetStats, NetTicket,
-        NodePool, NodePoolConfig, PendingRender, PoolTicket, RateLimitConfig, RemoteBackend,
-        RenderClient, RenderServer, RetryBudget, ServerConfig, WireError,
+        rebalance_once, ClientConfig, ClientError, Directory, DirectoryError, DrainState,
+        MigrationReport, NetFrame, NetSceneRequest, NetStats, NetTicket, NodeError, NodePool,
+        NodePoolConfig, PendingRender, PoolConfigError, PoolTicket, RateLimitConfig,
+        RebalanceConfig, RebalanceOutcome, Rebalancer, RemoteBackend, RenderClient, RenderServer,
+        RetryBudget, ServerConfig, WireError,
     };
     pub use mgpu_obs::{CompletedTrace, Counter, Gauge, Histogram, Registry, Snapshot, Trace};
     pub use mgpu_serve::{
