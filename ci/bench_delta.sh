@@ -4,14 +4,14 @@
 # band, e.g.:
 #
 #   bench serve: frames/sec 118.40 -> 124.91 (+5.5%)
-#   bench net: frames/sec 130.00 -> 70.00 (-46.2%)  REGRESSION (tolerance -35%)
+#   bench net: frames/sec 130.00 -> 70.00 (-46.2%)  REGRESSION (tolerance -25%)
 #
 # Usage: ci/bench_delta.sh <previous.json> <current.json> <label> [tolerance_pct]
 #
 #   tolerance_pct  how far frames/sec may drop before the gate fails,
-#                  as a positive percentage (default 35 — smoke benches on
-#                  shared CI runners are noisy; the band is wide on purpose
-#                  to catch step-function regressions, not jitter).
+#                  as a positive percentage (default 25 — wide enough to
+#                  absorb shared-runner jitter on smoke benches, tight
+#                  enough to catch step-function regressions).
 #
 # Escape hatches (both exit 0 with the delta still printed):
 #   * BENCH_SKIP=1 in the environment, set by CI when the head commit
@@ -24,7 +24,7 @@ set -euo pipefail
 prev="${1:?previous json}"
 curr="${2:?current json}"
 label="${3:?label}"
-tolerance="${4:-35}"
+tolerance="${4:-25}"
 
 fps() {
     # The artifacts are flat one-field-per-line JSON written by

@@ -13,22 +13,29 @@ use mgpu_voldata::noise::{fbm, value_noise};
 use mgpu_volren::composite::{composite_unsorted, over};
 use mgpu_volren::Fragment;
 
-fn pairs(n: usize, key_space: u32) -> Vec<(u32, u64)> {
-    (0..n as u64)
-        .map(|i| (((i.wrapping_mul(2654435761)) % key_space as u64) as u32, i))
-        .collect()
+fn pairs(n: usize, key_space: u32) -> (Vec<u32>, Vec<u64>) {
+    let keys = (0..n as u64)
+        .map(|i| ((i.wrapping_mul(2654435761)) % key_space as u64) as u32)
+        .collect();
+    let values = (0..n as u64).collect();
+    (keys, values)
 }
 
 fn bench_sort(c: &mut Criterion) {
     let mut g = c.benchmark_group("sort");
     g.sample_size(20);
-    let input = pairs(100_000, 262_144);
+    let (in_keys, in_values) = pairs(100_000, 262_144);
     g.bench_function("counting_sort_100k_pairs", |b| {
-        b.iter(|| counting_sort_groups(black_box(&input), 262_144))
+        b.iter(|| counting_sort_groups(black_box(&in_keys), black_box(&in_values), 262_144))
     });
+    let tupled: Vec<(u32, u64)> = in_keys
+        .iter()
+        .copied()
+        .zip(in_values.iter().copied())
+        .collect();
     g.bench_function("comparison_sort_100k_pairs", |b| {
         b.iter_batched(
-            || input.clone(),
+            || tupled.clone(),
             |mut v| {
                 v.sort_by_key(|(k, _)| *k);
                 v

@@ -6,7 +6,7 @@
 //! in two passes (count, scatter) and is stable, so a deterministic input
 //! order yields deterministic grouped output.
 
-use crate::types::{Key, Pair};
+use crate::types::Key;
 
 /// Pairs grouped by ascending key: `values[offsets[i]..offsets[i+1]]` are the
 /// values of `keys[i]`.
@@ -37,11 +37,22 @@ impl<V> SortedGroups<V> {
     }
 }
 
-/// Stable counting sort + group: two passes over the pairs, one over the key
-/// space. Panics if any key is outside `[0, key_space)` — sentinels must be
-/// filtered during partitioning, *before* the sort (as in the paper).
-pub fn counting_sort_groups<V: Copy>(pairs: &[Pair<V>], key_space: u32) -> SortedGroups<V> {
-    if pairs.is_empty() {
+/// Stable counting sort + group over structure-of-arrays emissions
+/// (`in_keys[i]` pairs with `in_values[i]`): two passes over the pairs, one
+/// over the key space. Panics if any key is outside `[0, key_space)` —
+/// sentinels must be filtered during partitioning, *before* the sort (as in
+/// the paper).
+pub fn counting_sort_groups<V: Copy>(
+    in_keys: &[Key],
+    in_values: &[V],
+    key_space: u32,
+) -> SortedGroups<V> {
+    assert_eq!(
+        in_keys.len(),
+        in_values.len(),
+        "SoA key/value column lengths differ"
+    );
+    if in_keys.is_empty() {
         return SortedGroups {
             keys: Vec::new(),
             offsets: vec![0],
@@ -50,7 +61,7 @@ pub fn counting_sort_groups<V: Copy>(pairs: &[Pair<V>], key_space: u32) -> Sorte
     }
 
     let mut counts = vec![0u32; key_space as usize + 1];
-    for &(k, _) in pairs {
+    for &k in in_keys {
         assert!(k < key_space, "key {k} outside dense key space {key_space}");
         counts[k as usize + 1] += 1;
     }
@@ -61,9 +72,9 @@ pub fn counting_sort_groups<V: Copy>(pairs: &[Pair<V>], key_space: u32) -> Sorte
     let starts = counts; // starts[k] = first slot of key k
 
     // Scatter values into place via a cursor copy of the starts.
-    let mut values: Vec<V> = vec![pairs[0].1; pairs.len()];
+    let mut values: Vec<V> = vec![in_values[0]; in_values.len()];
     let mut cursors = starts.clone();
-    for &(k, v) in pairs {
+    for (&k, &v) in in_keys.iter().zip(in_values) {
         let slot = cursors[k as usize];
         values[slot as usize] = v;
         cursors[k as usize] += 1;
@@ -93,8 +104,9 @@ mod tests {
 
     #[test]
     fn groups_and_orders() {
-        let pairs = vec![(3u32, 'a'), (1, 'b'), (3, 'c'), (0, 'd'), (1, 'e')];
-        let g = counting_sort_groups(&pairs, 4);
+        let keys = [3u32, 1, 3, 0, 1];
+        let vals = ['a', 'b', 'c', 'd', 'e'];
+        let g = counting_sort_groups(&keys, &vals, 4);
         assert_eq!(g.keys, vec![0, 1, 3]);
         assert_eq!(g.group(0), (0, &['d'][..]));
         // Stability: 'b' before 'e', 'a' before 'c'.
@@ -105,15 +117,14 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let g = counting_sort_groups::<u32>(&[], 100);
+        let g = counting_sort_groups::<u32>(&[], &[], 100);
         assert_eq!(g.num_groups(), 0);
         assert_eq!(g.total_values(), 0);
     }
 
     #[test]
     fn single_key_space() {
-        let pairs = vec![(0u32, 1u32), (0, 2), (0, 3)];
-        let g = counting_sort_groups(&pairs, 1);
+        let g = counting_sort_groups(&[0u32, 0, 0], &[1u32, 2, 3], 1);
         assert_eq!(g.keys, vec![0]);
         assert_eq!(g.group(0).1, &[1, 2, 3]);
     }
@@ -121,19 +132,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside dense key space")]
     fn rejects_out_of_range_keys() {
-        counting_sort_groups(&[(5u32, ())], 5);
+        counting_sort_groups(&[5u32], &[()], 5);
     }
 
     #[test]
     fn matches_btreemap_reference() {
         use std::collections::BTreeMap;
         // Pseudo-random but deterministic input.
-        let pairs: Vec<(u32, u64)> = (0..1000u64)
-            .map(|i| (((i * 2654435761) % 97) as u32, i))
+        let keys: Vec<u32> = (0..1000u64)
+            .map(|i| ((i * 2654435761) % 97) as u32)
             .collect();
-        let g = counting_sort_groups(&pairs, 97);
+        let vals: Vec<u64> = (0..1000u64).collect();
+        let g = counting_sort_groups(&keys, &vals, 97);
         let mut reference: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
-        for &(k, v) in &pairs {
+        for (&k, &v) in keys.iter().zip(&vals) {
             reference.entry(k).or_default().push(v);
         }
         assert_eq!(g.num_groups(), reference.len());

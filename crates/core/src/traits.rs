@@ -26,12 +26,51 @@ pub trait Chunk: Send + Sync {
 /// Everything a map kernel execution produces: the homogeneous per-thread
 /// emissions (including sentinel placeholders) and the launch statistics the
 /// device cost model charges time from.
+///
+/// Emissions are structure-of-arrays — `keys[i]` and `values[i]` describe the
+/// same GPU thread — so a batched kernel launch
+/// ([`mgpu_gpu::kernel::launch_blocks`]) hands its output buffers over whole,
+/// with no per-thread tuple re-materialization.
 #[derive(Debug, Clone)]
 pub struct MapOutput<V> {
-    /// One pair per GPU thread, in block-major thread order. Threads with
-    /// nothing to contribute emit `(SENTINEL_KEY, V::default())`.
-    pub pairs: Vec<Pair<V>>,
+    /// One key per GPU thread, in block-major thread order. Threads with
+    /// nothing to contribute emit `SENTINEL_KEY`.
+    pub keys: Vec<Key>,
+    /// The value emitted by the thread that wrote `keys[i]`.
+    pub values: Vec<V>,
     pub stats: LaunchStats,
+}
+
+impl<V> MapOutput<V> {
+    /// Build from tuple-form emissions (migration helper for scalar mappers).
+    pub fn from_pairs(pairs: Vec<Pair<V>>, stats: LaunchStats) -> MapOutput<V> {
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            keys.push(k);
+            values.push(v);
+        }
+        MapOutput {
+            keys,
+            values,
+            stats,
+        }
+    }
+
+    /// Emissions (threads), including sentinel placeholders.
+    pub fn len(&self) -> usize {
+        debug_assert_eq!(self.keys.len(), self.values.len());
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterate emissions as `(key, &value)` lanes.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &V)> {
+        self.keys.iter().copied().zip(self.values.iter())
+    }
 }
 
 /// The Mapper: executes the (real) map kernel for each chunk.

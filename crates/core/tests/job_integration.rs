@@ -42,16 +42,16 @@ impl GpuMapper<Samples> for HistMapper {
             pairs.push((v as u32, 1u32));
             pairs.push((SENTINEL_KEY, 0)); // padding slot
         }
-        MapOutput {
+        MapOutput::from_pairs(
             pairs,
-            stats: LaunchStats {
+            LaunchStats {
                 threads: (chunk.values.len() * 2) as u64,
                 total_samples: chunk.values.len() as u64,
                 simt_samples: (chunk.values.len() * 2) as u64,
                 blocks: 1,
                 warps: (chunk.values.len() as u64 * 2).div_ceil(32),
             },
-        }
+        )
     }
 }
 
@@ -115,10 +115,10 @@ fn histogram_matches_reference_for_many_gpu_counts() {
     let expect = reference_histogram(&chunks);
     for gpus in [1u32, 2, 3, 5, 8, 16] {
         let out = run(gpus, &chunks, false);
-        for (k, count) in &out.groups {
-            assert_eq!(*count, expect[*k as usize], "bucket {k} at {gpus} GPUs");
+        for (k, count) in out.iter() {
+            assert_eq!(*count, expect[k as usize], "bucket {k} at {gpus} GPUs");
         }
-        assert_eq!(out.groups.len(), expect.iter().filter(|&&c| c > 0).count());
+        assert_eq!(out.len(), expect.iter().filter(|&&c| c > 0).count());
         assert!(out.stats.conserved());
         // Half the emissions were padding sentinels.
         assert_eq!(out.stats.sentinels, out.stats.kept);
@@ -130,7 +130,8 @@ fn combiner_preserves_results_and_cuts_traffic() {
     let chunks = make_chunks(8, 2000);
     let plain = run(4, &chunks, false);
     let combined = run(4, &chunks, true);
-    assert_eq!(plain.groups, combined.groups);
+    assert_eq!(plain.keys, combined.keys);
+    assert_eq!(plain.outs, combined.outs);
     assert!(combined.stats.combined_away > 0);
     assert!(combined.stats.wire_bytes_sent < plain.stats.wire_bytes_sent / 10);
 }
@@ -140,8 +141,8 @@ fn more_gpus_than_chunks_leaves_idle_mappers() {
     let chunks = make_chunks(3, 100);
     let out = run(8, &chunks, false);
     let expect = reference_histogram(&chunks);
-    for (k, count) in &out.groups {
-        assert_eq!(*count, expect[*k as usize]);
+    for (k, count) in out.iter() {
+        assert_eq!(*count, expect[k as usize]);
     }
     // 5 mappers had nothing to do; their records must be empty, not absent.
     assert_eq!(out.record.mappers.len(), 8);
@@ -158,7 +159,7 @@ fn more_gpus_than_chunks_leaves_idle_mappers() {
 fn empty_job_produces_empty_output() {
     let chunks: Vec<Samples> = Vec::new();
     let out = run(4, &chunks, false);
-    assert!(out.groups.is_empty());
+    assert!(out.is_empty());
     assert_eq!(out.stats.emitted, 0);
     // The trace still replays cleanly (reducers sort/reduce nothing).
     let spec = ClusterSpec::accelerator_cluster(4);
@@ -174,10 +175,10 @@ fn chunk_with_only_sentinels_is_harmless() {
     impl GpuMapper<Samples> for NullMapper {
         type Value = u32;
         fn map_chunk(&self, _gpu: GpuId, chunk: &Samples) -> MapOutput<u32> {
-            MapOutput {
-                pairs: vec![(SENTINEL_KEY, 0); chunk.values.len()],
-                stats: LaunchStats::default(),
-            }
+            MapOutput::from_pairs(
+                vec![(SENTINEL_KEY, 0); chunk.values.len()],
+                LaunchStats::default(),
+            )
         }
     }
     let chunks = make_chunks(4, 64);
@@ -192,7 +193,7 @@ fn chunk_with_only_sentinels_is_harmless() {
         &spec,
         &config,
     );
-    assert!(out.groups.is_empty());
+    assert!(out.is_empty());
     assert_eq!(out.stats.kept, 0);
     assert_eq!(out.stats.sentinels, 4 * 64);
 }
@@ -213,8 +214,8 @@ fn tiny_batches_create_many_sends_but_same_result() {
         &spec,
         &config,
     );
-    for (k, count) in &out.groups {
-        assert_eq!(*count, expect[*k as usize]);
+    for (k, count) in out.iter() {
+        assert_eq!(*count, expect[k as usize]);
     }
     // At least one send per (chunk, reducer) with data.
     assert!(out.stats.batches >= 6);

@@ -7,6 +7,22 @@
 //! semantics exactly and additionally tallies per-thread sample counts so
 //! the device cost model can charge either flat throughput or
 //! divergence-aware (warp-max) time.
+//!
+//! Two execution models share one launch machinery:
+//!
+//! - **Scalar** ([`Kernel`] + [`launch`]): one virtual call per thread,
+//!   returning one `Out` per thread. Simple to write, pays per-thread
+//!   dispatch and tuple materialization on the hot path.
+//! - **Batched** ([`BlockKernel`] + [`launch_blocks`]): one call per *block*,
+//!   writing keys, values and per-thread sample tallies into caller-provided
+//!   structure-of-arrays slices ([`BlockOut`]). This lets a kernel hoist
+//!   per-block/per-row invariants out of the pixel loop and is the fast path
+//!   for the ray caster. Any scalar kernel emitting `(K, V)` runs unchanged
+//!   under the batched API via the [`Scalar`] compat adapter, with
+//!   bit-identical outputs and statistics.
+//!
+//! Both paths charge SIMT warp statistics through the same internal
+//! accumulator (`WarpAccum`), so the cost model cannot tell them apart.
 
 /// Threads per warp (NVIDIA Tesla-era SIMT width).
 pub const WARP_SIZE: usize = 32;
@@ -104,6 +120,41 @@ impl LaunchStats {
     }
 }
 
+/// Incremental SIMT warp accounting, shared by the scalar and batched launch
+/// paths so both charge divergence identically: lanes fill 32-wide warps in
+/// thread order, each warp costs `WARP_SIZE · max(lane samples)`, and a
+/// partial trailing warp still occupies all lanes.
+#[derive(Default)]
+struct WarpAccum {
+    warp_max: u64,
+    lane: usize,
+    warps: u64,
+    simt_samples: u64,
+}
+
+impl WarpAccum {
+    #[inline]
+    fn lane(&mut self, samples: u64) {
+        self.warp_max = self.warp_max.max(samples);
+        self.lane += 1;
+        if self.lane == WARP_SIZE {
+            self.warps += 1;
+            self.simt_samples += self.warp_max * WARP_SIZE as u64;
+            self.warp_max = 0;
+            self.lane = 0;
+        }
+    }
+
+    fn finish(mut self, stats: &mut LaunchStats) {
+        if self.lane > 0 {
+            self.warps += 1;
+            self.simt_samples += self.warp_max * WARP_SIZE as u64;
+        }
+        stats.warps += self.warps;
+        stats.simt_samples += self.simt_samples;
+    }
+}
+
 /// Result of a launch: outputs in block-major order (block id, then thread
 /// row-major within the block) plus statistics.
 #[derive(Debug)]
@@ -129,8 +180,7 @@ where
     let run_block = |block_id: usize, out_slice: &mut [K::Out]| -> LaunchStats {
         let bx = (block_id as u32) % config.grid.0;
         let by = (block_id as u32) / config.grid.0;
-        let mut warp_max = 0u64;
-        let mut lane = 0usize;
+        let mut acc = WarpAccum::default();
         let mut stats = LaunchStats {
             threads: tpb as u64,
             blocks: 1,
@@ -147,21 +197,10 @@ where
                 let out = kernel.thread(&mut ctx);
                 out_slice[(ty * config.block.0 + tx) as usize] = out;
                 stats.total_samples += ctx.samples;
-                warp_max = warp_max.max(ctx.samples);
-                lane += 1;
-                if lane == WARP_SIZE {
-                    stats.warps += 1;
-                    stats.simt_samples += warp_max * WARP_SIZE as u64;
-                    warp_max = 0;
-                    lane = 0;
-                }
+                acc.lane(ctx.samples);
             }
         }
-        if lane > 0 {
-            // Partial trailing warp still occupies all lanes in SIMT.
-            stats.warps += 1;
-            stats.simt_samples += warp_max * WARP_SIZE as u64;
-        }
+        acc.finish(&mut stats);
         stats
     };
 
@@ -197,6 +236,222 @@ where
         stats.merge(w);
     }
     LaunchOutput { outputs, stats }
+}
+
+/// Per-block context for a [`BlockKernel`]: which block is running and the
+/// block dimensions, from which the kernel derives thread coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCtx {
+    /// Block coordinates within the grid.
+    pub block: (u32, u32),
+    /// Block dimensions (`blockDim`).
+    pub dim: (u32, u32),
+}
+
+impl BlockCtx {
+    /// Global coordinates of thread `(tx, ty)` in this block:
+    /// `block * blockDim + thread`.
+    #[inline]
+    pub fn global(&self, tx: u32, ty: u32) -> (u32, u32) {
+        (
+            self.block.0 * self.dim.0 + tx,
+            self.block.1 * self.dim.1 + ty,
+        )
+    }
+
+    /// Flat output index of thread `(tx, ty)` (row-major within the block).
+    #[inline]
+    pub fn index(&self, tx: u32, ty: u32) -> usize {
+        (ty * self.dim.0 + tx) as usize
+    }
+}
+
+/// Caller-provided structure-of-arrays output for one block: one key, one
+/// value and one sample tally per thread, row-major within the block. Every
+/// slice is exactly `threads_per_block` long and pre-initialized to
+/// `Default`/zero, so a kernel only has to write the lanes it has something
+/// to say about.
+pub struct BlockOut<'a, K, V> {
+    pub keys: &'a mut [K],
+    pub values: &'a mut [V],
+    /// Per-thread work tallies — the batched equivalent of
+    /// [`ThreadCtx::tally`]; these feed the same SIMT warp accounting.
+    pub samples: &'a mut [u64],
+}
+
+/// A batched device kernel: one call per block, writing into
+/// structure-of-arrays output slices instead of returning per-thread tuples.
+///
+/// This is the fast path — a kernel can hoist per-block and per-row
+/// invariants out of the inner loop and keep reusable scratch across the
+/// block. The homogeneous-emission restriction still holds: every thread
+/// owns exactly one `(key, value, samples)` lane in [`BlockOut`].
+///
+/// Scalar [`Kernel`]s emitting `(K, V)` run unchanged under this API via the
+/// [`Scalar`] adapter.
+pub trait BlockKernel: Sync {
+    type Key: Send + Copy + Default;
+    type Value: Send + Copy + Default;
+
+    fn run_block(&self, ctx: &BlockCtx, out: BlockOut<'_, Self::Key, Self::Value>);
+}
+
+/// Result of [`launch_blocks`]: structure-of-arrays outputs in block-major
+/// order (block id, then thread row-major within the block) plus statistics.
+/// `keys[i]`, `values[i]` and `samples[i]` describe the same thread.
+#[derive(Debug)]
+pub struct BlockOutput<K, V> {
+    pub keys: Vec<K>,
+    pub values: Vec<V>,
+    /// Per-thread sample tallies, same order as `keys`/`values`.
+    pub samples: Vec<u64>,
+    pub stats: LaunchStats,
+}
+
+/// Execute a [`BlockKernel`] over `config`, using up to `parallelism` host
+/// threads (block-level parallelism, matching how blocks map to SMs).
+///
+/// Identical chunking, output order and SIMT accounting as [`launch`]: for
+/// any scalar kernel `k`, `launch_blocks(&Scalar(k), ..)` produces the same
+/// outputs and the same [`LaunchStats`] as `launch(&k, ..)`.
+pub fn launch_blocks<B: BlockKernel>(
+    kernel: &B,
+    config: LaunchConfig,
+    parallelism: usize,
+) -> BlockOutput<B::Key, B::Value> {
+    let tpb = config.threads_per_block();
+    let blocks = config.blocks();
+    let total = blocks * tpb;
+    let mut keys = vec![B::Key::default(); total];
+    let mut values = vec![B::Value::default(); total];
+    let mut samples = vec![0u64; total];
+
+    let run_block = |block_id: usize,
+                     keys: &mut [B::Key],
+                     values: &mut [B::Value],
+                     samples: &mut [u64]|
+     -> LaunchStats {
+        let ctx = BlockCtx {
+            block: (
+                (block_id as u32) % config.grid.0,
+                (block_id as u32) / config.grid.0,
+            ),
+            dim: config.block,
+        };
+        kernel.run_block(
+            &ctx,
+            BlockOut {
+                keys,
+                values,
+                samples,
+            },
+        );
+        let mut stats = LaunchStats {
+            threads: tpb as u64,
+            blocks: 1,
+            ..LaunchStats::default()
+        };
+        let mut acc = WarpAccum::default();
+        for &s in samples.iter() {
+            stats.total_samples += s;
+            acc.lane(s);
+        }
+        acc.finish(&mut stats);
+        stats
+    };
+
+    let workers = parallelism.max(1).min(blocks.max(1));
+    if workers <= 1 || blocks <= 1 {
+        let mut stats = LaunchStats::default();
+        for block_id in 0..blocks {
+            let lo = block_id * tpb;
+            stats.merge(&run_block(
+                block_id,
+                &mut keys[lo..lo + tpb],
+                &mut values[lo..lo + tpb],
+                &mut samples[lo..lo + tpb],
+            ));
+        }
+        return BlockOutput {
+            keys,
+            values,
+            samples,
+            stats,
+        };
+    }
+
+    let blocks_per_worker = blocks.div_ceil(workers);
+    let per_worker = blocks_per_worker * tpb;
+    let mut worker_stats: Vec<LaunchStats> = vec![LaunchStats::default(); workers];
+    std::thread::scope(|scope| {
+        for ((((wi, kc), vc), sc), wstats) in keys
+            .chunks_mut(per_worker)
+            .enumerate()
+            .zip(values.chunks_mut(per_worker))
+            .zip(samples.chunks_mut(per_worker))
+            .zip(worker_stats.iter_mut())
+        {
+            let run_block = &run_block;
+            scope.spawn(move || {
+                let first_block = wi * blocks_per_worker;
+                for (i, ((kb, vb), sb)) in kc
+                    .chunks_mut(tpb)
+                    .zip(vc.chunks_mut(tpb))
+                    .zip(sc.chunks_mut(tpb))
+                    .enumerate()
+                {
+                    wstats.merge(&run_block(first_block + i, kb, vb, sb));
+                }
+            });
+        }
+    });
+
+    let mut stats = LaunchStats::default();
+    for w in &worker_stats {
+        stats.merge(w);
+    }
+    BlockOutput {
+        keys,
+        values,
+        samples,
+        stats,
+    }
+}
+
+/// Compatibility adapter: runs a scalar [`Kernel`] emitting `(K, V)` pairs
+/// under the batched [`BlockKernel`] API, thread by thread.
+///
+/// `launch_blocks(&Scalar(k), config, p)` is bit-identical (outputs and
+/// statistics) to `launch(&k, config, p)` — this is the migration path for
+/// kernels that have not been rewritten for block execution.
+pub struct Scalar<T>(pub T);
+
+impl<T, K, V> BlockKernel for Scalar<T>
+where
+    T: Kernel<Out = (K, V)>,
+    K: Send + Copy + Default,
+    V: Send + Copy + Default,
+{
+    type Key = K;
+    type Value = V;
+
+    fn run_block(&self, ctx: &BlockCtx, out: BlockOut<'_, K, V>) {
+        for ty in 0..ctx.dim.1 {
+            for tx in 0..ctx.dim.0 {
+                let mut tctx = ThreadCtx {
+                    block: ctx.block,
+                    thread: (tx, ty),
+                    global: ctx.global(tx, ty),
+                    samples: 0,
+                };
+                let (k, v) = self.0.thread(&mut tctx);
+                let i = ctx.index(tx, ty);
+                out.keys[i] = k;
+                out.values[i] = v;
+                out.samples[i] = tctx.samples;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -328,5 +583,99 @@ mod tests {
         );
         assert_eq!(out.stats.total_samples, 8);
         assert_eq!(out.stats.simt_samples, 32);
+    }
+
+    /// A scalar-only kernel (no BlockKernel impl anywhere) must keep working
+    /// through `launch` AND run bit-identically under `launch_blocks` via the
+    /// `Scalar` compat adapter.
+    #[test]
+    fn scalar_only_kernel_launches_via_compat_adapter() {
+        struct Legacy;
+        impl Kernel for Legacy {
+            type Out = (u32, u64);
+            fn thread(&self, ctx: &mut ThreadCtx) -> (u32, u64) {
+                // Uneven tallies so warp accounting is exercised.
+                ctx.tally((ctx.global.0 as u64 * 7 + ctx.global.1 as u64) % 13);
+                (
+                    ctx.global.1 * 1000 + ctx.global.0,
+                    (ctx.block.0 + ctx.block.1) as u64,
+                )
+            }
+        }
+        let c = LaunchConfig::cover(40, 17);
+        let scalar = launch(&Legacy, c, 1);
+        let batched = launch_blocks(&Scalar(Legacy), c, 1);
+        assert_eq!(batched.keys.len(), scalar.outputs.len());
+        for (i, (k, v)) in scalar.outputs.iter().enumerate() {
+            assert_eq!(batched.keys[i], *k);
+            assert_eq!(batched.values[i], *v);
+        }
+        assert_eq!(batched.stats, scalar.stats);
+    }
+
+    #[test]
+    fn launch_blocks_serial_and_parallel_agree() {
+        let c = LaunchConfig::cover(64, 48);
+        let a = launch_blocks(&Scalar(ProbeKernel), c, 1);
+        let b = launch_blocks(&Scalar(ProbeKernel), c, 4);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn direct_block_kernel_matches_scalar_equivalent() {
+        /// Block-wise rewrite of `ProbeKernel`: same emissions, written SoA.
+        struct BlockProbe;
+        impl BlockKernel for BlockProbe {
+            type Key = u32;
+            type Value = u32;
+            fn run_block(&self, ctx: &BlockCtx, out: BlockOut<'_, u32, u32>) {
+                for ty in 0..ctx.dim.1 {
+                    for tx in 0..ctx.dim.0 {
+                        let g = ctx.global(tx, ty);
+                        let i = ctx.index(tx, ty);
+                        out.keys[i] = g.0;
+                        out.values[i] = g.1;
+                        out.samples[i] = g.0 as u64;
+                    }
+                }
+            }
+        }
+        let c = LaunchConfig::cover(100, 33);
+        let reference = launch(&ProbeKernel, c, 1);
+        for parallelism in [1, 3] {
+            let got = launch_blocks(&BlockProbe, c, parallelism);
+            for (i, (k, v)) in reference.outputs.iter().enumerate() {
+                assert_eq!((got.keys[i], got.values[i]), (*k, *v));
+            }
+            assert_eq!(got.stats, reference.stats);
+        }
+    }
+
+    #[test]
+    fn batched_divergence_accounting_matches_scalar() {
+        // Spike pattern through the compat adapter: SIMT charging must be
+        // identical to the scalar path (warp max over 32 thread-order lanes,
+        // partial trailing warp charged fully).
+        struct Spiky;
+        impl Kernel for Spiky {
+            type Out = (u32, u8);
+            fn thread(&self, ctx: &mut ThreadCtx) -> (u32, u8) {
+                if ctx.global.0.is_multiple_of(32) {
+                    ctx.tally(100);
+                }
+                (ctx.global.0, 0)
+            }
+        }
+        let c = LaunchConfig {
+            grid: (2, 1),
+            block: (40, 1), // 40 threads: one full warp + one partial
+        };
+        let scalar = launch(&Spiky, c, 1);
+        let batched = launch_blocks(&Scalar(Spiky), c, 1);
+        assert_eq!(batched.stats, scalar.stats);
+        assert_eq!(batched.stats.warps, 4);
     }
 }

@@ -1,13 +1,17 @@
 //! # mgpu-gpu — the software GPU
 //!
 //! A CUDA-class device model for the reproduction: real computation, modeled
-//! time. Kernels written against [`kernel::Kernel`] execute for real on host
-//! threads with CUDA grid/block/thread index semantics; [`texture::Texture3D`]
-//! reproduces `tex3D` trilinear filtering with clamp addressing;
-//! [`vram::VramAllocator`] enforces the paper's "map task must fit in GPU
-//! memory" restriction; and [`device::KernelCostModel`] converts launch
-//! statistics (including SIMT warp divergence) into simulated time on a
-//! Tesla C1060-class part.
+//! time. Kernels execute for real on host threads with CUDA grid/block/thread
+//! index semantics, in one of two execution models: scalar per-thread
+//! dispatch ([`kernel::Kernel`] + [`kernel::launch`]) or batched per-block
+//! execution into structure-of-arrays buffers ([`kernel::BlockKernel`] +
+//! [`kernel::launch_blocks`], the hot path — scalar kernels ride along via
+//! the [`kernel::Scalar`] adapter). [`texture::Texture3D`] reproduces `tex3D`
+//! trilinear filtering with clamp addressing (with [`texture::Sampler3D`] as
+//! the resolved inner-loop view); [`vram::VramAllocator`] enforces the
+//! paper's "map task must fit in GPU memory" restriction; and
+//! [`device::KernelCostModel`] converts launch statistics (including SIMT
+//! warp divergence) into simulated time on a Tesla C1060-class part.
 
 pub mod device;
 pub mod kernel;
@@ -15,6 +19,9 @@ pub mod texture;
 pub mod vram;
 
 pub use device::{Device, DeviceProps, KernelCostModel, KernelTimingMode};
-pub use kernel::{launch, Kernel, LaunchConfig, LaunchOutput, LaunchStats, ThreadCtx, WARP_SIZE};
-pub use texture::{Texture1D, Texture3D};
+pub use kernel::{
+    launch, launch_blocks, BlockCtx, BlockKernel, BlockOut, BlockOutput, Kernel, LaunchConfig,
+    LaunchOutput, LaunchStats, Scalar, ThreadCtx, WARP_SIZE,
+};
+pub use texture::{Sampler1D, Sampler3D, Texture1D, Texture3D};
 pub use vram::{AllocId, OutOfMemory, VramAllocator};

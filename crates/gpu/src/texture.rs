@@ -82,6 +82,120 @@ impl Texture3D {
         let y1v = x01 + (x11 - x01) * ty;
         y0v + (y1v - y0v) * tz
     }
+
+    /// A resolved sampling view for hot loops: same filtering semantics as
+    /// [`Texture3D::sample`] (bit-identical results), without per-sample
+    /// `Arc` indirection, and with a bounds-check-free interior fast path.
+    pub fn sampler(&self) -> Sampler3D<'_> {
+        Sampler3D {
+            data: &self.data,
+            dims: self.dims,
+            // Interior-test upper bounds (`dims − 1` as f32) and row/slice
+            // strides, resolved once so the per-sample test is 6 compares.
+            hi: [
+                self.dims[0] as f32 - 1.0,
+                self.dims[1] as f32 - 1.0,
+                self.dims[2] as f32 - 1.0,
+            ],
+            sx: self.dims[0],
+            sy: self.dims[1] * self.dims[0],
+        }
+    }
+}
+
+/// A borrowed, resolved view over a [`Texture3D`] for per-sample inner loops.
+///
+/// Construction ([`Texture3D::sampler`]) resolves the voxel slice and the
+/// dimension comparisons once; [`Sampler3D::sample`] then takes an interior
+/// fast path (single base index, eight unchecked loads) whenever all eight
+/// taps are in-bounds, falling back to the clamped fetch at the borders.
+/// Every float operation and its order matches [`Texture3D::sample`]
+/// exactly, so results are bit-identical everywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler3D<'a> {
+    data: &'a [f32],
+    dims: [usize; 3],
+    /// `dims − 1` per axis as f32: the interior fast-path upper bounds.
+    hi: [f32; 3],
+    /// Row stride (`dims[0]`).
+    sx: usize,
+    /// Slice stride (`dims[1] · dims[0]`).
+    sy: usize,
+}
+
+impl Sampler3D<'_> {
+    /// Nearest texel fetch with clamp addressing — same as
+    /// [`Texture3D::fetch`].
+    #[inline]
+    pub fn fetch(&self, x: i64, y: i64, z: i64) -> f32 {
+        let cx = x.clamp(0, self.dims[0] as i64 - 1) as usize;
+        let cy = y.clamp(0, self.dims[1] as i64 - 1) as usize;
+        let cz = z.clamp(0, self.dims[2] as i64 - 1) as usize;
+        self.data[(cz * self.dims[1] + cy) * self.dims[0] + cx]
+    }
+
+    /// Trilinear sample, bit-identical to [`Texture3D::sample`].
+    #[inline(always)]
+    pub fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let fx = x - 0.5;
+        let fy = y - 0.5;
+        let fz = z - 0.5;
+        let x0 = fx.floor();
+        let y0 = fy.floor();
+        let z0 = fz.floor();
+        let tx = fx - x0;
+        let ty = fy - y0;
+        let tz = fz - z0;
+
+        let (c000, c100, c010, c110, c001, c101, c011, c111);
+        // Interior fast path: all 8 taps in-bounds from one base index. The
+        // float comparisons reject NaN and the ±2³¹ fringe, so the `as usize`
+        // casts below are exact.
+        if x0 >= 0.0
+            && y0 >= 0.0
+            && z0 >= 0.0
+            && x0 < self.hi[0]
+            && y0 < self.hi[1]
+            && z0 < self.hi[2]
+        {
+            let ix = x0 as usize;
+            let iy = y0 as usize;
+            let iz = z0 as usize;
+            let sx = self.sx;
+            let sy = self.sy;
+            let base = iz * sy + iy * sx + ix;
+            // SAFETY: ix ≤ dims[0]−2, iy ≤ dims[1]−2, iz ≤ dims[2]−2 (from
+            // the comparisons above), so base + sy + sx + 1 < data.len().
+            unsafe {
+                c000 = *self.data.get_unchecked(base);
+                c100 = *self.data.get_unchecked(base + 1);
+                c010 = *self.data.get_unchecked(base + sx);
+                c110 = *self.data.get_unchecked(base + sx + 1);
+                c001 = *self.data.get_unchecked(base + sy);
+                c101 = *self.data.get_unchecked(base + sy + 1);
+                c011 = *self.data.get_unchecked(base + sy + sx);
+                c111 = *self.data.get_unchecked(base + sy + sx + 1);
+            }
+        } else {
+            let (ix, iy, iz) = (x0 as i64, y0 as i64, z0 as i64);
+            c000 = self.fetch(ix, iy, iz);
+            c100 = self.fetch(ix + 1, iy, iz);
+            c010 = self.fetch(ix, iy + 1, iz);
+            c110 = self.fetch(ix + 1, iy + 1, iz);
+            c001 = self.fetch(ix, iy, iz + 1);
+            c101 = self.fetch(ix + 1, iy, iz + 1);
+            c011 = self.fetch(ix, iy + 1, iz + 1);
+            c111 = self.fetch(ix + 1, iy + 1, iz + 1);
+        }
+
+        let x00 = c000 + (c100 - c000) * tx;
+        let x10 = c010 + (c110 - c010) * tx;
+        let x01 = c001 + (c101 - c001) * tx;
+        let x11 = c011 + (c111 - c011) * tx;
+        let y0v = x00 + (x10 - x00) * ty;
+        let y1v = x01 + (x11 - x01) * ty;
+        y0v + (y1v - y0v) * tz
+    }
 }
 
 /// A 1-D RGBA texture: the transfer-function lookup table.
@@ -120,6 +234,68 @@ impl Texture1D {
         let i1 = (x0 as i64 + 1).clamp(0, n as i64 - 1) as usize;
         let a = self.texels[i0];
         let b = self.texels[i1];
+        [
+            a[0] + (b[0] - a[0]) * t,
+            a[1] + (b[1] - a[1]) * t,
+            a[2] + (b[2] - a[2]) * t,
+            a[3] + (b[3] - a[3]) * t,
+        ]
+    }
+
+    /// A resolved sampling view for hot loops — bit-identical lookups with an
+    /// interior fast path that skips the clamps.
+    pub fn sampler(&self) -> Sampler1D<'_> {
+        Sampler1D {
+            texels: &self.texels,
+            nf: self.texels.len() as f32,
+            hi: self.texels.len() as f32 - 1.0,
+        }
+    }
+}
+
+/// A borrowed, resolved view over a [`Texture1D`] for per-sample inner loops
+/// (the transfer-function LUT lookup). Bit-identical to
+/// [`Texture1D::sample`]; interior lookups skip the index clamps.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler1D<'a> {
+    texels: &'a [[f32; 4]],
+    nf: f32,
+    /// `nf − 1`: the interior fast-path upper bound, resolved once.
+    hi: f32,
+}
+
+impl Sampler1D<'_> {
+    /// The two texels and interpolation fraction [`Sampler1D::sample`] would
+    /// blend for `u`. Hot loops use this to lerp the alpha channel first and
+    /// skip the color lerps when the sample is fully transparent — the color
+    /// expressions are unchanged when they do run, so results stay
+    /// bit-identical to [`Texture1D::sample`].
+    #[inline(always)]
+    pub fn taps(&self, u: f32) -> (&[f32; 4], &[f32; 4], f32) {
+        let x = u.clamp(0.0, 1.0) * self.nf - 0.5;
+        let x0 = x.floor();
+        let t = x - x0;
+        let (i0, i1);
+        // Interior fast path; the comparisons reject the end texels where the
+        // clamps actually bite.
+        if x0 >= 0.0 && x0 < self.hi {
+            i0 = x0 as usize;
+            i1 = i0 + 1;
+        } else {
+            let n = self.texels.len() as i64;
+            i0 = (x0 as i64).clamp(0, n - 1) as usize;
+            i1 = (x0 as i64 + 1).clamp(0, n - 1) as usize;
+        }
+        // SAFETY: both branches produce i0, i1 < texels.len().
+        let a = unsafe { self.texels.get_unchecked(i0) };
+        let b = unsafe { self.texels.get_unchecked(i1) };
+        (a, b, t)
+    }
+
+    /// Linearly filtered lookup, bit-identical to [`Texture1D::sample`].
+    #[inline(always)]
+    pub fn sample(&self, u: f32) -> [f32; 4] {
+        let (a, b, t) = self.taps(u);
         [
             a[0] + (b[0] - a[0]) * t,
             a[1] + (b[1] - a[1]) * t,
@@ -214,5 +390,60 @@ mod tests {
     #[should_panic(expected = "does not match dims")]
     fn rejects_mismatched_data() {
         Texture3D::new([2, 2, 2], vec![0.0; 7]);
+    }
+
+    #[test]
+    fn sampler3d_bit_identical_to_texture_everywhere() {
+        // Non-linear data so any interpolation difference shows up.
+        let dims = [5usize, 4, 3];
+        let data: Vec<f32> = (0..dims[0] * dims[1] * dims[2])
+            .map(|i| ((i * 2654435761) % 1000) as f32 / 999.0)
+            .collect();
+        let t = Texture3D::new(dims, data);
+        let s = t.sampler();
+        // Sweep interior, borders, outside, and sub-texel positions.
+        let mut coords = vec![-2.0f32, -0.49, 0.0, 0.25, 0.5, 0.75, 1.0, 1.5];
+        for i in 0..20 {
+            coords.push(i as f32 * 0.3);
+        }
+        for &x in &coords {
+            for &y in &coords {
+                for &z in &coords {
+                    assert_eq!(
+                        t.sample(x, y, z).to_bits(),
+                        s.sample(x, y, z).to_bits(),
+                        "diverged at ({x},{y},{z})"
+                    );
+                }
+            }
+        }
+        for f in [-3i64, 0, 2, 7] {
+            assert_eq!(t.fetch(f, f, f).to_bits(), s.fetch(f, f, f).to_bits());
+        }
+    }
+
+    #[test]
+    fn sampler1d_bit_identical_to_texture_everywhere() {
+        let texels: Vec<[f32; 4]> = (0..256)
+            .map(|i| {
+                let v = i as f32 / 255.0;
+                [v, v * v, 1.0 - v, (v * 7.3).sin().abs()]
+            })
+            .collect();
+        let t = Texture1D::new(texels);
+        let s = t.sampler();
+        for i in -50..1050 {
+            let u = i as f32 / 1000.0;
+            let a = t.sample(u);
+            let b = s.sample(u);
+            assert_eq!(a.map(f32::to_bits), b.map(f32::to_bits), "diverged at {u}");
+        }
+        // Single-texel LUT exercises the clamp path exclusively.
+        let one = Texture1D::new(vec![[0.5, 0.25, 0.125, 1.0]]);
+        let os = one.sampler();
+        for i in 0..10 {
+            let u = i as f32 / 9.0;
+            assert_eq!(one.sample(u), os.sample(u));
+        }
     }
 }

@@ -13,14 +13,28 @@
 //!   volume was bricked;
 //! * half-open segment ownership (`t ∈ [t_enter, t_exit)`) means each sample
 //!   belongs to exactly one brick along the ray.
+//!
+//! The kernel implements **both** execution APIs of `mgpu-gpu`:
+//! [`Kernel`] is the retained scalar reference path (one virtual call per
+//! pixel, used by the equivalence oracles), and [`BlockKernel`] is the
+//! production path — per block it resolves the texture/LUT samplers once,
+//! hoists the camera-eye slab invariants ([`SlabTest`]) and the per-row
+//! image-plane coordinate, marches with the interior fast-path samplers,
+//! classifies alpha before color, tallies once per ray, and interleaves
+//! each row's rays two at a time to hide the sample chain's latency. Every
+//! value a ray computes is produced by the same float operations in the
+//! same order as the scalar path, so the `(Key, Fragment)` output and
+//! launch statistics are bit-identical (pinned by
+//! `tests/batched_equivalence.rs`).
 
-use mgpu_gpu::{Kernel, Texture1D, Texture3D, ThreadCtx};
+use mgpu_gpu::{BlockCtx, BlockKernel, BlockOut, Kernel, Texture1D, Texture3D, ThreadCtx};
 use mgpu_mapreduce::{Key, SENTINEL_KEY};
 
 use crate::camera::Camera;
 use crate::composite::accumulate;
 use crate::fragment::Fragment;
 use crate::math::Vec3;
+use crate::ray::SlabTest;
 
 /// Alpha below which a fragment is considered empty and discarded.
 pub const EMPTY_ALPHA: f32 = 1e-5;
@@ -73,6 +87,7 @@ impl Kernel for RayCastKernel<'_> {
         let mut k = (t0 / self.step - 0.5).ceil().max(0.0) as u64;
         let correct = self.needs_correction();
         let mut acc = [0f32; 4];
+        let mut samples = 0u64;
         loop {
             let t = (k as f32 + 0.5) * self.step;
             if t >= t1 {
@@ -84,7 +99,7 @@ impl Kernel for RayCastKernel<'_> {
                 p.y - self.store_origin.y,
                 p.z - self.store_origin.z,
             );
-            ctx.tally(1);
+            samples += 1;
             let rgba = self.lut.sample(v);
             let mut a = rgba[3];
             if correct && a > 0.0 {
@@ -98,6 +113,9 @@ impl Kernel for RayCastKernel<'_> {
             }
             k += 1;
         }
+        // One tally per ray (not per sample): same LaunchStats totals, far
+        // fewer context touches on the hot path.
+        ctx.tally(samples);
 
         if acc[3] <= EMPTY_ALPHA {
             // "Ray fragments with no contributions are discarded."
@@ -112,6 +130,189 @@ impl Kernel for RayCastKernel<'_> {
                 exit: t1,
             },
         )
+    }
+}
+
+/// The batched production path: same rays, same samples, same float ops as
+/// the scalar impl above — restructured so per-launch state (samplers, slab
+/// invariants, opacity-correction flag) is resolved once per block and the
+/// per-row image-plane coordinate once per row. Rays are marched **two at a
+/// time**: a single march is one serial dependency chain (position → fetch →
+/// classify → blend), so interleaving two independent chains hides most of
+/// each other's latency — the one-core analog of the warp-level latency
+/// hiding the paper gets from the hardware scheduler. Interleaving reorders
+/// nothing within a ray, so output stays bit-identical. Emits straight into
+/// the launch's SoA buffers; sample counts are tallied once per ray.
+impl BlockKernel for RayCastKernel<'_> {
+    type Key = Key;
+    type Value = Fragment;
+
+    fn run_block(&self, ctx: &BlockCtx, out: BlockOut<'_, Key, Fragment>) {
+        let mctx = MarchCtx {
+            smp: self.texture.sampler(),
+            lut: self.lut.sampler(),
+            step: self.step,
+            correct: self.needs_correction(),
+            early_term: self.early_term,
+            ox: self.store_origin.x,
+            oy: self.store_origin.y,
+            oz: self.store_origin.z,
+        };
+        let slabs = SlabTest::new(self.camera.eye, self.core_lo, self.core_hi);
+        let (w, h) = self.image;
+        let step = self.step;
+        let mut rowq: Vec<March> = Vec::with_capacity(ctx.dim.0 as usize);
+
+        for ty in 0..ctx.dim.1 {
+            let row = ctx.index(0, ty);
+            let py = self.offset.1 + ctx.block.1 * ctx.dim.1 + ty;
+            if py >= h {
+                // Whole row is padding below the image.
+                for tx in 0..ctx.dim.0 {
+                    out.keys[row + tx as usize] = SENTINEL_KEY;
+                }
+                continue;
+            }
+            let v = self.camera.ndc_v(py, h);
+
+            // Pass 1: intersect the row's rays, queue the survivors.
+            rowq.clear();
+            for tx in 0..ctx.dim.0 {
+                let i = row + tx as usize;
+                out.keys[i] = SENTINEL_KEY;
+                let px = self.offset.0 + ctx.block.0 * ctx.dim.0 + tx;
+                if px >= w {
+                    continue; // padding column; value/samples stay default
+                }
+                let ray = self.camera.ray_from_ndc(self.camera.ndc_u(px, w, h), v);
+                let Some((t0, t1)) = slabs.intersect(ray.dir) else {
+                    continue;
+                };
+                rowq.push(March {
+                    lane: i,
+                    key: py * w + px,
+                    ray,
+                    t0,
+                    t1,
+                    k: (t0 / step - 0.5).ceil().max(0.0) as u64,
+                    acc: [0.0; 4],
+                    samples: 0,
+                    live: true,
+                });
+            }
+
+            // Pass 2: march the survivors, paired for latency hiding.
+            let mut pairs = rowq.chunks_exact_mut(2);
+            for pair in &mut pairs {
+                let (a, b) = pair.split_at_mut(1);
+                mctx.march_pair(&mut a[0], &mut b[0]);
+            }
+            if let [last] = pairs.into_remainder() {
+                mctx.march_solo(last);
+            }
+
+            for m in &rowq {
+                out.samples[m.lane] = m.samples;
+                if m.acc[3] > EMPTY_ALPHA {
+                    out.keys[m.lane] = m.key;
+                    out.values[m.lane] = Fragment {
+                        color: m.acc,
+                        depth: m.t0,
+                        exit: m.t1,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// One ray in flight through the batched march (`run_block` pass 2).
+struct March {
+    lane: usize,
+    key: Key,
+    ray: crate::ray::Ray,
+    t0: f32,
+    t1: f32,
+    /// Next global sample index.
+    k: u64,
+    acc: [f32; 4],
+    samples: u64,
+    /// False once early ray termination fires (bounds are checked per step).
+    live: bool,
+}
+
+/// Per-launch march invariants: the resolved samplers plus the scalar config
+/// the inner loop reads every sample.
+struct MarchCtx<'a> {
+    smp: mgpu_gpu::Sampler3D<'a>,
+    lut: mgpu_gpu::Sampler1D<'a>,
+    step: f32,
+    correct: bool,
+    early_term: f32,
+    ox: f32,
+    oy: f32,
+    oz: f32,
+}
+
+impl MarchCtx<'_> {
+    /// Take one sample at parametric distance `t` (caller has checked
+    /// `t < t1`): exactly the per-sample float ops of the scalar
+    /// [`Kernel::thread`] path, in the same order. The color lerps only run
+    /// for samples that contribute — identical expressions when they do.
+    #[inline(always)]
+    fn sample_step(&self, m: &mut March, t: f32) {
+        let p = m.ray.at(t);
+        let val = self.smp.sample(p.x - self.ox, p.y - self.oy, p.z - self.oz);
+        m.samples += 1;
+        let (c0, c1, f) = self.lut.taps(val);
+        let mut a = c0[3] + (c1[3] - c0[3]) * f;
+        if self.correct && a > 0.0 {
+            a = 1.0 - (1.0 - a).powf(self.step);
+        }
+        if a > 0.0 {
+            let rgb = [
+                c0[0] + (c1[0] - c0[0]) * f,
+                c0[1] + (c1[1] - c0[1]) * f,
+                c0[2] + (c1[2] - c0[2]) * f,
+            ];
+            accumulate(&mut m.acc, rgb, a);
+            if m.acc[3] >= self.early_term {
+                m.live = false;
+                return;
+            }
+        }
+        m.k += 1;
+    }
+
+    /// March one ray to its exit (or early termination).
+    #[inline(always)]
+    fn march_solo(&self, m: &mut March) {
+        while m.live {
+            let t = (m.k as f32 + 0.5) * self.step;
+            if t >= m.t1 {
+                break; // half-open ownership: t1 belongs to the next brick
+            }
+            self.sample_step(m, t);
+        }
+    }
+
+    /// March two rays interleaved while both are active — two independent
+    /// dependency chains in flight — then finish the survivor alone. Each
+    /// ray still takes its own samples in its own order, so the result is
+    /// bit-identical to two solo marches.
+    #[inline(always)]
+    fn march_pair(&self, a: &mut March, b: &mut March) {
+        while a.live && b.live {
+            let ta = (a.k as f32 + 0.5) * self.step;
+            let tb = (b.k as f32 + 0.5) * self.step;
+            if ta >= a.t1 || tb >= b.t1 {
+                break;
+            }
+            self.sample_step(a, ta);
+            self.sample_step(b, tb);
+        }
+        self.march_solo(a);
+        self.march_solo(b);
     }
 }
 

@@ -1,14 +1,37 @@
 //! The rendering Mapper: wires [`RenderBrick`]s through the ray-cast kernel.
 
+use std::sync::{Arc, OnceLock};
+
 use mgpu_cluster::GpuId;
-use mgpu_gpu::{launch, LaunchConfig, LaunchStats, Texture1D, Texture3D};
+use mgpu_gpu::{launch_blocks, LaunchConfig, LaunchStats, Texture1D, Texture3D};
 use mgpu_mapreduce::{GpuMapper, MapOutput};
+use mgpu_obs::{Counter, Histogram};
 
 use crate::brick::RenderBrick;
 use crate::camera::Scene;
 use crate::fragment::Fragment;
 use crate::kernel::RayCastKernel;
 use crate::math::vec3;
+
+/// Kernel-level observability: how many blocks each launch dispatched and
+/// the per-ray sample-count distribution (the quantity the paper's cost
+/// model charges for). Registered once in the global registry so `obs_top`
+/// and STATS v2 surface them alongside the renderer stage timings.
+struct MapperObs {
+    kernel_blocks: Arc<Counter>,
+    samples_per_ray: Arc<Histogram>,
+}
+
+fn obs() -> &'static MapperObs {
+    static OBS: OnceLock<MapperObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = mgpu_obs::global();
+        MapperObs {
+            kernel_blocks: reg.counter("volren.kernel.blocks"),
+            samples_per_ray: reg.histogram("volren.samples_per_ray"),
+        }
+    })
+}
 
 /// Maps bricks to ray fragments. One instance is shared by all mapper
 /// threads (it is stateless per GPU beyond the scene constants, which is
@@ -64,13 +87,14 @@ impl GpuMapper<RenderBrick> for VolumeMapper {
         else {
             // Off-screen brick: nothing to launch, nothing emitted.
             return MapOutput {
-                pairs: Vec::new(),
+                keys: Vec::new(),
+                values: Vec::new(),
                 stats: LaunchStats::default(),
             };
         };
 
         let data = brick.voxels();
-        let texture = Texture3D::from_shared(data.store_dims, std::sync::Arc::clone(&data.voxels));
+        let texture = Texture3D::from_shared(data.store_dims, Arc::clone(&data.voxels));
         let (core_lo, core_hi) = brick.core_box();
         let kernel = RayCastKernel {
             camera: &self.scene.camera,
@@ -88,13 +112,25 @@ impl GpuMapper<RenderBrick> for VolumeMapper {
             step: self.step,
             early_term: self.early_term,
         };
-        let out = launch(
+        let out = launch_blocks(
             &kernel,
             LaunchConfig::cover(x1 - x0, y1 - y0),
             self.kernel_parallelism,
         );
+
+        let o = obs();
+        o.kernel_blocks.add(out.stats.blocks);
+        for &n in &out.samples {
+            if n > 0 {
+                o.samples_per_ray.record(n);
+            }
+        }
+
+        // SoA columns move straight into the MapReduce pipeline — no tuple
+        // re-materialization between kernel and partitioner.
         MapOutput {
-            pairs: out.outputs,
+            keys: out.keys,
+            values: out.values,
             stats: out.stats,
         }
     }
@@ -134,10 +170,10 @@ mod tests {
         let mut total_kept = 0usize;
         for b in &bricks {
             let out = mapper.map_chunk(GpuId(0), b);
-            assert_eq!(out.pairs.len() as u64, out.stats.threads);
-            for (k, f) in &out.pairs {
-                if *k != SENTINEL_KEY {
-                    assert!(*k < 128 * 128);
+            assert_eq!(out.len() as u64, out.stats.threads);
+            for (k, f) in out.iter() {
+                if k != SENTINEL_KEY {
+                    assert!(k < 128 * 128);
                     assert!(f.color[3] > 0.0);
                     total_kept += 1;
                 }

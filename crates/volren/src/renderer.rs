@@ -5,7 +5,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use mgpu_cluster::ClusterSpec;
-use mgpu_mapreduce::{build_trace, run_job, CostBook, JobConfig, JobStats, Key};
+use mgpu_mapreduce::{build_trace, run_job, CostBook, JobConfig, JobStats};
 use mgpu_obs::{trace, Histogram};
 use mgpu_sim::{account, simulate, PhaseBreakdown, RunAccounting, SimDuration};
 use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, StoreSnapshot, Volume};
@@ -330,12 +330,7 @@ pub fn render_planned(
         ),
     };
 
-    let image = stitch(
-        &output.groups as &[(Key, [f32; 4])],
-        width,
-        height,
-        scene.background,
-    );
+    let image = stitch(&output.keys, &output.outs, width, height, scene.background);
     obs()
         .composite_ns
         .record_duration(composite_start.elapsed());

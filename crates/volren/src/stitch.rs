@@ -10,11 +10,20 @@ use crate::composite::composite_sorted;
 use crate::image::Image;
 
 /// Build the final image: reduced pixels land at their keys; pixels no
-/// fragment reached show the pure background.
-pub fn stitch(groups: &[(Key, [f32; 4])], width: u32, height: u32, background: [f32; 4]) -> Image {
+/// fragment reached show the pure background. Takes the job output's SoA
+/// columns (`keys[i]` pairs with `colors[i]`) directly — no tuple
+/// re-materialization after the reduce.
+pub fn stitch(
+    keys: &[Key],
+    colors: &[[f32; 4]],
+    width: u32,
+    height: u32,
+    background: [f32; 4],
+) -> Image {
+    assert_eq!(keys.len(), colors.len(), "SoA column lengths differ");
     let bg = composite_sorted(&[], background);
     let mut img = Image::filled(width, height, bg);
-    for &(key, color) in groups {
+    for (&key, &color) in keys.iter().zip(colors) {
         assert!(
             key < width * height,
             "reduced key {key} outside {width}x{height} image"
@@ -30,8 +39,9 @@ mod tests {
 
     #[test]
     fn places_pixels_and_fills_background() {
-        let groups = vec![(0u32, [1.0, 0.0, 0.0, 1.0]), (5, [0.0, 1.0, 0.0, 1.0])];
-        let img = stitch(&groups, 3, 2, [0.2, 0.2, 0.2, 1.0]);
+        let keys = [0u32, 5];
+        let colors = [[1.0, 0.0, 0.0, 1.0], [0.0, 1.0, 0.0, 1.0]];
+        let img = stitch(&keys, &colors, 3, 2, [0.2, 0.2, 0.2, 1.0]);
         assert_eq!(img.get(0, 0), [1.0, 0.0, 0.0, 1.0]);
         assert_eq!(img.get(2, 1), [0.0, 1.0, 0.0, 1.0]);
         let bg = img.get(1, 0);
@@ -41,6 +51,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside")]
     fn rejects_out_of_image_keys() {
-        stitch(&[(6, [0.0; 4])], 3, 2, [0.0; 4]);
+        stitch(&[6], &[[0.0; 4]], 3, 2, [0.0; 4]);
     }
 }

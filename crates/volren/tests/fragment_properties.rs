@@ -34,9 +34,9 @@ fn fragments_by_pixel(
     for id in 0..store.grid().brick_count() {
         let brick = RenderBrick::new(Arc::clone(&store), id, Staging::HostResident);
         let out = mapper.map_chunk(GpuId(0), &brick);
-        for (k, f) in out.pairs {
+        for (k, f) in out.iter() {
             if k != SENTINEL_KEY {
-                by_pixel.entry(k).or_default().push(f);
+                by_pixel.entry(k).or_default().push(*f);
             }
         }
     }

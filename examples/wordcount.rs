@@ -44,16 +44,16 @@ impl GpuMapper<Doc> for CountMapper {
             pairs.push((w, 1u32));
         }
         pairs.resize(padded, (SENTINEL_KEY, 0));
-        MapOutput {
+        MapOutput::from_pairs(
             pairs,
-            stats: LaunchStats {
+            LaunchStats {
                 threads: padded as u64,
                 total_samples: doc.words.len() as u64,
                 simt_samples: padded as u64,
                 blocks: (padded / 256) as u64,
                 warps: (padded / 32) as u64,
             },
-        }
+        )
     }
 }
 
@@ -115,13 +115,11 @@ fn main() {
     );
 
     println!("{:<8} {:>10}", "word", "count");
-    for (k, count) in &with.groups {
-        println!("{:<8} {:>10}", vocab[*k as usize], count);
+    for (k, count) in with.iter() {
+        println!("{:<8} {:>10}", vocab[k as usize], count);
     }
-    assert_eq!(
-        with.groups, without.groups,
-        "combiner must not change results"
-    );
+    assert_eq!(with.keys, without.keys, "combiner must not change results");
+    assert_eq!(with.outs, without.outs, "combiner must not change results");
     println!(
         "\nwire bytes: {} with combiner vs {} without ({}x less traffic)",
         with.stats.wire_bytes_sent,
