@@ -20,6 +20,7 @@ use mgpu_net::{
     rebalance_once, NetSceneRequest, NodePool, NodePoolConfig, RebalanceConfig, RenderClient,
     RenderServer, ServerConfig,
 };
+use mgpu_obs::names;
 use mgpu_obs::{CompletedTrace, Snapshot};
 use mgpu_serve::{Priority, RenderBackend, SceneRequest, ServiceConfig};
 use mgpu_volren::camera::Scene;
@@ -28,12 +29,12 @@ use mgpu_volren::{RenderConfig, TransferFunction};
 /// The stage histograms the dashboard (and the JSON artifact) report,
 /// as `(label, snapshot key)` in pipeline order.
 const STAGES: [(&str, &str); 6] = [
-    ("queue wait", "serve.queue_wait_ns"),
-    ("plan prepare", "volren.plan_prepare_ns"),
-    ("brick staging", "volren.staging_ns"),
-    ("kernel", "volren.kernel_ns"),
-    ("composite", "volren.composite_ns"),
-    ("render total", "serve.render_ns"),
+    ("queue wait", names::SERVE_QUEUE_WAIT_NS),
+    ("plan prepare", names::VOLREN_PLAN_PREPARE_NS),
+    ("brick staging", names::VOLREN_STAGING_NS),
+    ("kernel", names::VOLREN_KERNEL_NS),
+    ("composite", names::VOLREN_COMPOSITE_NS),
+    ("render total", names::SERVE_RENDER_NS),
 ];
 
 fn ms(d: Duration) -> f64 {
@@ -54,30 +55,30 @@ fn draw(label: &str, snap: &Snapshot, traces: &[CompletedTrace]) {
     println!("\n━━ obs_top — {label} ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
     println!(
         "frames: {} submitted, {} rendered, {} completed, {} failed   queue depth {}",
-        c("serve.frames_submitted"),
-        c("serve.frames_rendered"),
-        c("serve.frames_completed"),
-        c("serve.frames_failed"),
-        snap.gauge("serve.queue_depth").unwrap_or(0),
+        c(names::SERVE_FRAMES_SUBMITTED),
+        c(names::SERVE_FRAMES_RENDERED),
+        c(names::SERVE_FRAMES_COMPLETED),
+        c(names::SERVE_FRAMES_FAILED),
+        snap.gauge(names::SERVE_QUEUE_DEPTH).unwrap_or(0),
     );
     println!(
         "caches: frame {:.1}% hit, plan {:.1}% hit   batches {} ({} frames)   stagings {} / reuses {}",
-        rate(c("serve.frame_cache_hits"), c("serve.frame_cache_misses")) * 100.0,
-        rate(c("serve.plan_cache_hits"), c("serve.plan_cache_misses")) * 100.0,
-        c("serve.batches"),
-        c("serve.batched_frames"),
-        c("serve.brick_stagings"),
-        c("serve.brick_reuses"),
+        rate(c(names::SERVE_FRAME_CACHE_HITS), c(names::SERVE_FRAME_CACHE_MISSES)) * 100.0,
+        rate(c(names::SERVE_PLAN_CACHE_HITS), c(names::SERVE_PLAN_CACHE_MISSES)) * 100.0,
+        c(names::SERVE_BATCHES),
+        c(names::SERVE_BATCHED_FRAMES),
+        c(names::SERVE_BRICK_STAGINGS),
+        c(names::SERVE_BRICK_REUSES),
     );
     println!(
         "net:    {} frames in / {} out, {} B read / {} B written   {} conns, {} wakeups, {} throttled",
-        c("net.frames_in"),
-        c("net.frames_out"),
-        c("net.bytes_read"),
-        c("net.bytes_written"),
-        snap.gauge("net.connections").unwrap_or(0),
-        c("net.loop_wakeups"),
-        c("net.throttled"),
+        c(names::NET_FRAMES_IN),
+        c(names::NET_FRAMES_OUT),
+        c(names::NET_BYTES_READ),
+        c(names::NET_BYTES_WRITTEN),
+        snap.gauge(names::NET_CONNECTIONS).unwrap_or(0),
+        c(names::NET_LOOP_WAKEUPS),
+        c(names::NET_THROTTLED),
     );
     println!(
         "\n{:>14} {:>8} {:>10} {:>10} {:>10}",
@@ -193,7 +194,7 @@ fn main() {
     let traces = observer.traces(16).expect("final traces");
     draw("final (workload drained)", &stats.obs, &traces);
     let snap = &stats.obs;
-    let completed = snap.counter("serve.frames_completed").unwrap_or(0);
+    let completed = snap.counter(names::SERVE_FRAMES_COMPLETED).unwrap_or(0);
     assert_eq!(
         completed,
         (clients * frames_each) as u64,
@@ -270,19 +271,19 @@ fn main() {
         "\ncluster ops: rebalance {} tick(s), {} migration(s) (imbalance {:.2}, \
          node {} → {}), {} prewarm(s); drains {} initiated / {} resumed, \
          {} hand-off(s); epoch {}",
-        oc("pool.rebalance.ticks"),
-        oc("pool.rebalance.migrations"),
+        oc(names::POOL_REBALANCE_TICKS),
+        oc(names::POOL_REBALANCE_MIGRATIONS),
         outcome.imbalance,
         owner_before,
         dest,
-        oc("pool.rebalance.prewarms"),
-        oc("pool.drain.initiated"),
-        oc("pool.drain.resumed"),
-        oc("pool.drain.handoffs"),
+        oc(names::POOL_REBALANCE_PREWARMS),
+        oc(names::POOL_DRAIN_INITIATED),
+        oc(names::POOL_DRAIN_RESUMED),
+        oc(names::POOL_DRAIN_HANDOFFS),
         pool.epoch(),
     );
     assert!(
-        oc("pool.rebalance.migrations") >= 1 && oc("pool.drain.handoffs") >= 1,
+        oc(names::POOL_REBALANCE_MIGRATIONS) >= 1 && oc(names::POOL_DRAIN_HANDOFFS) >= 1,
         "the cluster-ops episode must migrate and hand off"
     );
     let local_traces = mgpu_obs::ring().recent(32);
@@ -301,8 +302,8 @@ fn main() {
         rebalance_trace.id,
         line.join(" → ")
     );
-    let pool_migrations = oc("pool.rebalance.migrations");
-    let pool_handoffs = oc("pool.drain.handoffs");
+    let pool_migrations = oc(names::POOL_REBALANCE_MIGRATIONS);
+    let pool_handoffs = oc(names::POOL_DRAIN_HANDOFFS);
     drop(pool);
     for node in nodes.into_iter().flatten() {
         node.shutdown();
@@ -325,23 +326,23 @@ fn main() {
             .num(
                 "frame_cache_hit_rate",
                 rate(
-                    snap.counter("serve.frame_cache_hits").unwrap_or(0),
-                    snap.counter("serve.frame_cache_misses").unwrap_or(0),
+                    snap.counter(names::SERVE_FRAME_CACHE_HITS).unwrap_or(0),
+                    snap.counter(names::SERVE_FRAME_CACHE_MISSES).unwrap_or(0),
                 ),
             )
             .int(
                 "loop_wakeups",
-                snap.counter("net.loop_wakeups").unwrap_or(0),
+                snap.counter(names::NET_LOOP_WAKEUPS).unwrap_or(0),
             )
             .int("traces_pushed", ring.pushed())
             .int("traces_dropped", ring.dropped())
             .int("pool_migrations", pool_migrations)
             .int("pool_drain_handoffs", pool_handoffs);
         for (key, name) in [
-            ("serve.queue_wait_ns", "queue_wait"),
-            ("volren.staging_ns", "staging"),
-            ("volren.kernel_ns", "kernel"),
-            ("volren.composite_ns", "composite"),
+            (names::SERVE_QUEUE_WAIT_NS, "queue_wait"),
+            (names::VOLREN_STAGING_NS, "staging"),
+            (names::VOLREN_KERNEL_NS, "kernel"),
+            (names::VOLREN_COMPOSITE_NS, "composite"),
         ] {
             let q = |q: f64| {
                 snap.hist_quantile(key, q)

@@ -17,6 +17,8 @@
 //! (default: target/mgpu-bench-cache) once, so repeated sweep points pay
 //! file reads instead of procedural synthesis.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;

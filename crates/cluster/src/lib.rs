@@ -9,6 +9,8 @@
 //! * [`network`] — the 2010-era MPI-over-InfiniBand cost model with
 //!   per-message software overhead and intra-node shared-memory routing.
 
+#![forbid(unsafe_code)]
+
 pub mod network;
 pub mod topology;
 

@@ -20,6 +20,8 @@
 //! scheduling, no distributed file system. Combining is supported but off by
 //! default (§3.1: it "didn't increase performance").
 
+#![forbid(unsafe_code)]
+
 pub mod assign;
 pub mod cost;
 pub mod partition;

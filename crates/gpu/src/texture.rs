@@ -287,8 +287,7 @@ impl Sampler1D<'_> {
             i1 = (x0 as i64 + 1).clamp(0, n - 1) as usize;
         }
         // SAFETY: both branches produce i0, i1 < texels.len().
-        let a = unsafe { self.texels.get_unchecked(i0) };
-        let b = unsafe { self.texels.get_unchecked(i1) };
+        let (a, b) = unsafe { (self.texels.get_unchecked(i0), self.texels.get_unchecked(i1)) };
         (a, b, t)
     }
 

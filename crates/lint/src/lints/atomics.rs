@@ -1,0 +1,59 @@
+//! `atomic-ordering` — non-`Relaxed` orderings must say why.
+//!
+//! `Relaxed` is the workspace default (metrics counters, monotonic
+//! epochs); anything stronger is a synchronization decision that the
+//! next reader needs to be able to audit. Every `Ordering::SeqCst` /
+//! `Acquire` / `Release` / `AcqRel` use must carry a comment on the same
+//! or the directly preceding line that names the ordering (or the word
+//! "ordering") and justifies it — e.g.
+//! `// SeqCst: the drain flag must be visible before the epoch echo`.
+//!
+//! `std::cmp::Ordering` is unaffected (its variants are `Less` /
+//! `Equal` / `Greater`).
+
+use crate::diag::Diagnostics;
+use crate::lints::path2;
+use crate::source::Workspace;
+
+pub const NAME: &str = "atomic-ordering";
+
+const STRONG: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
+
+pub fn check(ws: &Workspace, diag: &mut Diagnostics) {
+    for file in &ws.files {
+        for i in 0..file.tokens.len() {
+            let Some((variant, line)) = path2(&file.tokens, i, "Ordering") else {
+                continue;
+            };
+            if !STRONG.contains(&variant) {
+                continue;
+            }
+            if file.in_test_region(line) {
+                continue;
+            }
+            let justified = file.comment_near(line, |text| {
+                // A `lint: allow(...)` control comment is not a
+                // justification — it routes through suppression instead.
+                if text.trim_start().starts_with("lint:") {
+                    return false;
+                }
+                let lower = text.to_ascii_lowercase();
+                ["seqcst", "acquire", "release", "acqrel", "ordering"]
+                    .iter()
+                    .any(|k| lower.contains(k))
+            });
+            if !justified {
+                diag.report(
+                    file,
+                    line,
+                    NAME,
+                    format!(
+                        "Ordering::{variant} without a justification comment — say why \
+                         Relaxed is not enough on this or the preceding line \
+                         (e.g. `// {variant}: …`)"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `panic-free-decode` — the decode paths must refuse, never panic.
+//!
+//! PR 4 established (and a proptest corruption harness verifies) that
+//! `wire.rs` decoding turns arbitrary bytes into typed `WireError`s, not
+//! panics. Proptests sample; this lint proves the *shape* on every
+//! build: inside `read_frame` and every `decode_*` function in
+//! `crates/net/src/wire.rs` there must be no `unwrap`/`expect`,
+//! no `panic!`/`unreachable!`/`todo!`/`unimplemented!`, and no direct
+//! slice indexing (`payload[4]`, `&buf[..n]` — both can panic; use
+//! `get(..)` and typed errors).
+
+use crate::diag::Diagnostics;
+use crate::lexer::Tok;
+use crate::lints::is_ident;
+use crate::source::{match_brace, Workspace};
+
+pub const NAME: &str = "panic-free-decode";
+
+const BANNED_CALLS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+pub fn check(ws: &Workspace, diag: &mut Diagnostics) {
+    let Some(wire) = ws.file_ending("net/src/wire.rs") else {
+        return;
+    };
+    let tokens = &wire.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_ident(tokens, i, "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(Tok::Ident(fn_name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        let in_scope = fn_name.starts_with("decode_") || fn_name == "read_frame";
+        let Some(open) = (i..tokens.len()).find(|&k| matches!(tokens[k].tok, Tok::Punct('{')))
+        else {
+            break;
+        };
+        let close = match_brace(tokens, open);
+        if !in_scope {
+            i = close + 1;
+            continue;
+        }
+        for k in open..close {
+            match &tokens[k].tok {
+                Tok::Ident(id) if BANNED_CALLS.contains(&id.as_str()) => {
+                    diag.report(
+                        wire,
+                        tokens[k].line,
+                        NAME,
+                        format!(
+                            "`{id}` in decode path `{fn_name}` — decoding must return a \
+                             typed WireError, never panic"
+                        ),
+                    );
+                }
+                Tok::Punct('[') if is_index_bracket(tokens, k) => {
+                    diag.report(
+                        wire,
+                        tokens[k].line,
+                        NAME,
+                        format!(
+                            "direct slice indexing in decode path `{fn_name}` — out-of-range \
+                             input would panic; use `get(..)` with a typed error"
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// A `[` is an *index* when it follows a value expression: an identifier,
+/// a closing bracket/paren, or a literal. `#[attr]`, `[u8; 4]` types and
+/// array literals follow punctuation and stay legal.
+fn is_index_bracket(tokens: &[crate::lexer::Token], k: usize) -> bool {
+    if k == 0 {
+        return false;
+    }
+    matches!(
+        tokens[k - 1].tok,
+        Tok::Ident(_) | Tok::Punct(']') | Tok::Punct(')') | Tok::Num(_)
+    )
+}

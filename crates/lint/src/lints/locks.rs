@@ -1,0 +1,240 @@
+//! `lock-order` — no cyclic held-while-acquiring order.
+//!
+//! The workspace holds ~64 `.lock()` sites across ten files. Deadlock
+//! needs a cycle: some thread acquires A then B while another acquires B
+//! then A. This lint extracts, per function, the sequence of named lock
+//! acquisitions (the field/variable the guard came from), conservatively
+//! models guard lifetimes (a `let`-bound guard lives to the end of its
+//! block or an explicit `drop(guard)`; a temporary dies at its
+//! statement's `;`), builds the held-while-acquiring graph per crate,
+//! and fails on any cycle.
+//!
+//! This is intra-function analysis with name-based lock identity: two
+//! locks that share a field name are the same node, and call chains that
+//! acquire across functions are invisible. Both approximations are
+//! deliberate — they keep the analysis dependency-free and fast, and the
+//! repo's locking style (short-lived guards around small critical
+//! sections) fits them. A site that locks two same-named locks from
+//! *different* objects is exempted automatically (self-edges are
+//! skipped); anything else that is provably benign can carry
+//! `// lint: allow(lock-order)` with a reason.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostics;
+use crate::lexer::{Tok, Token};
+use crate::lints::{is_ident, is_punct};
+use crate::source::{match_brace, Workspace};
+
+pub const NAME: &str = "lock-order";
+
+/// An `A → B` edge: lock `b` acquired while `a` is held, with the site
+/// of the second acquisition.
+#[derive(Debug, Clone)]
+struct Edge {
+    file: usize,
+    line: u32,
+}
+
+pub fn check(ws: &Workspace, diag: &mut Diagnostics) {
+    // crate → (a, b) → example site
+    let mut graphs: BTreeMap<&str, BTreeMap<(String, String), Edge>> = BTreeMap::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        let graph = graphs.entry(file.krate.as_str()).or_default();
+        collect_edges(file_idx, &file.tokens, |held, acquired, line| {
+            if held != acquired {
+                graph
+                    .entry((held.to_string(), acquired.to_string()))
+                    .or_insert(Edge {
+                        file: file_idx,
+                        line,
+                    });
+            }
+        });
+    }
+
+    for graph in graphs.values() {
+        for cycle in find_cycles(graph) {
+            // Attribute the finding to the first edge's site; name the
+            // full cycle and every example site in the message.
+            let first = &graph[&cycle[0]];
+            let path: Vec<String> = cycle
+                .iter()
+                .map(|(a, b)| {
+                    let e = &graph[&(a.clone(), b.clone())];
+                    format!(
+                        "{a} then {b} ({}:{})",
+                        ws.files[e.file].rel.display(),
+                        e.line
+                    )
+                })
+                .collect();
+            diag.report(
+                &ws.files[first.file],
+                first.line,
+                NAME,
+                format!(
+                    "potential deadlock: cyclic lock order [{}]",
+                    path.join(", ")
+                ),
+            );
+        }
+    }
+}
+
+/// Walk one file's functions and emit (held, acquired, line) pairs.
+fn collect_edges(_file_idx: usize, tokens: &[Token], mut edge: impl FnMut(&str, &str, u32)) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if !is_ident(tokens, i, "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = (i..tokens.len()).find(|&k| matches!(tokens[k].tok, Tok::Punct('{')))
+        else {
+            break;
+        };
+        let close = match_brace(tokens, open);
+        scan_body(tokens, open, close, &mut edge);
+        // Nested fns/closures inside the body are rescanned as part of
+        // this body — acceptable: a closure runs on some thread with the
+        // enclosing locks possibly held.
+        i = close + 1;
+    }
+}
+
+#[derive(Debug)]
+struct Held {
+    name: String,
+    depth: i32,
+    /// `Some(var)` when `let var = …lock()…;` bound the guard;
+    /// `None` → temporary, released at end of statement.
+    binding: Option<String>,
+}
+
+fn scan_body(tokens: &[Token], open: usize, close: usize, edge: &mut impl FnMut(&str, &str, u32)) {
+    let mut depth: i32 = 0;
+    let mut held: Vec<Held> = Vec::new();
+    let mut k = open;
+    while k < close {
+        match &tokens[k].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            }
+            Tok::Punct(';') => {
+                held.retain(|h| !(h.binding.is_none() && h.depth == depth));
+            }
+            Tok::Ident(id) if id == "drop" && is_punct(tokens, k + 1, '(') => {
+                if let Some(Tok::Ident(var)) = tokens.get(k + 2).map(|t| &t.tok) {
+                    if is_punct(tokens, k + 3, ')') {
+                        held.retain(|h| h.binding.as_deref() != Some(var.as_str()));
+                    }
+                }
+            }
+            Tok::Ident(id)
+                if id == "lock"
+                    && k >= 2
+                    && is_punct(tokens, k - 1, '.')
+                    && is_punct(tokens, k + 1, '(')
+                    && is_punct(tokens, k + 2, ')') =>
+            {
+                if let Some(Tok::Ident(lock_name)) = tokens.get(k - 2).map(|t| &t.tok) {
+                    let line = tokens[k].line;
+                    for h in &held {
+                        edge(&h.name, lock_name, line);
+                    }
+                    held.push(Held {
+                        name: lock_name.clone(),
+                        depth,
+                        binding: statement_binding(tokens, open, k),
+                    });
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+}
+
+/// If the statement containing token `k` starts with `let [mut] var`,
+/// return `var` — the guard's binding. Looks back to the statement
+/// opener (`;`, `{`, `}`), then reads forward past `let`/`mut`/`ref` and
+/// destructuring heads (`Ok(`, `Some(`).
+fn statement_binding(tokens: &[Token], body_open: usize, k: usize) -> Option<String> {
+    let mut s = k;
+    while s > body_open {
+        if matches!(
+            tokens[s].tok,
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}')
+        ) {
+            break;
+        }
+        s -= 1;
+    }
+    let mut j = s + 1;
+    // `if let` / `while let` / plain `let`
+    while j < k && !is_ident(tokens, j, "let") {
+        if !matches!(tokens[j].tok, Tok::Ident(_)) {
+            return None; // statement doesn't start with a let-ish prefix
+        }
+        j += 1;
+    }
+    if !is_ident(tokens, j, "let") {
+        return None;
+    }
+    j += 1;
+    loop {
+        match tokens.get(j).map(|t| &t.tok) {
+            Some(Tok::Ident(id)) if id == "mut" || id == "ref" => j += 1,
+            Some(Tok::Ident(id)) if id == "Ok" || id == "Some" || id == "Err" => j += 1,
+            Some(Tok::Punct('(')) => j += 1,
+            Some(Tok::Ident(var)) => return Some(var.clone()),
+            _ => return None,
+        }
+    }
+}
+
+/// Every elementary cycle is overkill; one witness per strongly-connected
+/// knot is enough to fail the build. DFS with a path stack: report each
+/// back-edge's loop once.
+fn find_cycles(graph: &BTreeMap<(String, String), Edge>) -> Vec<Vec<(String, String)>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in graph.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut cycles = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        if done.contains(start) {
+            continue;
+        }
+        let mut path: Vec<&str> = vec![start];
+        let mut stack: Vec<std::vec::IntoIter<&str>> =
+            vec![adj.get(start).cloned().unwrap_or_default().into_iter()];
+        while let Some(iter) = stack.last_mut() {
+            match iter.next() {
+                Some(next) => {
+                    if let Some(pos) = path.iter().position(|&n| n == next) {
+                        // Cycle: path[pos..] + back to next.
+                        let mut cycle = Vec::new();
+                        for w in path[pos..].windows(2) {
+                            cycle.push((w[0].to_string(), w[1].to_string()));
+                        }
+                        cycle.push((path[path.len() - 1].to_string(), next.to_string()));
+                        cycles.push(cycle);
+                    } else if !done.contains(next) {
+                        path.push(next);
+                        stack.push(adj.get(next).cloned().unwrap_or_default().into_iter());
+                    }
+                }
+                None => {
+                    done.insert(path.pop().expect("stack and path in step"));
+                    stack.pop();
+                }
+            }
+        }
+    }
+    cycles
+}

@@ -1,0 +1,89 @@
+//! `unsafe-hygiene` — unsafe is rare, annotated, and fenced.
+//!
+//! Two rules:
+//!
+//! 1. every `unsafe` keyword (block, fn, impl) carries a `// SAFETY:`
+//!    comment on the same or the directly preceding line stating the
+//!    invariant that makes it sound;
+//! 2. a crate whose sources contain *no* `unsafe` at all must say so
+//!    with `#![forbid(unsafe_code)]` in its `src/lib.rs`, so unsafe
+//!    cannot creep in without tripping the compiler and this lint.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostics;
+use crate::lexer::Tok;
+use crate::lints::{is_ident, is_punct};
+use crate::source::Workspace;
+
+pub const NAME: &str = "unsafe-hygiene";
+
+pub fn check(ws: &Workspace, diag: &mut Diagnostics) {
+    // crate → has any unsafe token
+    let mut crate_unsafe: BTreeMap<&str, bool> = BTreeMap::new();
+
+    for file in &ws.files {
+        let mut any = false;
+        for t in &file.tokens {
+            if !matches!(&t.tok, Tok::Ident(s) if s == "unsafe") {
+                continue;
+            }
+            any = true;
+            let documented = file.comment_near(t.line, |text| text.contains("SAFETY:"));
+            if !documented {
+                diag.report(
+                    file,
+                    t.line,
+                    NAME,
+                    "`unsafe` without a `// SAFETY:` comment on the same or preceding \
+                     line stating the soundness invariant"
+                        .to_string(),
+                );
+            }
+        }
+        let entry = crate_unsafe.entry(file.krate.as_str()).or_insert(false);
+        *entry |= any;
+    }
+
+    for (krate, has_unsafe) in crate_unsafe {
+        if has_unsafe {
+            continue;
+        }
+        let lib_suffix = if krate == "gpumr" {
+            "src/lib.rs".to_string()
+        } else {
+            format!("crates/{krate}/src/lib.rs")
+        };
+        let Some(lib) = ws
+            .files
+            .iter()
+            .find(|f| f.rel.to_string_lossy() == lib_suffix)
+        else {
+            continue; // bin-only crate: nothing to anchor the attribute to
+        };
+        if !has_forbid_unsafe(lib) {
+            diag.report(
+                lib,
+                1,
+                NAME,
+                format!(
+                    "crate `{krate}` contains no unsafe code but {lib_suffix} does not \
+                     declare `#![forbid(unsafe_code)]`"
+                ),
+            );
+        }
+    }
+}
+
+/// Token pattern `# ! [ forbid ( unsafe_code ) ]` (also accepts `deny`).
+fn has_forbid_unsafe(lib: &crate::source::SourceFile) -> bool {
+    let tokens = &lib.tokens;
+    (0..tokens.len()).any(|i| {
+        is_punct(tokens, i, '#')
+            && is_punct(tokens, i + 1, '!')
+            && is_punct(tokens, i + 2, '[')
+            && (is_ident(tokens, i + 3, "forbid") || is_ident(tokens, i + 3, "deny"))
+            && is_punct(tokens, i + 4, '(')
+            && is_ident(tokens, i + 5, "unsafe_code")
+    })
+}

@@ -306,6 +306,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<NetStats, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mgpu_obs::names;
 
     fn sample_heat(shard: usize, frames: u64) -> ShardHeat {
         ShardHeat {
@@ -343,13 +344,13 @@ mod tests {
         merged.mean_queue_wait = Duration::from_micros(900);
         merged.wall_elapsed = Duration::from_secs(2);
         let mut obs = Snapshot::new();
-        obs.add_counter("net.frames_in", 24);
-        obs.add_counter("serve.frames_rendered", 20);
-        obs.add_gauge("serve.queue_depth", -1); // negative survives the cast
+        obs.add_counter(names::NET_FRAMES_IN, 24);
+        obs.add_counter(names::SERVE_FRAMES_RENDERED, 20);
+        obs.add_gauge(names::SERVE_QUEUE_DEPTH, -1); // negative survives the cast
         let mut buckets = [0u64; HIST_BUCKETS];
         buckets[12] = 20;
         buckets[HIST_BUCKETS - 1] = 1;
-        obs.add_histogram("serve.queue_wait_ns", &buckets);
+        obs.add_histogram(names::SERVE_QUEUE_WAIT_NS, &buckets);
         NetStats {
             epoch: 7,
             merged,

@@ -36,6 +36,7 @@
 //! bit-identical across nodes, so the handed-off frame is indistinguishable
 //! from the original.
 
+use mgpu_obs::names;
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -610,7 +611,7 @@ impl NodePool {
                     if matches!(err, ClientError::Draining { .. } | ClientError::Goodbye) {
                         // The routing table lagged the drain; the refusal
                         // itself is the re-route signal.
-                        mgpu_obs::global().counter("pool.drain.rerouted").inc();
+                        mgpu_obs::global().counter(names::POOL_DRAIN_REROUTED).inc();
                     }
                     attempts -= 1;
                     if attempts == 0 {
@@ -742,7 +743,9 @@ impl NodePool {
             if !state.draining[node] {
                 state.draining[node] = true;
                 state.directory.bump_epoch();
-                mgpu_obs::global().counter("pool.drain.initiated").inc();
+                mgpu_obs::global()
+                    .counter(names::POOL_DRAIN_INITIATED)
+                    .inc();
             }
             (addr, state.directory.epoch())
         };
@@ -772,7 +775,7 @@ impl NodePool {
             if state.draining[node] {
                 state.draining[node] = false;
                 state.directory.bump_epoch();
-                mgpu_obs::global().counter("pool.drain.resumed").inc();
+                mgpu_obs::global().counter(names::POOL_DRAIN_RESUMED).inc();
             }
             (addr, state.directory.epoch())
         };
@@ -831,7 +834,9 @@ impl NodePool {
         let epoch = self.epoch();
         self.control(node, |client| client.prewarm(epoch, net))
             .inspect(|_| {
-                mgpu_obs::global().counter("pool.rebalance.prewarms").inc();
+                mgpu_obs::global()
+                    .counter(names::POOL_REBALANCE_PREWARMS)
+                    .inc();
             })
             .map_err(|error| NodeError {
                 node,
@@ -1004,7 +1009,7 @@ impl RenderBackend for NodePool {
         // is unreachable, so re-render the remembered request on whichever
         // node now owns the key. Same request, same deterministic kernel —
         // bit-identical output, zero frames lost.
-        mgpu_obs::global().counter("pool.drain.handoffs").inc();
+        mgpu_obs::global().counter(names::POOL_DRAIN_HANDOFFS).inc();
         let net = entry.net;
         self.drive(&entry.key, true, |client| client.render(&net))
             .map(|(_, _, _, frame)| backend_frame(frame))

@@ -24,6 +24,7 @@
 //! counted (`pool.rebalance.*`), so `obs_top` shows the control loop
 //! breathing next to the data plane it steers.
 
+use mgpu_obs::names;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -94,7 +95,7 @@ pub struct RebalanceOutcome {
 pub fn rebalance_once(pool: &NodePool, config: &RebalanceConfig) -> RebalanceOutcome {
     static TICK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
     let obs = mgpu_obs::global();
-    obs.counter("pool.rebalance.ticks").inc();
+    obs.counter(names::POOL_REBALANCE_TICKS).inc();
     // Publishes into the trace ring on drop; tick ids are this process's
     // own sequence (request ids come from the wire, these don't).
     let trace = mgpu_obs::Trace::start(TICK.fetch_add(1, Ordering::Relaxed));
@@ -173,7 +174,7 @@ pub fn rebalance_once(pool: &NodePool, config: &RebalanceConfig) -> RebalanceOut
         let moved = pool.migrate(&key, dest).unwrap_or(false);
         drop(span);
         if moved {
-            obs.counter("pool.rebalance.migrations").inc();
+            obs.counter(names::POOL_REBALANCE_MIGRATIONS).inc();
             let epoch = pool.epoch();
             // Announce the new epoch to the destination (the prewarm
             // above carried the pre-cutover epoch); a second prewarm is
@@ -209,12 +210,15 @@ impl Rebalancer {
         let handle = std::thread::Builder::new()
             .name("mgpu-rebalance".to_string())
             .spawn(move || {
-                while !stop_flag.load(Ordering::SeqCst) {
+                // Relaxed: the stop flag is a pure signal — no data is
+                // published through it (join() below is the real sync
+                // point), so no ordering is needed.
+                while !stop_flag.load(Ordering::Relaxed) {
                     rebalance_once(&pool, &config);
                     // Sleep in small slices so drop() never waits a full
                     // interval to join.
                     let mut slept = Duration::ZERO;
-                    while slept < config.interval && !stop_flag.load(Ordering::SeqCst) {
+                    while slept < config.interval && !stop_flag.load(Ordering::Relaxed) {
                         let slice = Duration::from_millis(20).min(config.interval - slept);
                         std::thread::sleep(slice);
                         slept += slice;
@@ -231,7 +235,7 @@ impl Rebalancer {
 
 impl Drop for Rebalancer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }

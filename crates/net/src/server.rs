@@ -38,6 +38,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use mgpu_obs::names;
 use mgpu_obs::{Counter, Gauge, Registry, Trace};
 use mgpu_serve::{FrameResult, SceneRequest, ServiceConfig, ServiceReport, ShardedService};
 
@@ -152,6 +153,10 @@ mod readiness {
     #[cfg(unix)]
     pub fn wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
         loop {
+            // SAFETY: `fds` is a live, exclusively borrowed slice for the
+            // whole call; `PollFd` is `#[repr(C)]` matching `struct pollfd`,
+            // and the length is passed alongside the pointer, so the kernel
+            // reads/writes exactly the slice we own and nothing else.
             let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
             if rc >= 0 {
                 return Ok(rc as usize);
@@ -353,11 +358,11 @@ struct ConnObs {
 impl ConnObs {
     fn new(reg: &Registry) -> ConnObs {
         ConnObs {
-            bytes_read: reg.counter("net.bytes_read"),
-            bytes_written: reg.counter("net.bytes_written"),
-            frames_in: reg.counter("net.frames_in"),
-            frames_out: reg.counter("net.frames_out"),
-            connections: reg.gauge("net.connections"),
+            bytes_read: reg.counter(names::NET_BYTES_READ),
+            bytes_written: reg.counter(names::NET_BYTES_WRITTEN),
+            frames_in: reg.counter(names::NET_FRAMES_IN),
+            frames_out: reg.counter(names::NET_FRAMES_OUT),
+            connections: reg.gauge(names::NET_CONNECTIONS),
         }
     }
 }
@@ -612,8 +617,8 @@ impl RenderServer {
         let addr = listener.local_addr()?;
         let (waker_tx, waker_rx) = waker_pair()?;
         let obs = Registry::new();
-        let wakeups = obs.counter("net.loop_wakeups");
-        let throttled = obs.counter("net.throttled");
+        let wakeups = obs.counter(names::NET_LOOP_WAKEUPS);
+        let throttled = obs.counter(names::NET_THROTTLED);
         let (prewarm_tx, prewarm_rx) = mpsc::channel::<PrewarmJob>();
         let shared = Arc::new(Shared {
             sharded: ShardedService::start(config.shards, config.service.clone()),
@@ -649,7 +654,7 @@ impl RenderServer {
                 .spawn(move || {
                     while let Ok(job) = prewarm_rx.recv() {
                         let (shard, built) = shared.sharded.prewarm(&job.request);
-                        shared.obs.counter("net.prewarms").inc();
+                        shared.obs.counter(names::NET_PREWARMS).inc();
                         shared.notifier.reply(
                             job.conn,
                             frame_bytes(
@@ -702,6 +707,10 @@ impl RenderServer {
                 .lock()
                 .expect("prewarm sender poisoned")
                 .take();
+            // SeqCst: the shutdown flag must be totally ordered with the
+            // draining flag and epoch (all SeqCst) — the event loop reads
+            // them as one coherent control state when deciding between
+            // hard-shutdown drain and soft drain.
             shared.shutdown.store(true, Ordering::SeqCst);
             // An in-flight reply against a *paused* service would never
             // resolve and the drain below would hang: resume so admitted
@@ -746,6 +755,9 @@ fn net_stats(shared: &Shared) -> NetStats {
     let mut obs = shared.obs.snapshot();
     obs.merge(&mgpu_obs::global().snapshot());
     NetStats {
+        // SeqCst: a STATS reply must never echo an epoch older than a
+        // drain/resume transition the same observer already saw — epoch
+        // and the draining flag share one total order.
         epoch: shared.epoch.load(Ordering::SeqCst),
         merged,
         shards,
@@ -784,7 +796,12 @@ impl EventLoop {
         loop {
             self.apply_completions();
 
+            // SeqCst: shutdown and draining form one control state;
+            // reading them in the same total order their writers use means
+            // a hard shutdown can never be mistaken for a soft drain
+            // mid-transition.
             let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            // SeqCst: same total order as the shutdown read above.
             if !draining && self.shared.draining.load(Ordering::SeqCst) {
                 // Soft drain: once no session holds anything — no in-flight
                 // renders, no un-redeemed tickets — tell every session that
@@ -800,7 +817,7 @@ impl EventLoop {
                         if conn.carried_work && !conn.closing {
                             conn.send(frame_bytes(opcode::GOODBYE, 0, &[]));
                             conn.closing = true;
-                            self.shared.obs.counter("net.goodbyes").inc();
+                            self.shared.obs.counter(names::NET_GOODBYES).inc();
                         }
                     }
                 }
@@ -1030,12 +1047,16 @@ impl EventLoop {
         // A draining node refuses *new* work — typed, per-request, and the
         // connection survives (in-flight replies and parked redeems still
         // flow). The epoch tells the refused client how stale it is.
+        // SeqCst (flag and epoch): a DRAINING refusal must carry an epoch
+        // at least as new as the DRAIN that set the flag — both sides of
+        // the refusal read one total order.
         if (op == opcode::RENDER || op == opcode::SUBMIT) && shared.draining.load(Ordering::SeqCst)
         {
-            shared.obs.counter("net.drain_refused").inc();
+            shared.obs.counter(names::NET_DRAIN_REFUSED).inc();
             conn.send(frame_bytes(
                 opcode::DRAINING,
                 request_id,
+                // SeqCst: ordered after the draining flag read above.
                 &encode_epoch(shared.epoch.load(Ordering::SeqCst)),
             ));
             self.flush_conn(token);
@@ -1173,15 +1194,22 @@ impl EventLoop {
             },
             opcode::DRAIN | opcode::RESUME => match decode_epoch(payload) {
                 Ok(epoch) => {
+                    // SeqCst: the epoch bump must be ordered *before* the
+                    // draining-flag flip in the one total order every
+                    // reader (STATS, refusals, the event loop) uses — a
+                    // refusal observed after this swap always carries at
+                    // least this epoch.
                     shared.epoch.fetch_max(epoch, Ordering::SeqCst);
                     let draining = op == opcode::DRAIN;
+                    // SeqCst: see the fetch_max above — flag and epoch
+                    // share one order.
                     let was = shared.draining.swap(draining, Ordering::SeqCst);
                     // Idempotent: repeating the current state is a no-op
                     // (and not a counted transition).
                     if draining && !was {
-                        shared.obs.counter("net.drains").inc();
+                        shared.obs.counter(names::NET_DRAINS).inc();
                     } else if !draining && was {
-                        shared.obs.counter("net.resumes").inc();
+                        shared.obs.counter(names::NET_RESUMES).inc();
                     }
                     conn.send(frame_bytes(
                         opcode::DRAIN_STATE,
@@ -1189,6 +1217,8 @@ impl EventLoop {
                         &encode_drain_state(DrainState {
                             draining,
                             outstanding: total_outstanding,
+                            // SeqCst: the reply must echo an epoch no older
+                            // than the bump this same request applied.
                             epoch: shared.epoch.load(Ordering::SeqCst),
                         }),
                     ));
@@ -1197,6 +1227,9 @@ impl EventLoop {
             },
             opcode::PREWARM => match decode_prewarm(payload) {
                 Ok((epoch, request)) => {
+                    // SeqCst: prewarms carry the controller's epoch; the
+                    // bump joins the same total order as drain/resume so a
+                    // later STATS echo can never regress.
                     shared.epoch.fetch_max(epoch, Ordering::SeqCst);
                     match request.to_parts() {
                         Ok((spec, volume, scene, config, priority)) => {

@@ -350,6 +350,12 @@ impl<'a> Reader<'a> {
             .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
     }
 
+    /// Everything not yet consumed — for envelope decoders that hand the
+    /// tail to an inner decoder (`decode_prewarm` → `decode_request`).
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
     /// Assert the payload is fully consumed (decoders call this last, so a
     /// frame with junk glued on fails instead of silently parsing).
     pub fn finish(&self) -> Result<(), WireError> {
@@ -1178,14 +1184,9 @@ pub fn encode_prewarm(epoch: u64, request: &NetSceneRequest) -> Vec<u8> {
 }
 
 pub fn decode_prewarm(payload: &[u8]) -> Result<(u64, NetSceneRequest), WireError> {
-    if payload.len() < 8 {
-        return Err(WireError::Truncated {
-            needed: 8,
-            have: payload.len(),
-        });
-    }
-    let epoch = u64::from_le_bytes(payload[..8].try_into().unwrap());
-    let request = decode_request(&payload[8..])?;
+    let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
+    let request = decode_request(r.rest())?;
     Ok((epoch, request))
 }
 

@@ -37,7 +37,10 @@
 //! No dependencies, `std` only: the whole crate is atomics, two mutexes
 //! off the hot path, and `Instant` arithmetic.
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use metrics::{

@@ -56,12 +56,15 @@
 //! direct [`mgpu_volren::render`] call with the same request, regardless of
 //! worker count, batching, caching, plan reuse, sharding or interleaving.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver};
+use mgpu_obs::names;
 use mgpu_obs::Trace;
 
 use mgpu_cluster::ClusterSpec;
@@ -539,7 +542,7 @@ impl RenderService {
             &request.config,
         ));
         self.inner.plans.insert(key, plan);
-        mgpu_obs::global().counter("serve.plan_prewarms").inc();
+        mgpu_obs::global().counter(names::SERVE_PLAN_PREWARMS).inc();
         true
     }
 

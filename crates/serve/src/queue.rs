@@ -24,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
+use mgpu_obs::names;
 use mgpu_obs::{Gauge, Trace};
 
 use crate::batch::BatchKey;
@@ -276,7 +277,7 @@ impl JobQueue {
             ready: Condvar::new(),
             space: Condvar::new(),
             bounds,
-            depth_gauge: mgpu_obs::global().gauge("serve.queue_depth"),
+            depth_gauge: mgpu_obs::global().gauge(names::SERVE_QUEUE_DEPTH),
         }
     }
 

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use mgpu_obs::names;
 use mgpu_obs::{Counter, Histogram};
 
 use crate::cache::CacheSnapshot;
@@ -52,23 +53,23 @@ impl Default for ObsHandles {
     fn default() -> ObsHandles {
         let reg = mgpu_obs::global();
         ObsHandles {
-            frames_submitted: reg.counter("serve.frames_submitted"),
-            frames_completed: reg.counter("serve.frames_completed"),
-            frames_rendered: reg.counter("serve.frames_rendered"),
-            frames_failed: reg.counter("serve.frames_failed"),
-            frame_cache_hits: reg.counter("serve.frame_cache_hits"),
-            frame_cache_misses: reg.counter("serve.frame_cache_misses"),
-            plan_cache_hits: reg.counter("serve.plan_cache_hits"),
-            plan_cache_misses: reg.counter("serve.plan_cache_misses"),
-            admission_rejected: reg.counter("serve.admission_rejected"),
-            batches: reg.counter("serve.batches"),
-            batched_frames: reg.counter("serve.batched_frames"),
-            jobs_popped: reg.counter("serve.jobs_popped"),
-            brick_stagings: reg.counter("serve.brick_stagings"),
-            brick_reuses: reg.counter("serve.brick_reuses"),
-            queue_wait_ns: reg.histogram("serve.queue_wait_ns"),
-            plan_prepare_ns: reg.histogram("serve.plan_prepare_ns"),
-            render_ns: reg.histogram("serve.render_ns"),
+            frames_submitted: reg.counter(names::SERVE_FRAMES_SUBMITTED),
+            frames_completed: reg.counter(names::SERVE_FRAMES_COMPLETED),
+            frames_rendered: reg.counter(names::SERVE_FRAMES_RENDERED),
+            frames_failed: reg.counter(names::SERVE_FRAMES_FAILED),
+            frame_cache_hits: reg.counter(names::SERVE_FRAME_CACHE_HITS),
+            frame_cache_misses: reg.counter(names::SERVE_FRAME_CACHE_MISSES),
+            plan_cache_hits: reg.counter(names::SERVE_PLAN_CACHE_HITS),
+            plan_cache_misses: reg.counter(names::SERVE_PLAN_CACHE_MISSES),
+            admission_rejected: reg.counter(names::SERVE_ADMISSION_REJECTED),
+            batches: reg.counter(names::SERVE_BATCHES),
+            batched_frames: reg.counter(names::SERVE_BATCHED_FRAMES),
+            jobs_popped: reg.counter(names::SERVE_JOBS_POPPED),
+            brick_stagings: reg.counter(names::SERVE_BRICK_STAGINGS),
+            brick_reuses: reg.counter(names::SERVE_BRICK_REUSES),
+            queue_wait_ns: reg.histogram(names::SERVE_QUEUE_WAIT_NS),
+            plan_prepare_ns: reg.histogram(names::SERVE_PLAN_PREPARE_NS),
+            render_ns: reg.histogram(names::SERVE_RENDER_NS),
         }
     }
 }

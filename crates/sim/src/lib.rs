@@ -19,6 +19,8 @@
 //! model pure, deterministic and unit-testable, while the images that come
 //! out of the renderer remain genuinely computed.
 
+#![forbid(unsafe_code)]
+
 pub mod accounting;
 pub mod activity;
 pub mod engine;

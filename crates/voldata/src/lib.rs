@@ -16,6 +16,8 @@
 //! * [`mipmap`] — 2× downsampling and mip pyramids (multiresolution LOD);
 //! * [`stats`] — streaming volume statistics.
 
+#![forbid(unsafe_code)]
+
 pub mod brick;
 pub mod brickstore;
 pub mod datasets;

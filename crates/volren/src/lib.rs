@@ -19,6 +19,8 @@
 //! comparator from the paper's footnote 1; [`binary_swap`] models the
 //! alternative compositor of §6.1.
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod binary_swap;
 pub mod brick;

@@ -5,6 +5,7 @@ use std::sync::{Arc, OnceLock};
 use mgpu_cluster::GpuId;
 use mgpu_gpu::{launch_blocks, LaunchConfig, LaunchStats, Texture1D, Texture3D};
 use mgpu_mapreduce::{GpuMapper, MapOutput};
+use mgpu_obs::names;
 use mgpu_obs::{Counter, Histogram};
 
 use crate::brick::RenderBrick;
@@ -27,8 +28,8 @@ fn obs() -> &'static MapperObs {
     OBS.get_or_init(|| {
         let reg = mgpu_obs::global();
         MapperObs {
-            kernel_blocks: reg.counter("volren.kernel.blocks"),
-            samples_per_ray: reg.histogram("volren.samples_per_ray"),
+            kernel_blocks: reg.counter(names::VOLREN_KERNEL_BLOCKS),
+            samples_per_ray: reg.histogram(names::VOLREN_SAMPLES_PER_RAY),
         }
     })
 }

@@ -6,6 +6,7 @@ use std::time::Instant;
 
 use mgpu_cluster::ClusterSpec;
 use mgpu_mapreduce::{build_trace, run_job, CostBook, JobConfig, JobStats};
+use mgpu_obs::names;
 use mgpu_obs::{trace, Histogram};
 use mgpu_sim::{account, simulate, PhaseBreakdown, RunAccounting, SimDuration};
 use mgpu_voldata::{BrickGrid, BrickPolicy, BrickStore, StoreSnapshot, Volume};
@@ -41,10 +42,10 @@ fn obs() -> &'static RendererObs {
     OBS.get_or_init(|| {
         let reg = mgpu_obs::global();
         RendererObs {
-            staging_ns: reg.histogram("volren.staging_ns"),
-            plan_prepare_ns: reg.histogram("volren.plan_prepare_ns"),
-            kernel_ns: reg.histogram("volren.kernel_ns"),
-            composite_ns: reg.histogram("volren.composite_ns"),
+            staging_ns: reg.histogram(names::VOLREN_STAGING_NS),
+            plan_prepare_ns: reg.histogram(names::VOLREN_PLAN_PREPARE_NS),
+            kernel_ns: reg.histogram(names::VOLREN_KERNEL_NS),
+            composite_ns: reg.histogram(names::VOLREN_COMPOSITE_NS),
         }
     })
 }

@@ -42,6 +42,8 @@
 //! outcome.image.write_ppm("skull.ppm").unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mgpu_cluster as cluster;
 pub use mgpu_gpu as gpu;
 pub use mgpu_mapreduce as mapreduce;
